@@ -1,0 +1,183 @@
+"""Ablation benches: quantify the design choices the paper motivates.
+
+Each ablation flips one architectural knob and checks the expected
+direction of the effect:
+
+* memory **channel count** / striping (§4.4: striping "maximizes the
+  available bandwidth to each dynamic region"),
+* **credit window** of the flow control (§4.3),
+* network **packet size** (header amortization),
+* MMU **burst size** (overlap granularity between memory and network),
+* **vectorization lanes** vs selectivity (§5.3),
+* the §7 **small-table join** offload vs shipping both tables.
+"""
+
+import pytest
+
+from repro.common.config import (
+    FarviewConfig,
+    MemoryConfig,
+    NetworkConfig,
+    OperatorStackConfig,
+)
+from repro.core.query import JoinSpec, Query, select_star
+from repro.core.table import FTable
+from repro.experiments.common import make_bench, run_query_warm, upload_table
+from repro.memory.mmu import Mmu
+from repro.operators.selection import Compare
+from repro.sim.engine import Simulator
+from repro.workloads.generator import make_rows, selection_workload
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _fv_select_time(config: FarviewConfig, selectivity: float = 1.0,
+                    num_rows: int = 8192, vectorized: bool = False) -> float:
+    bench = make_bench(config)
+    wl = selection_workload(num_rows, selectivity)
+    table = upload_table(bench, "S", wl.schema, wl.rows)
+    _, elapsed = run_query_warm(
+        bench, table, select_star(wl.predicate, vectorized=vectorized))
+    return elapsed
+
+
+def _config(channels=2, packet=1 * KB, credits=32, burst=16 * KB):
+    return FarviewConfig(
+        memory=MemoryConfig(channels=channels, channel_capacity=32 * MB),
+        network=NetworkConfig(packet_size=packet, initial_credits=credits),
+    ), burst
+
+
+def test_ablation_memory_channels(benchmark):
+    """More striped channels -> faster vectorized scans (§4.4)."""
+
+    def run():
+        times = {}
+        for channels in (1, 2, 4):
+            config, _ = _config(channels=channels)
+            times[channels] = _fv_select_time(config, selectivity=0.25,
+                                              vectorized=True)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nchannels -> us: { {c: t / 1000 for c, t in times.items()} }")
+    assert times[2] < times[1]
+    assert times[4] <= times[2] * 1.05  # saturates once network-bound
+
+
+def test_ablation_credit_window(benchmark):
+    """Starved flow control serializes packet delivery (§4.3)."""
+
+    def run():
+        times = {}
+        for credits in (1, 4, 32):
+            config, _ = _config(credits=credits)
+            times[credits] = _fv_select_time(config, selectivity=1.0)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncredits -> us: { {c: t / 1000 for c, t in times.items()} }")
+    assert times[1] > times[4] >= times[32]
+
+
+def test_ablation_packet_size(benchmark):
+    """Small packets waste goodput on headers; 1 kB+ amortizes them."""
+
+    def run():
+        times = {}
+        for packet in (256, 1 * KB, 4 * KB):
+            config, _ = _config(packet=packet)
+            times[packet] = _fv_select_time(config, selectivity=1.0)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\npacket -> us: { {p: t / 1000 for p, t in times.items()} }")
+    assert times[256] > times[1 * KB] >= times[4 * KB] * 0.9
+
+
+def test_ablation_burst_size(benchmark):
+    """Tiny MMU bursts pay per-burst latency; big bursts reduce overlap.
+
+    Mid-size bursts should be within a few percent of the best setting.
+    """
+
+    def run():
+        times = {}
+        for burst in (1 * KB, 16 * KB, 64 * KB):
+            sim_config = FarviewConfig(
+                memory=MemoryConfig(channels=2, channel_capacity=32 * MB))
+            bench = make_bench(sim_config)
+            bench.node.mmu.burst_bytes = burst
+            wl = selection_workload(8192, 1.0)
+            table = upload_table(bench, "S", wl.schema, wl.rows)
+            _, elapsed = run_query_warm(bench, table,
+                                        select_star(wl.predicate))
+            times[burst] = elapsed
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nburst -> us: { {b: t / 1000 for b, t in times.items()} }")
+    assert times[1 * KB] > times[16 * KB]  # per-burst latency dominates
+
+
+def test_ablation_vectorization_by_selectivity(benchmark):
+    """Vectorization pays off only below the network-bound regime (§5.3)."""
+
+    def run():
+        ratios = {}
+        for selectivity in (1.0, 0.25):
+            config, _ = _config()
+            t_std = _fv_select_time(config, selectivity, vectorized=False)
+            t_vec = _fv_select_time(config, selectivity, vectorized=True)
+            ratios[selectivity] = t_std / t_vec
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nselectivity -> speedup: {ratios}")
+    assert ratios[1.0] == pytest.approx(1.0, abs=0.15)
+    assert ratios[0.25] >= 1.4
+
+
+def test_ablation_join_offload_vs_ship_both(benchmark):
+    """§7 join: offloading avoids shipping the fact table to the client."""
+
+    from repro.common.records import Column, Schema
+    import numpy as np
+
+    dim_schema = Schema([Column("id", "int64"), Column("rate", "float64")])
+
+    def run():
+        bench = make_bench()
+        dim = dim_schema.empty(64)
+        dim["id"] = np.arange(64)
+        dim["rate"] = np.arange(64) * 0.5
+        dim_table = FTable("dim", dim_schema, len(dim))
+        bench.client.alloc_table_mem(dim_table)
+        bench.client.table_write(dim_table, dim)
+
+        from repro.common.records import default_schema
+        fact_schema = default_schema()
+        fact = make_rows(fact_schema, 8192)
+        fact["a"] = np.arange(8192) % 256  # 25% of keys match the dim
+        fact_table = FTable("fact", fact_schema, len(fact))
+        bench.client.alloc_table_mem(fact_table)
+        bench.client.table_write(fact_table, fact)
+
+        join_query = Query(join=JoinSpec(dim_table, "id", "a", ("rate",)))
+        result, t_offload = run_query_warm(bench, fact_table, join_query)
+
+        # Alternative: ship both tables raw and join on the client.
+        _, t_fact = bench.client.table_read(fact_table)
+        _, t_dim = bench.client.table_read(dim_table)
+        t_ship = t_fact + t_dim
+        return result.report.bytes_shipped, fact_table.size_bytes, \
+            t_offload, t_ship
+
+    shipped, fact_bytes, t_offload, t_ship = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    print(f"\njoin offload: shipped {shipped} of {fact_bytes} fact bytes; "
+          f"offload {t_offload / 1000:.1f} us vs ship-both "
+          f"{t_ship / 1000:.1f} us")
+    assert shipped < fact_bytes  # only matches travel
+    assert t_offload < t_ship

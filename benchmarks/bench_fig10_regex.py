@@ -1,0 +1,27 @@
+"""Figure 10 bench: regular-expression matching response time."""
+
+from repro.experiments import fig10_regex
+
+
+def test_fig10_regex(benchmark, shape):
+    result = benchmark.pedantic(fig10_regex.run, rounds=1, iterations=1)
+    shape.render(result)
+
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+
+    # FV outperforms both baselines at every string size (paper §6.6).
+    shape.dominates(fv, lcpu, "fig10")
+    shape.dominates(lcpu, rcpu, "fig10")
+
+    # The CPU baselines pay a per-byte matching cost well above FV's
+    # line-rate engines: the gap widens with the string size.
+    first, last = fv.xs[0], fv.xs[-1]
+    gap_first = lcpu.y_at(first) / fv.y_at(first)
+    gap_last = lcpu.y_at(last) / fv.y_at(last)
+    assert gap_last >= gap_first
+    assert gap_last >= 3.0
+
+    for series in (fv, lcpu, rcpu):
+        shape.monotonic(series, "fig10")

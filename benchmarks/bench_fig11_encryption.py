@@ -1,0 +1,33 @@
+"""Figure 11 bench: decryption response time and throughput parity."""
+
+from repro.experiments import fig11_encryption
+
+
+def test_fig11a_decrypt_response(benchmark, shape):
+    result = benchmark.pedantic(fig11_encryption.run_response,
+                                rounds=1, iterations=1)
+    shape.render(result)
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+    shape.dominates(fv, lcpu, "fig11a")
+    shape.dominates(lcpu, rcpu, "fig11a")
+    # The FPGA hides AES entirely; software pays per-byte AES + cold DRAM:
+    # the gap is large (paper: "significantly outperforms").
+    largest = fv.xs[-1]
+    assert lcpu.y_at(largest) / fv.y_at(largest) >= 4.0
+    for series in (fv, lcpu, rcpu):
+        shape.monotonic(series, "fig11a")
+
+
+def test_fig11b_decrypt_throughput_parity(benchmark, shape):
+    result = benchmark.pedantic(fig11_encryption.run_throughput,
+                                rounds=1, iterations=1)
+    shape.render(result)
+    rd = result.series_named("FV-RD")
+    rd_dec = result.series_named("FV-RD+Dec")
+    # "there is no noticeable performance penalty" (paper §6.7):
+    # within 10% at every transfer size.
+    for x in rd.xs:
+        penalty = 1.0 - rd_dec.y_at(x) / rd.y_at(x)
+        assert penalty <= 0.10, f"decryption penalty {penalty:.1%} at {x} B"

@@ -1,0 +1,25 @@
+"""Figure 12 bench: six concurrent clients running DISTINCT."""
+
+from repro.experiments import fig12_multiclient
+
+
+def test_fig12_multiclient(benchmark, shape):
+    result = benchmark.pedantic(fig12_multiclient.run, rounds=1, iterations=1)
+    shape.render(result)
+
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+
+    # Farview's spatial parallelism + fair-shared DRAM beat the contending
+    # CPU processes at every size (paper §6.8).
+    shape.dominates(fv, lcpu, "fig12")
+    shape.dominates(lcpu, rcpu, "fig12")
+
+    # Contention hurts the baselines disproportionately: the gap at the
+    # largest size is wide.
+    largest = fv.xs[-1]
+    assert lcpu.y_at(largest) / fv.y_at(largest) >= 2.5
+
+    for series in (fv, lcpu, rcpu):
+        shape.monotonic(series, "fig12")

@@ -1,0 +1,40 @@
+"""Figure 6 bench: RDMA read throughput and response time (FV vs RNIC)."""
+
+from repro.common import calibration as cal
+from repro.experiments import fig6_rdma
+
+KB = 1024
+
+
+def test_fig6_rdma(benchmark, shape):
+    fig6a, fig6b = benchmark.pedantic(fig6_rdma.run, rounds=1, iterations=1)
+    shape.render(fig6a)
+    shape.render(fig6b)
+
+    tput_fv = fig6a.series_named("FV")
+    tput_rnic = fig6a.series_named("RNIC")
+    resp_fv = fig6b.series_named("FV")
+    resp_rnic = fig6b.series_named("RNIC")
+
+    # (a) Below 4 kB the RNIC achieves better throughput (paper §6.2).
+    for size in (128, 256, 512, 1 * KB, 2 * KB):
+        assert tput_rnic.y_at(size) >= tput_fv.y_at(size)
+
+    # (a) FV peaks near wire goodput (~12 GBps), above RNIC's PCIe-bound
+    # ~11 GBps.
+    fv_peak = max(tput_fv.ys)
+    rnic_peak = max(tput_rnic.ys)
+    assert 11.0 <= fv_peak <= 13.0
+    assert 10.0 <= rnic_peak <= 11.5
+    assert fv_peak > rnic_peak
+
+    # (b) RNIC responds faster at small transfers; FV wins at large ones
+    # by a substantial margin (paper: "at least 20%").
+    assert resp_rnic.y_at(512) <= resp_fv.y_at(512)
+    large = 32 * KB
+    advantage = 1.0 - resp_fv.y_at(large) / resp_rnic.y_at(large)
+    assert advantage >= 0.15, f"FV advantage at 32 kB only {advantage:.1%}"
+
+    # (b) Response time grows with transfer size for both systems.
+    shape.monotonic(resp_fv, "fig6b")
+    shape.monotonic(resp_rnic, "fig6b")

@@ -1,0 +1,26 @@
+"""Figure 7 bench: standard projection vs smart addressing."""
+
+from repro.experiments import fig7_projection
+
+
+def test_fig7_projection(benchmark, shape):
+    result = benchmark.pedantic(fig7_projection.run, rounds=1, iterations=1)
+    shape.render(result)
+
+    sa = result.series_named("FV-SA")
+    t256 = result.series_named("FV-t256B")
+    t512 = result.series_named("FV-t512B")
+
+    # Smart addressing beats the standard scan on 512 B tuples...
+    shape.dominates(sa, t512, "fig7")
+    # ...but the sequential scan wins for narrow 256 B tuples, i.e. the
+    # crossover sits between the two tuple widths (paper §6.3).
+    shape.dominates(t256, sa, "fig7")
+
+    # At scale the SA advantage over t512B is roughly the ratio of bytes
+    # touched; expect at least 1.5x at the largest point.
+    largest = sa.xs[-1]
+    assert t512.y_at(largest) / sa.y_at(largest) >= 1.5
+
+    for series in (sa, t256, t512):
+        shape.monotonic(series, "fig7")

@@ -1,0 +1,41 @@
+"""Figure 8 bench: selection response times at three selectivities."""
+
+import pytest
+
+from repro.experiments import fig8_selection
+
+KB = 1024
+
+
+@pytest.mark.parametrize("selectivity", [1.0, 0.5, 0.25],
+                         ids=["100pct", "50pct", "25pct"])
+def test_fig8_selection(benchmark, shape, selectivity):
+    result = benchmark.pedantic(
+        lambda: fig8_selection.run_panel(selectivity), rounds=1, iterations=1)
+    shape.render(result)
+
+    fv = result.series_named("FV")
+    fvv = result.series_named("FV-V")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+
+    # Farview outperforms both baselines in all cases (paper §6.4).
+    shape.dominates(fv, lcpu, "fig8")
+    shape.dominates(lcpu, rcpu, "fig8")
+    shape.dominates(fvv, fv, "fig8")
+
+    largest = fv.xs[-1]
+    ratio = fv.y_at(largest) / fvv.y_at(largest)
+    if selectivity == 1.0:
+        # Network-bound: vectorization provides no additional benefit.
+        assert ratio == pytest.approx(1.0, abs=0.1)
+    elif selectivity == 0.5:
+        # Slightly more performant (paper).
+        assert 1.1 <= ratio <= 1.8
+    else:
+        # Roughly twice as fast (paper; the region/memory bandwidth ratio
+        # bounds it at ~1.8x in this calibration).
+        assert ratio >= 1.5
+
+    for series in (fv, fvv, lcpu, rcpu):
+        shape.monotonic(series, "fig8")

@@ -1,0 +1,51 @@
+"""Figure 9 bench: DISTINCT and GROUP BY + SUM response times."""
+
+from repro.experiments import fig9_grouping
+
+
+def test_fig9a_distinct(benchmark, shape):
+    result = benchmark.pedantic(fig9_grouping.run_distinct,
+                                rounds=1, iterations=1)
+    shape.render(result)
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+    shape.dominates(fv, lcpu, "fig9a")
+    shape.dominates(lcpu, rcpu, "fig9a")
+    # The baselines degrade dramatically as input grows (paper §6.5):
+    # at 1 MB the gap exceeds 5x.
+    largest = fv.xs[-1]
+    assert lcpu.y_at(largest) / fv.y_at(largest) >= 5.0
+    for series in (fv, lcpu, rcpu):
+        shape.monotonic(series, "fig9a")
+
+
+def test_fig9b_groupby_scaling(benchmark, shape):
+    result = benchmark.pedantic(fig9_grouping.run_groupby_scaling,
+                                rounds=1, iterations=1)
+    shape.render(result)
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+    shape.dominates(fv, lcpu, "fig9b")
+    shape.dominates(lcpu, rcpu, "fig9b")
+    # Group-by costs more than plain distinct for the baselines
+    # (aggregate updates), keeping the FV gap wide.
+    largest = fv.xs[-1]
+    assert lcpu.y_at(largest) / fv.y_at(largest) >= 5.0
+
+
+def test_fig9c_groupby_vs_groups(benchmark, shape):
+    result = benchmark.pedantic(fig9_grouping.run_groupby_vs_groups,
+                                rounds=1, iterations=1)
+    shape.render(result)
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+    shape.dominates(fv, lcpu, "fig9c")
+    shape.dominates(lcpu, rcpu, "fig9c")
+    # FV's response time grows with the number of groups: the flush phase
+    # adds latency per aggregate (paper: "The response time is thus bigger
+    # if the number of aggregates is higher").
+    assert fv.ys[-1] > fv.ys[0]
+    shape.monotonic(fv, "fig9c")

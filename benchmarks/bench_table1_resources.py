@@ -1,0 +1,24 @@
+"""Table 1 bench: regenerate the FPGA resource-overhead table."""
+
+import pytest
+
+from repro.experiments import table1_resources
+
+
+def test_table1_resources(benchmark, shape):
+    result = benchmark.pedantic(table1_resources.run, rounds=3, iterations=1)
+    print()
+    print(result.render())
+
+    luts, regs, bram, dsps = result.system_row
+    assert (luts, regs, bram, dsps) == pytest.approx((24.0, 23.0, 29.0, 0.0))
+
+    regex_row = result.operator_rows["Regular expression"]
+    assert regex_row[0] == pytest.approx(2.3)
+    distinct_row = result.operator_rows["Distinct/Group by"]
+    assert distinct_row[2] == pytest.approx(8.0)
+    crypto_row = result.operator_rows["En(de)cryption"]
+    assert crypto_row[0] == pytest.approx(3.6)
+
+    # §6.1: the deployed system stays under 30% of the device.
+    assert result.full_deployment_max_utilization <= 0.30

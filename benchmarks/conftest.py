@@ -1,0 +1,36 @@
+"""Benchmark helpers: render experiment output and assert curve shapes."""
+
+import pytest
+
+
+def render(result) -> None:
+    """Print an ExperimentResult table (visible with pytest -s)."""
+    print()
+    print(result.render())
+
+
+def assert_dominates(faster, slower, label: str) -> None:
+    """Every point of ``faster`` must lie at or below ``slower``."""
+    for x in faster.xs:
+        f, s = faster.y_at(x), slower.y_at(x)
+        assert f <= s, (
+            f"{label}: expected {faster.name} <= {slower.name} at x={x}, "
+            f"got {f:.2f} vs {s:.2f}")
+
+
+def assert_monotonic_increasing(series, label: str, slack: float = 1.02):
+    """y must not decrease by more than ``slack`` jitter across x."""
+    ys = series.ys
+    for a, b in zip(ys, ys[1:]):
+        assert b >= a / slack, (
+            f"{label}: series {series.name} not monotonic: {a:.2f} -> {b:.2f}")
+
+
+@pytest.fixture
+def shape():
+    """Namespace fixture bundling the assertion helpers."""
+    class Shape:
+        dominates = staticmethod(assert_dominates)
+        monotonic = staticmethod(assert_monotonic_increasing)
+        render = staticmethod(render)
+    return Shape

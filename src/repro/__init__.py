@@ -1,0 +1,19 @@
+"""Farview reproduction: disaggregated memory with operator off-loading.
+
+A functional + timing simulation of the system described in
+
+    Korolija et al., "Farview: Disaggregated Memory with Operator
+    Off-loading for Database Engines", CIDR 2022 (arXiv:2106.07102).
+
+Public entry points:
+
+* :mod:`repro.core` — the Farview node and client API (§4.2 of the paper),
+* :mod:`repro.operators` — the offloaded operator implementations (§5),
+* :mod:`repro.baselines` — LCPU / RCPU / RNIC comparators (§6.1),
+* :mod:`repro.workloads` — synthetic workload generators,
+* :mod:`repro.experiments` — harnesses reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

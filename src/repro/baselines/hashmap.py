@@ -1,0 +1,105 @@
+"""A from-scratch resizable hash map, standing in for parallel-hashmap.
+
+The paper's LCPU/RCPU grouping baselines use "a very fast hash map
+library" (parallel-hashmap, §6.5 footnote).  This is an open-addressing
+map with quadratic-ish probing and power-of-two growth at 7/8 load — the
+same design family — instrumented with the counters the CPU cost model
+charges for (probes, resize copy work).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..common.errors import OperatorError
+
+_EMPTY = object()
+_INITIAL_SLOTS = 16
+_MAX_LOAD_NUM = 7
+_MAX_LOAD_DEN = 8
+
+
+def _hash(key: bytes) -> int:
+    # FNV-1a 64-bit: cheap and deterministic across runs.
+    h = 0xCBF29CE484222325
+    for b in key:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class SoftwareHashMap:
+    """Open-addressing hash map over byte keys with growth instrumentation."""
+
+    def __init__(self, initial_slots: int = _INITIAL_SLOTS):
+        if initial_slots <= 0 or initial_slots & (initial_slots - 1):
+            raise OperatorError(
+                f"initial_slots must be a positive power of two: "
+                f"{initial_slots}")
+        self._keys: list = [_EMPTY] * initial_slots
+        self._values: list = [None] * initial_slots
+        self._slots = initial_slots
+        self._size = 0
+        self.probes = 0
+        self.resizes = 0
+        self.rehashed_entries = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def slots(self) -> int:
+        return self._slots
+
+    def _find(self, key: bytes) -> int:
+        mask = self._slots - 1
+        idx = _hash(key) & mask
+        step = 1
+        while True:
+            self.probes += 1
+            resident = self._keys[idx]
+            if resident is _EMPTY or resident == key:
+                return idx
+            idx = (idx + step) & mask
+            step += 1
+
+    def get(self, key: bytes):
+        idx = self._find(key)
+        if self._keys[idx] is _EMPTY:
+            return None
+        return self._values[idx]
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._keys[self._find(key)] is not _EMPTY
+
+    def put(self, key: bytes, value) -> bool:
+        """Insert or update; returns True if the key was new."""
+        idx = self._find(key)
+        is_new = self._keys[idx] is _EMPTY
+        self._keys[idx] = key
+        self._values[idx] = value
+        if is_new:
+            self._size += 1
+            if self._size * _MAX_LOAD_DEN >= self._slots * _MAX_LOAD_NUM:
+                self._grow()
+        return is_new
+
+    def _grow(self) -> None:
+        old_keys, old_values = self._keys, self._values
+        self._slots *= 2
+        self._keys = [_EMPTY] * self._slots
+        self._values = [None] * self._slots
+        self.resizes += 1
+        self._size = 0
+        for key, value in zip(old_keys, old_values):
+            if key is not _EMPTY:
+                idx = self._find(key)
+                self._keys[idx] = key
+                self._values[idx] = value
+                self._size += 1
+                self.rehashed_entries += 1
+
+    def items(self) -> Iterator[tuple[bytes, object]]:
+        for key, value in zip(self._keys, self._values):
+            if key is not _EMPTY:
+                yield key, value

@@ -1,0 +1,187 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig8            # all panels of Figure 8
+    python -m repro run fig6a --csv out.csv
+    python -m repro run all
+    python -m repro sql "SELECT DISTINCT a FROM demo" [--rows 4096]
+
+``run`` prints the same rows the paper plots (see EXPERIMENTS.md); ``sql``
+spins up an in-memory bench with a demo table and executes the statement
+through the full offload path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import sys
+from typing import Callable
+
+from .experiments import (
+    fig6_rdma,
+    fig7_projection,
+    fig8_selection,
+    fig9_grouping,
+    fig10_regex,
+    fig11_encryption,
+    fig12_multiclient,
+    table1_resources,
+)
+from .experiments.common import ExperimentResult
+
+
+def _as_list(result) -> list:
+    if isinstance(result, (list, tuple)):
+        return list(result)
+    return [result]
+
+
+#: Experiment id -> (description, runner returning result(s)).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
+    "table1": ("Table 1: FPGA resource overhead",
+               lambda: [table1_resources.run()]),
+    "fig6": ("Figure 6: RDMA throughput & response time",
+             lambda: _as_list(fig6_rdma.run())),
+    "fig7": ("Figure 7: projection vs smart addressing",
+             lambda: [fig7_projection.run()]),
+    "fig8": ("Figure 8: selection at 100/50/25% selectivity",
+             lambda: _as_list(fig8_selection.run())),
+    "fig9": ("Figure 9: DISTINCT and GROUP BY",
+             lambda: _as_list(fig9_grouping.run())),
+    "fig10": ("Figure 10: regular-expression matching",
+              lambda: [fig10_regex.run()]),
+    "fig11": ("Figure 11: decryption",
+              lambda: _as_list(fig11_encryption.run())),
+    "fig12": ("Figure 12: six concurrent clients",
+              lambda: [fig12_multiclient.run()]),
+}
+
+#: Sub-panel ids resolve to their parent experiment.
+_PANELS = {
+    "fig6a": "fig6", "fig6b": "fig6",
+    "fig8a": "fig8", "fig8b": "fig8", "fig8c": "fig8",
+    "fig9a": "fig9", "fig9b": "fig9", "fig9c": "fig9",
+    "fig11a": "fig11", "fig11b": "fig11",
+}
+
+
+def results_to_csv(results: list[ExperimentResult]) -> str:
+    """Serialize experiment series as long-form CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["experiment", "series", "x", "y", "x_label", "y_label"])
+    for result in results:
+        if not isinstance(result, ExperimentResult):
+            continue  # Table 1 has its own renderer
+        for series in result.series:
+            for point in series.points:
+                writer.writerow([result.experiment_id, series.name,
+                                 point.x, point.y,
+                                 result.x_label, result.y_label])
+    return buffer.getvalue()
+
+
+def _resolve(experiment_id: str) -> list[str]:
+    key = experiment_id.lower()
+    if key == "all":
+        return list(EXPERIMENTS)
+    key = _PANELS.get(key, key)
+    if key not in EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{', '.join(sorted(EXPERIMENTS))} or 'all'")
+    return [key]
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (description, _) in EXPERIMENTS.items():
+        print(f"{key:<{width}}  {description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    collected: list = []
+    for key in _resolve(args.experiment):
+        description, runner = EXPERIMENTS[key]
+        print(f"# {description}", file=sys.stderr)
+        results = runner()
+        collected.extend(results)
+        wanted = args.experiment.lower()
+        for result in results:
+            rid = getattr(result, "experiment_id", "")
+            if wanted in _PANELS and not rid.startswith(wanted):
+                continue  # a specific panel was requested
+            print(result.render())
+            print()
+    if args.csv:
+        with open(args.csv, "w", newline="") as fh:
+            fh.write(results_to_csv(collected))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .common.records import default_schema
+    from .common.units import to_us
+    from .experiments.common import make_bench, upload_table
+    from .workloads.generator import make_rows
+
+    bench = make_bench()
+    schema = default_schema()
+    rows = make_rows(schema, args.rows)
+    rows["c"] = np.arange(args.rows) % 16
+    upload_table(bench, args.table, schema, rows)
+    result, elapsed = bench.client.sql(args.statement)
+    out = result.rows()
+    print(f"-- {len(out)} rows in {to_us(elapsed):.1f} us simulated "
+          f"({result.report.bytes_shipped} bytes shipped)")
+    for row in out[:args.limit]:
+        print(tuple(row))
+    if len(out) > args.limit:
+        print(f"... ({len(out) - args.limit} more)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Farview reproduction: run the paper's experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiment ids")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run an experiment (or 'all')")
+    p_run.add_argument("experiment",
+                       help="experiment id (e.g. fig8, fig6a, table1, all)")
+    p_run.add_argument("--csv", metavar="PATH",
+                       help="also write the series as long-form CSV")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sql = sub.add_parser("sql", help="offload one SQL statement to a "
+                                       "demo table")
+    p_sql.add_argument("statement")
+    p_sql.add_argument("--table", default="demo",
+                       help="demo table name (default: demo)")
+    p_sql.add_argument("--rows", type=int, default=4096,
+                       help="demo table rows (default: 4096)")
+    p_sql.add_argument("--limit", type=int, default=10,
+                       help="max rows to print (default: 10)")
+    p_sql.set_defaults(fn=cmd_sql)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

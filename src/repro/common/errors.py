@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Farview reproduction.
+
+Every subsystem raises a subclass of :class:`FarviewError` so callers can
+catch the library's failures without masking programming errors (``TypeError``
+etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class FarviewError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(FarviewError):
+    """An invalid configuration value was supplied."""
+
+
+class MemoryError_(FarviewError):
+    """Base class for memory-stack errors (named to avoid shadowing builtin)."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """The disaggregated memory pool cannot satisfy an allocation."""
+
+
+class TranslationFault(MemoryError_):
+    """The MMU found no mapping for a virtual address."""
+
+
+class ProtectionFault(MemoryError_):
+    """A client touched memory belonging to a different protection domain."""
+
+
+class NetworkError(FarviewError):
+    """Base class for network-stack errors."""
+
+
+class ConnectionError_(NetworkError):
+    """Connection establishment or teardown failed."""
+
+
+class FlowControlError(NetworkError):
+    """Credit accounting was violated (indicates a simulator bug)."""
+
+
+class OperatorError(FarviewError):
+    """Base class for operator-stack errors."""
+
+
+class PipelineCompilationError(OperatorError):
+    """A query could not be compiled into an operator pipeline."""
+
+
+class RegionUnavailableError(OperatorError):
+    """No free dynamic region is available for a new client."""
+
+
+class RegexSyntaxError(OperatorError):
+    """The regex engine rejected a pattern."""
+
+
+class CatalogError(FarviewError):
+    """A table was not found in (or conflicts with) the client catalog."""
+
+
+class QueryError(FarviewError):
+    """A query descriptor is malformed or references unknown columns."""

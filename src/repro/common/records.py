@@ -1,0 +1,217 @@
+"""Fixed-width row encoding: schemas, tuples, and byte serialization.
+
+The paper stores base tables in **row format** (§5, footnote 1) with
+fixed-length attributes; the default evaluation table has 8 attributes of
+8 bytes each (§6.2).  This module provides:
+
+* :class:`Column` / :class:`Schema` — column metadata with byte offsets,
+* conversion between numpy structured arrays and the flat byte image that
+  lives in simulated DRAM,
+* helpers used by the projection operator (column byte ranges) and by the
+  packing unit (packed output schemas).
+
+Data always round-trips bytes -> array -> bytes exactly, which the tests
+and the smart-addressing path rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import QueryError
+
+#: Supported fixed-width column kinds and their numpy dtypes.
+_KIND_DTYPES = {
+    "int64": np.dtype("<i8"),
+    "uint64": np.dtype("<u8"),
+    "float64": np.dtype("<f8"),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A fixed-width column.
+
+    ``kind`` is one of ``int64``, ``uint64``, ``float64`` or ``char`` (a
+    fixed-length byte string whose width is given by ``width``).
+    """
+
+    name: str
+    kind: str
+    width: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind in _KIND_DTYPES:
+            expected = _KIND_DTYPES[self.kind].itemsize
+            if self.width != expected:
+                raise QueryError(
+                    f"column {self.name!r}: kind {self.kind} is {expected} bytes, "
+                    f"got width {self.width}")
+        elif self.kind == "char":
+            if self.width <= 0:
+                raise QueryError(f"column {self.name!r}: char width must be > 0")
+        else:
+            raise QueryError(f"column {self.name!r}: unknown kind {self.kind!r}")
+
+    @property
+    def dtype(self) -> np.dtype:
+        if self.kind == "char":
+            return np.dtype(f"S{self.width}")
+        return _KIND_DTYPES[self.kind]
+
+
+class Schema:
+    """An ordered collection of fixed-width columns.
+
+    The row width is the sum of column widths (no padding — the FPGA parses
+    the stream with byte-exact offsets, §5.2).
+    """
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise QueryError("schema must have at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate column names in schema: {names}")
+        self._columns = tuple(columns)
+        self._offsets: dict[str, int] = {}
+        off = 0
+        for col in self._columns:
+            self._offsets[col.name] = off
+            off += col.width
+        self._row_width = off
+        self._dtype = np.dtype({
+            "names": names,
+            "formats": [c.dtype for c in self._columns],
+            "offsets": [self._offsets[n] for n in names],
+            "itemsize": self._row_width,
+        })
+
+    # -- basic introspection -------------------------------------------------
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def row_width(self) -> int:
+        return self._row_width
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.kind}({c.width})" for c in self._columns)
+        return f"Schema({cols})"
+
+    def column(self, name: str) -> Column:
+        for col in self._columns:
+            if col.name == name:
+                return col
+        raise QueryError(f"unknown column {name!r}; schema has {self.names}")
+
+    def offset(self, name: str) -> int:
+        if name not in self._offsets:
+            raise QueryError(f"unknown column {name!r}; schema has {self.names}")
+        return self._offsets[name]
+
+    def byte_range(self, name: str) -> tuple[int, int]:
+        """(offset, width) of a column within a row — used by smart addressing."""
+        col = self.column(name)
+        return self._offsets[name], col.width
+
+    def index(self, name: str) -> int:
+        for i, col in enumerate(self._columns):
+            if col.name == name:
+                return i
+        raise QueryError(f"unknown column {name!r}; schema has {self.names}")
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema([self.column(n) for n in names])
+
+    # -- (de)serialization ----------------------------------------------------
+    def to_bytes(self, rows: np.ndarray) -> bytes:
+        """Serialize a structured array of this schema into a flat byte image."""
+        arr = np.ascontiguousarray(rows.astype(self._dtype, copy=False))
+        return arr.tobytes()
+
+    def from_bytes(self, data: bytes | bytearray | memoryview) -> np.ndarray:
+        """View a flat byte image as a structured array (copies for safety)."""
+        buf = bytes(data)
+        if len(buf) % self._row_width:
+            raise QueryError(
+                f"byte image of {len(buf)} bytes is not a multiple of the "
+                f"row width {self._row_width}")
+        return np.frombuffer(buf, dtype=self._dtype).copy()
+
+    def empty(self, nrows: int = 0) -> np.ndarray:
+        """An empty (zeroed) structured array with this schema."""
+        return np.zeros(nrows, dtype=self._dtype)
+
+
+def default_schema(num_attributes: int = 8, attr_bytes: int = 8) -> Schema:
+    """The paper's default evaluation schema: 8 attributes x 8 bytes (§6.2).
+
+    Columns are named ``a``, ``b``, ``c``, ... and typed ``int64`` except the
+    second column, which is ``float64`` so float-predicate queries (§4.2's
+    ``select`` example) have a natural target.
+    """
+    if num_attributes <= 0:
+        raise QueryError("num_attributes must be > 0")
+    if attr_bytes != 8:
+        # Non-8-byte attributes are modelled as fixed char columns.
+        cols = [Column(_attr_name(i), "char", attr_bytes)
+                for i in range(num_attributes)]
+        return Schema(cols)
+    cols = []
+    for i in range(num_attributes):
+        kind = "float64" if i == 1 else "int64"
+        cols.append(Column(_attr_name(i), kind, 8))
+    return Schema(cols)
+
+
+def wide_schema(total_width: int, attr_bytes: int = 8) -> Schema:
+    """A wide row of ``total_width`` bytes split into ``attr_bytes`` columns.
+
+    Used by the Figure 7 projection experiment (256 B and 512 B tuples).
+    """
+    if total_width % attr_bytes:
+        raise QueryError("total_width must be a multiple of attr_bytes")
+    n = total_width // attr_bytes
+    cols = [Column(_attr_name(i), "int64" if attr_bytes == 8 else "char", attr_bytes)
+            for i in range(n)]
+    return Schema(cols)
+
+
+def string_schema(string_bytes: int, key_bytes: int = 8) -> Schema:
+    """Schema for the regex workload: an id column plus a fixed char payload."""
+    return Schema([
+        Column("id", "int64", 8),
+        Column("s", "char", string_bytes),
+    ])
+
+
+def _attr_name(i: int) -> str:
+    """a, b, ..., z, a1, b1, ... — readable names for generated columns."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    suffix = i // len(letters)
+    return letters[i % len(letters)] + (str(suffix) if suffix else "")

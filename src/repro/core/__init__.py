@@ -1,0 +1,47 @@
+"""Farview core: node, client API, catalog, queries, pipeline compiler."""
+
+from .api import FarviewClient, QueryResult
+from .catalog import Catalog
+from .node import Connection, ExecutionReport, FarviewNode
+from .elasticity import RegionLeaseManager
+from .pipeline_compiler import (
+    CompiledQuery,
+    choose_smart_addressing,
+    compile_query,
+    explain,
+)
+from .query import (
+    JoinSpec,
+    Query,
+    RegexFilter,
+    group_by_sum,
+    select_distinct,
+    select_star,
+)
+from .sql import ParsedQuery, SqlSyntaxError, like_to_regex, parse_sql
+from .table import FTable
+
+__all__ = [
+    "FarviewClient",
+    "QueryResult",
+    "Catalog",
+    "Connection",
+    "ExecutionReport",
+    "FarviewNode",
+    "RegionLeaseManager",
+    "CompiledQuery",
+    "choose_smart_addressing",
+    "compile_query",
+    "explain",
+    "JoinSpec",
+    "Query",
+    "RegexFilter",
+    "group_by_sum",
+    "select_distinct",
+    "select_star",
+    "ParsedQuery",
+    "SqlSyntaxError",
+    "like_to_regex",
+    "parse_sql",
+    "FTable",
+]

@@ -1,0 +1,273 @@
+"""Client-side data API, mirroring the paper's programmatic interface (§4.2).
+
+The paper's C-style functions map onto :class:`FarviewClient` methods:
+
+====================================  =======================================
+Paper                                 This library
+====================================  =======================================
+``openConnection(qp, node)``          ``client = FarviewClient(node)`` /
+                                      ``client.open_connection()``
+``allocTableMem(qp, ft)``             ``client.alloc_table_mem(ft)``
+``freeTableMem(qp, ft)``              ``client.free_table_mem(ft)``
+``tableWrite(qp, ft)``                ``client.table_write(ft, rows)``
+``tableRead(qp, ft)``                 ``client.table_read(ft)``
+``farView(qp, ft, params)``           ``client.far_view(ft, query)``
+``select(qp, ft, proj, sel, pred)``   ``client.select(ft, columns, predicate)``
+====================================  =======================================
+
+Each verb exists in two forms: a ``*_proc`` generator to compose inside a
+running simulation (multi-client experiments) and a blocking convenience
+that drives the simulator to completion and returns ``(result, elapsed_ns)``
+— the paper's measurement endpoint is "until the final results are written
+to the memory of the client machine" (§6.2), which is exactly when these
+processes complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..common.errors import ConnectionError_, QueryError
+from ..common.records import Schema
+from ..operators.aggregate import AggregateSpec
+from ..operators.crypto import AesCtr
+from ..operators.selection import Predicate
+from .catalog import Catalog
+from .node import Connection, ExecutionReport, FarviewNode
+from .pipeline_compiler import CompiledQuery, compile_query
+from .query import Query, RegexFilter
+from .table import FTable
+
+
+@dataclass
+class QueryResult:
+    """Client-visible result of one Farview-verb execution."""
+
+    data: bytes
+    schema: Schema
+    report: ExecutionReport
+    response_time_ns: float
+    output_key: Optional[tuple[bytes, bytes]] = None  # (key, nonce) if encrypted
+    _client_dedup_applied: bool = field(default=False, repr=False)
+
+    def raw_rows(self) -> np.ndarray:
+        """Decode the shipped bytes (decrypting the transmission first)."""
+        data = self.data
+        if self.output_key is not None:
+            key, nonce = self.output_key
+            data = AesCtr(key, nonce).process(data)
+        return self.schema.from_bytes(data)
+
+    def rows(self) -> np.ndarray:
+        """Rows after the client-side software post-processing the paper
+        prescribes: deduplicate overflow leakage from the DISTINCT operator
+        (§5.4) and merge overflowed GROUP BY partial aggregates."""
+        rows = self.raw_rows()
+        if self.report.overflow_keys:
+            rows = _software_dedup(rows)
+        if self.report.overflow_groups:
+            rows = _merge_overflow_groups(rows, self.schema, self.report)
+        return rows
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows())
+
+
+def _software_dedup(rows: np.ndarray) -> np.ndarray:
+    """Order-preserving exact dedup (the paper's client-side fallback)."""
+    seen: set[bytes] = set()
+    keep = np.zeros(len(rows), dtype=bool)
+    for i in range(len(rows)):
+        key = rows[i].tobytes()
+        if key not in seen:
+            seen.add(key)
+            keep[i] = True
+    return rows[keep]
+
+
+def _merge_overflow_groups(rows: np.ndarray, schema: Schema,
+                           report: ExecutionReport) -> np.ndarray:
+    """Append overflowed groups (partially aggregated server-side)."""
+    if not report.overflow_groups:
+        return rows
+    # The overflow accumulators carry the same spec list as the pipeline's
+    # group-by; the report stores (key_bytes -> Accumulator).  Key layout is
+    # the group-key schema prefix of the output schema.
+    extra = schema.empty(len(report.overflow_groups))
+    agg_names = [n for n in schema.names]
+    # Group keys occupy the leading columns; remaining are aggregates.
+    meta = report.overflow_groups.get("__meta__")
+    items = [(k, v) for k, v in report.overflow_groups.items()
+             if k != "__meta__"]
+    if meta is None:
+        raise QueryError(
+            "overflow groups present but merge metadata missing")
+    key_columns, specs, value_columns = meta
+    key_schema = schema.project(key_columns)
+    for i, (key_bytes, acc) in enumerate(items):
+        key_row = key_schema.from_bytes(key_bytes)
+        for name in key_columns:
+            extra[name][i] = key_row[name][0]
+        for spec in specs:
+            idx = (value_columns.index(spec.column)
+                   if spec.column in value_columns else 0)
+            extra[spec.alias][i] = acc.result(spec, idx)
+    del agg_names
+    return np.concatenate([rows, extra])
+
+
+class FarviewClient:
+    """A query thread on a compute node, connected to a Farview node."""
+
+    def __init__(self, node: FarviewNode,
+                 buffer_capacity: int = 8 * 1024 * 1024):
+        self.node = node
+        self.sim = node.sim
+        self.catalog = Catalog()
+        self._buffer_capacity = buffer_capacity
+        self._conn: Connection | None = None
+        self._compiled_cache: dict[str, CompiledQuery] = {}
+
+    # -- connection -----------------------------------------------------------
+    def open_connection(self) -> Connection:
+        if self._conn is not None:
+            raise ConnectionError_("connection already open")
+        self._conn = self.node.open_connection(self._buffer_capacity)
+        return self._conn
+
+    def close_connection(self) -> None:
+        conn = self._require_conn()
+        self.node.close_connection(conn)
+        self._conn = None
+
+    def _require_conn(self) -> Connection:
+        if self._conn is None:
+            raise ConnectionError_("no open connection; call open_connection")
+        return self._conn
+
+    @property
+    def connection(self) -> Connection:
+        return self._require_conn()
+
+    # -- memory management -------------------------------------------------------
+    def alloc_table_mem(self, table: FTable) -> FTable:
+        self.node.alloc_table_mem(self._require_conn(), table)
+        if table.name not in self.catalog:
+            self.catalog.register(table)
+        return table
+
+    def free_table_mem(self, table: FTable) -> None:
+        self.node.free_table_mem(self._require_conn(), table)
+        self.catalog.deregister(table.name)
+
+    # -- verbs as processes ----------------------------------------------------------
+    def table_write_proc(self, table: FTable, rows: np.ndarray | bytes):
+        """Process: upload ``rows`` (array or raw image) to the buffer pool."""
+        conn = self._require_conn()
+        if isinstance(rows, np.ndarray):
+            table.validate_rows(rows)
+            data = table.schema.to_bytes(rows)
+        else:
+            data = bytes(rows)
+        result = yield from self.node.serve_write(conn, table, data)
+        return result
+
+    def table_read_proc(self, table: FTable, offset: int = 0,
+                        length: int | None = None):
+        """Process: raw RDMA read; returns the bytes landed in the buffer."""
+        conn = self._require_conn()
+        conn.qp.buffer.reset()
+        total = yield from self.node.serve_read(conn, table, offset, length)
+        return conn.qp.buffer.read(0, total)
+
+    def far_view_proc(self, table: FTable, query: Query):
+        """Process: the Farview verb; returns a :class:`QueryResult`."""
+        conn = self._require_conn()
+        compiled = self._compile(table, query)
+        conn.qp.buffer.reset()
+        start = self.sim.now
+        report = yield from self.node.serve_farview(conn, table, compiled)
+        self._attach_group_meta(compiled, report)
+        data = conn.qp.buffer.read(0, report.bytes_shipped)
+        return QueryResult(
+            data=data,
+            schema=compiled.output_schema,
+            report=report,
+            response_time_ns=self.sim.now - start,
+            output_key=query.encrypt_output)
+
+    def _compile(self, table: FTable, query: Query) -> CompiledQuery:
+        # Pipelines are stateful/one-shot: always build a fresh one, but the
+        # signature keeps region reconfiguration free across repeats.
+        return compile_query(query, table, self.node.config)
+
+    @staticmethod
+    def _attach_group_meta(compiled: CompiledQuery,
+                           report: ExecutionReport) -> None:
+        if report.overflow_groups:
+            query = compiled.query
+            report.overflow_groups["__meta__"] = (
+                list(query.group_by or ()),
+                list(query.aggregates),
+                sorted({s.column for s in query.aggregates
+                        if not (s.func == "count" and s.column == "*")}))
+
+    # -- blocking conveniences ------------------------------------------------------------
+    def _run(self, proc, name: str):
+        start = self.sim.now
+        result = self.sim.run_process(proc, name)
+        return result, self.sim.now - start
+
+    def table_write(self, table: FTable, rows: np.ndarray | bytes):
+        """Upload rows; returns (bytes_written, elapsed_ns)."""
+        return self._run(self.table_write_proc(table, rows), "table_write")
+
+    def table_read(self, table: FTable, offset: int = 0,
+                   length: int | None = None):
+        """Raw read; returns (bytes, elapsed_ns)."""
+        return self._run(self.table_read_proc(table, offset, length),
+                         "table_read")
+
+    def far_view(self, table: FTable, query: Query):
+        """Offloaded query; returns (QueryResult, elapsed_ns)."""
+        return self._run(self.far_view_proc(table, query), "far_view")
+
+    # -- paper-style higher-level helpers (§4.2's `select`) ----------------------------------
+    def select(self, table: FTable, columns: list[str] | None,
+               predicate: Predicate, vectorized: bool = False):
+        """``SELECT columns FROM table WHERE predicate``."""
+        query = Query(projection=tuple(columns) if columns else None,
+                      predicate=predicate, vectorized=vectorized,
+                      label="select")
+        return self.far_view(table, query)
+
+    def select_distinct(self, table: FTable, columns: list[str]):
+        query = Query(projection=tuple(columns), distinct=True,
+                      label="distinct")
+        return self.far_view(table, query)
+
+    def group_by(self, table: FTable, keys: list[str],
+                 aggregates: list[AggregateSpec]):
+        query = Query(group_by=tuple(keys), aggregates=tuple(aggregates),
+                      label="group_by")
+        return self.far_view(table, query)
+
+    def regex_match(self, table: FTable, column: str, pattern: str):
+        query = Query(regex=RegexFilter(column, pattern), label="regex")
+        return self.far_view(table, query)
+
+    def sql(self, statement: str):
+        """Parse and offload a SQL statement against the catalog.
+
+        The FROM table must have been registered via
+        :meth:`alloc_table_mem`.  Returns ``(QueryResult, elapsed_ns)``.
+        """
+        from .sql import parse_sql
+
+        parsed = parse_sql(statement)
+        table = self.catalog.lookup(parsed.table)
+        return self.far_view(table, parsed.query)

@@ -1,0 +1,73 @@
+"""Query-processing elasticity: admission control and region leasing.
+
+The paper defers "query processing elasticity" to future work (§1).  This
+module provides the mechanism: instead of failing when all dynamic regions
+are busy, tenants can *wait* for a region lease, and short-lived query
+threads can attach/detach without holding a region idle.
+
+:class:`RegionLeaseManager` wraps a node with a FIFO admission queue:
+
+* :meth:`acquire` — a process that resolves to an open connection as soon
+  as a region frees up (FIFO order, no starvation);
+* :meth:`release` — closes the connection and wakes the next waiter;
+* :meth:`with_lease` — convenience process: acquire, run a client
+  function, release — the borrow pattern compute-side query threads use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..common.errors import RegionUnavailableError
+from ..sim.engine import Event, Simulator
+from .api import FarviewClient
+from .node import FarviewNode
+
+
+class RegionLeaseManager:
+    """FIFO admission control over a node's dynamic regions."""
+
+    def __init__(self, node: FarviewNode,
+                 buffer_capacity: int = 8 * 1024 * 1024):
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.buffer_capacity = buffer_capacity
+        self._waiters: deque[Event] = deque()
+        self.leases_granted = 0
+        self.max_queue_depth = 0
+
+    # -- lease lifecycle ---------------------------------------------------------
+    def acquire(self):
+        """Process: resolves to a connected :class:`FarviewClient`."""
+        while True:
+            try:
+                client = FarviewClient(self.node, self.buffer_capacity)
+                client.open_connection()
+                self.leases_granted += 1
+                return client
+            except RegionUnavailableError:
+                ticket = self.sim.event()
+                self._waiters.append(ticket)
+                self.max_queue_depth = max(self.max_queue_depth,
+                                           len(self._waiters))
+                yield ticket  # woken by a release
+
+    def release(self, client: FarviewClient) -> None:
+        """Return the lease; wakes the oldest waiter."""
+        client.close_connection()
+        if self._waiters:
+            self._waiters.popleft().succeed()
+
+    def with_lease(self, fn):
+        """Process: borrow a client, run ``fn`` (a process function taking
+        the client), release — even if ``fn`` raises."""
+        client = yield from self.acquire()
+        try:
+            result = yield from fn(client)
+        finally:
+            self.release(client)
+        return result
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)

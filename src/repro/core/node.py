@@ -1,0 +1,343 @@
+"""The Farview node: memory + network + operator stacks wired together (§4.1).
+
+A :class:`FarviewNode` owns the MMU (buffer-pool memory), the 100 Gbps
+link with its fair-share arbiter, the dynamic-region pool, and the
+resource model.  Client connections get a queue pair, a protection domain
+and a dynamic region; the node then serves three one-sided verbs:
+
+* :meth:`serve_write` — RDMA WRITE of a table image into the buffer pool,
+* :meth:`serve_read` — RDMA READ streaming raw bytes back to the client,
+* :meth:`serve_farview` — the Farview verb: stream the table through the
+  region's operator pipeline and ship only the results (§4.2).
+
+All three are simulation processes; the data movement is real (bytes land
+in the client's buffer) and the timing reflects the paper's architecture:
+requests traverse the network stack, bursts from striped DRAM overlap
+with operator processing and network sends (deep pipelining, §4.1), and
+concurrent clients share DRAM and downlink fairly (§4.3-4.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..common import calibration as cal
+from ..common.config import FarviewConfig
+from ..common.errors import ConnectionError_, OperatorError
+from ..fpga.region import DynamicRegion, RegionManager
+from ..fpga.resource_model import ResourceModel
+from ..memory.mmu import Mmu
+from ..network.link import Link
+from ..network.qp import QueuePair
+from ..network.rdma import ResponseStreamer, deliver_request, deliver_write
+from ..operators.sending import Sender
+from ..sim.engine import Simulator
+from ..sim.resources import BandwidthPipe, Store
+from .pipeline_compiler import CompiledQuery
+from .table import FTable
+
+#: Default client receive-buffer capacity (results of one query).
+DEFAULT_CLIENT_BUFFER = 8 * 1024 * 1024
+
+_domain_ids = itertools.count(1)
+
+
+@dataclass
+class Connection:
+    """One client connection: QP + protection domain + dynamic region."""
+
+    qp: QueuePair
+    domain: int
+    region: DynamicRegion
+    node: "FarviewNode"
+    closed: bool = False
+
+    def require_open(self) -> None:
+        if self.closed:
+            raise ConnectionError_("connection already closed")
+
+
+@dataclass
+class ExecutionReport:
+    """Server-side record of one Farview-verb execution."""
+
+    signature: str
+    bytes_scanned: int = 0
+    bytes_shipped: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    ingest_mode: str = "standard"
+    overflow_keys: list = field(default_factory=list)
+    overflow_groups: dict = field(default_factory=dict)
+    reconfigured: bool = False
+
+
+class FarviewNode:
+    """Smart disaggregated memory node (Figure 2)."""
+
+    def __init__(self, sim: Simulator, config: FarviewConfig | None = None):
+        self.sim = sim
+        self.config = config if config is not None else FarviewConfig()
+        self.mmu = Mmu(sim, self.config.memory)
+        self.link = Link(sim, self.config.network, name="fv-link")
+        self.regions = RegionManager(sim, self.config.operator_stack)
+        self.resources = ResourceModel(self.config.operator_stack.regions)
+        # The request engine is deeply pipelined: per-request occupancy is
+        # small (issue rate) while per-request latency is larger.
+        self._request_engine = BandwidthPipe(sim, rate=1e12,
+                                             name="fv-req-engine")
+        self.connections: dict[int, Connection] = {}
+        self.queries_served = 0
+
+    # -- connection management (§4.2 openConnection) ----------------------------
+    def open_connection(self,
+                        buffer_capacity: int = DEFAULT_CLIENT_BUFFER
+                        ) -> Connection:
+        qp = QueuePair(self.sim, buffer_capacity,
+                       credits=self.config.network.initial_credits)
+        self.link.register_flow(qp.qp_id)
+        domain = next(_domain_ids)
+        self.mmu.create_domain(domain)
+        region = self.regions.acquire(qp.qp_id)
+        qp.connected = True
+        qp.region_index = region.index
+        qp.domain = domain
+        conn = Connection(qp=qp, domain=domain, region=region, node=self)
+        self.connections[qp.qp_id] = conn
+        return conn
+
+    def close_connection(self, conn: Connection) -> None:
+        conn.require_open()
+        self.regions.release(conn.region)
+        self.resources.undeploy(conn.region.index)
+        self.mmu.destroy_domain(conn.domain)
+        conn.qp.connected = False
+        conn.closed = True
+        del self.connections[conn.qp.qp_id]
+
+    # -- memory allocation (§4.2 allocTableMem / freeTableMem) ---------------------
+    def alloc_table_mem(self, conn: Connection, table: FTable) -> int:
+        conn.require_open()
+        table.vaddr = self.mmu.alloc(conn.domain, table.size_bytes)
+        return table.vaddr
+
+    def free_table_mem(self, conn: Connection, table: FTable) -> None:
+        conn.require_open()
+        self.mmu.free(conn.domain, table.require_allocated())
+        table.vaddr = None
+
+    # -- request front-end ------------------------------------------------------------
+    def _request_front_end(self):
+        """Process: request latency through the pipelined request engine."""
+        overhead = cal.FV_NIC_REQUEST_OVERHEAD_NS
+        issue = min(cal.FV_REQUEST_ISSUE_NS, overhead)
+        yield self._request_engine.transfer(0, extra_ns=issue)
+        remaining = overhead - issue
+        if remaining > 0:
+            yield self.sim.timeout(remaining)
+
+    # -- RDMA WRITE (table upload) -------------------------------------------------------
+    def serve_write(self, conn: Connection, table: FTable, data: bytes):
+        """Process: client writes ``data`` into the table's memory."""
+        conn.require_open()
+        vaddr = table.require_allocated()
+        if len(data) > table.size_bytes:
+            raise OperatorError(
+                f"write of {len(data)} bytes exceeds table size "
+                f"{table.size_bytes}")
+        yield from deliver_write(
+            self.sim, self.link, conn.qp, data,
+            per_packet_overhead_ns=self.config.network.per_packet_overhead_ns)
+        yield from self._request_front_end()
+        yield self.mmu.write(conn.domain, vaddr, data)
+        return len(data)
+
+    # -- RDMA READ (raw buffer-cache read) ---------------------------------------------------
+    def serve_read(self, conn: Connection, table: FTable,
+                   offset: int = 0, length: int | None = None):
+        """Process: stream raw table bytes to the client buffer."""
+        conn.require_open()
+        vaddr = table.require_allocated()
+        if length is None:
+            length = table.size_bytes - offset
+        if offset < 0 or offset + length > table.size_bytes:
+            raise OperatorError(
+                f"read [{offset}, +{length}) outside table of "
+                f"{table.size_bytes} bytes")
+        yield from deliver_request(self.sim, self.link, conn.qp)
+        yield from self._request_front_end()
+        streamer = ResponseStreamer(self.sim, self.link, conn.qp,
+                                    self.config.network)
+        yield from self._stream_memory(conn, vaddr + offset, length,
+                                       streamer.send)
+        total = yield from streamer.finish()
+        return total
+
+    def _stream_memory(self, conn: Connection, vaddr: int, length: int,
+                       sink_send):
+        """Producer/consumer: overlapped burst reads feeding ``sink_send``."""
+        store = Store(self.sim, capacity=2, name="read-bursts")
+        producer = self.sim.process(
+            self._burst_producer(conn, vaddr, length, store), "fv.producer")
+        while True:
+            chunk = yield store.get()
+            if chunk is None:
+                break
+            yield from sink_send(chunk)
+        yield producer  # surface any producer failure
+
+    def _burst_producer(self, conn: Connection, vaddr: int, length: int,
+                        store: Store):
+        cursor = 0
+        while cursor < length:
+            n = min(self.mmu.burst_bytes, length - cursor)
+            data = yield self.mmu.read(conn.domain, vaddr + cursor, n)
+            yield store.put(data)
+            cursor += n
+        yield store.put(None)
+
+    # -- the Farview verb (§4.2 farView) ----------------------------------------------------------
+    def serve_farview(self, conn: Connection, table: FTable,
+                      compiled: CompiledQuery):
+        """Process: run the compiled pipeline over the table, stream results.
+
+        Returns an :class:`ExecutionReport`; result bytes land in the
+        client's buffer.
+        """
+        conn.require_open()
+        vaddr = table.require_allocated()
+        report = ExecutionReport(signature=compiled.signature,
+                                 ingest_mode=compiled.ingest_mode)
+
+        yield from deliver_request(self.sim, self.link, conn.qp)
+        yield from self._request_front_end()
+
+        # Partial reconfiguration if this region holds a different pipeline.
+        if conn.region.loaded_pipeline != compiled.signature:
+            report.reconfigured = True
+            yield self.sim.process(
+                conn.region.load_pipeline(compiled.signature))
+            self.resources.deploy(conn.region.index,
+                                  compiled.resource_operators)
+
+        stack = self.config.operator_stack
+        yield self.sim.timeout(
+            compiled.pipeline.fill_latency_cycles * stack.cycle_ns)
+
+        # §7 extension: read the small build table into the on-chip hash
+        # before the probe stream starts.
+        if compiled.join_op is not None:
+            build = compiled.join_build_table
+            assert build is not None
+            build_vaddr = build.require_allocated()
+            build_bytes = yield self.mmu.read(conn.domain, build_vaddr,
+                                              build.size_bytes)
+            compiled.join_op.load_build(build.schema.from_bytes(build_bytes))
+            report.bytes_scanned += build.size_bytes
+
+        streamer = ResponseStreamer(self.sim, self.link, conn.qp,
+                                    self.config.network)
+        sender = Sender(streamer)
+
+        if compiled.ingest_mode == "smart":
+            yield from self._run_smart_addressing(conn, table, compiled,
+                                                  sender, report)
+        else:
+            yield from self._run_streaming(conn, vaddr, table.size_bytes,
+                                           compiled, sender, report)
+
+        # End of stream: flush grouping state (costs cycles per group) and
+        # the packer/encryption tails, then wait for delivery.
+        tail = compiled.pipeline.flush()
+        flush_ns = compiled.pipeline.flush_cycles() * stack.cycle_ns
+        if flush_ns > 0:
+            yield self.sim.timeout(flush_ns)
+        if tail:
+            yield from sender.send(tail)
+        total = yield from sender.finish()
+
+        self._collect_overflow(compiled, report)
+        report.bytes_shipped = total
+        row_ops = compiled.pipeline.row_ops
+        report.rows_in = row_ops[0].rows_in if row_ops else table.num_rows
+        report.rows_out = (row_ops[-1].rows_out if row_ops
+                           else table.num_rows)
+        self.queries_served += 1
+        return report
+
+    def _run_streaming(self, conn: Connection, vaddr: int, length: int,
+                       compiled: CompiledQuery, sender: Sender,
+                       report: ExecutionReport):
+        """Standard / vectorized execution: sequential burst streaming."""
+        ingest = BandwidthPipe(self.sim, compiled.ingest_rate,
+                               name=f"region{conn.region.index}.ingest")
+
+        def sink(chunk: bytes):
+            yield ingest.transfer(len(chunk))
+            report.bytes_scanned += len(chunk)
+            out = compiled.pipeline.process_chunk(chunk)
+            if out:
+                yield from sender.send(out)
+
+        yield from self._stream_memory(conn, vaddr, length, sink)
+
+    def _run_smart_addressing(self, conn: Connection, table: FTable,
+                              compiled: CompiledQuery, sender: Sender,
+                              report: ExecutionReport):
+        """Smart addressing: per-column scattered fetches (§5.2)."""
+        plan = compiled.sa_plan
+        assert plan is not None
+        vaddr = table.require_allocated()
+        mem = self.config.memory
+        num_tuples = table.num_rows
+        # Functional result: gather the projected columns.
+        image = self.mmu.peek(conn.domain, vaddr, table.size_bytes)
+        chunks = [image[v - vaddr:v - vaddr + w]
+                  for v, w in plan.requests(vaddr, num_tuples)]
+        rows = plan.assemble(chunks, num_tuples)
+        out_image = plan.out_schema.to_bytes(rows)
+        report.bytes_scanned = plan.total_bytes(num_tuples)
+
+        # Timing: each coalesced run is a discrete DRAM request paying a
+        # stripe-unit read plus activate/precharge, spread round-robin over
+        # the channels.  Batched so output streaming overlaps.
+        total_requests = num_tuples * plan.requests_per_tuple
+        batch_requests = 1024
+        out_cursor = 0
+        bytes_per_request = plan.bytes_per_tuple // plan.requests_per_tuple
+        done_requests = 0
+        while done_requests < total_requests:
+            batch = min(batch_requests, total_requests - done_requests)
+            per_channel = (batch + mem.channels - 1) // mem.channels
+            events = []
+            for channel in self.mmu.channels:
+                events.append(channel.read_pipe.transfer(
+                    per_channel * mem.stripe_unit,
+                    extra_ns=per_channel * cal.SA_REQUEST_OVERHEAD_NS))
+            yield self.sim.all_of(events)
+            done_requests += batch
+            out_end = min(len(out_image),
+                          out_cursor + batch * bytes_per_request)
+            piece = compiled.pipeline.process_chunk(
+                out_image[out_cursor:out_end])
+            if piece:
+                yield from sender.send(piece)
+            out_cursor = out_end
+
+    @staticmethod
+    def _collect_overflow(compiled: CompiledQuery,
+                          report: ExecutionReport) -> None:
+        for op in compiled.pipeline.row_ops:
+            if hasattr(op, "drain_overflow_keys"):
+                report.overflow_keys.extend(op.drain_overflow_keys())
+            if hasattr(op, "drain_overflow_groups"):
+                report.overflow_groups.update(op.drain_overflow_groups())
+
+    # -- introspection ------------------------------------------------------------------------------
+    @property
+    def free_regions(self) -> int:
+        return self.regions.free_count
+
+    def utilization(self):
+        return self.resources.total()

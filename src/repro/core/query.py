@@ -1,0 +1,242 @@
+"""Query descriptors: what a client asks Farview to run (§4.2).
+
+A :class:`Query` captures the offloadable fragment of a SQL statement —
+projection, selection, regex filter, distinct, group-by/aggregation, and
+encryption handling — plus execution hints (vectorization, smart
+addressing).  The pipeline compiler turns it into an operator pipeline for
+a dynamic region.
+
+The paper positions this as the layer a query compiler would target ("The
+interface presented here is intended to be used by the query compiler in
+Farview, rather than directly by the client", §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.errors import QueryError
+from ..common.records import Schema
+from ..operators.aggregate import AggregateSpec
+from ..operators.selection import Predicate
+
+
+@dataclass(frozen=True)
+class RegexFilter:
+    """Filter rows whose char ``column`` matches ``pattern``."""
+
+    column: str
+    pattern: str
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Small-table inner join (the paper's §7 extension).
+
+    ``build_table`` is a dimension table already resident in disaggregated
+    memory; it is read into the region's on-chip hash at query start, and
+    the streamed probe tuples are matched against it.  ``payload`` names
+    the build columns appended to matching probe tuples.
+    """
+
+    build_table: object            # FTable (kept loose to avoid a cycle)
+    build_key: str
+    probe_key: str
+    payload: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise QueryError("join payload must name at least one column")
+
+
+@dataclass(frozen=True)
+class Query:
+    """An offloaded query fragment.
+
+    Fields mirror the paper's operator classes (§3.1): projection,
+    selection (predicate and/or regex), grouping (distinct, group by,
+    aggregation), and system support (decrypt input / encrypt output).
+
+    ``vectorized`` requests the vectorized processing model (§5.3);
+    ``smart_addressing`` forces (True/False) or lets the planner decide
+    (None) between standard projection and smart addressing (§5.2).
+    """
+
+    projection: Optional[tuple[str, ...]] = None
+    predicate: Optional[Predicate] = None
+    regex: Optional[RegexFilter] = None
+    join: Optional[JoinSpec] = None
+    distinct: bool = False
+    distinct_columns: Optional[tuple[str, ...]] = None
+    group_by: Optional[tuple[str, ...]] = None
+    aggregates: tuple[AggregateSpec, ...] = ()
+    decrypt_input: bool = False
+    encrypt_output: Optional[tuple[bytes, bytes]] = None  # (key, nonce)
+    vectorized: bool = False
+    smart_addressing: Optional[bool] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.projection is not None and not self.projection:
+            raise QueryError("projection list must not be empty if given")
+        if self.group_by is not None and not self.group_by:
+            raise QueryError("group_by list must not be empty if given")
+        if self.group_by and self.distinct:
+            raise QueryError("distinct and group_by are mutually exclusive")
+        if self.group_by and not self.aggregates:
+            raise QueryError("group_by requires at least one aggregate")
+        if self.distinct_columns and not self.distinct:
+            raise QueryError("distinct_columns given without distinct=True")
+        if self.aggregates and self.distinct:
+            raise QueryError("aggregates cannot be combined with distinct")
+        if self.smart_addressing and self.vectorized:
+            raise QueryError(
+                "smart addressing and vectorization are mutually exclusive "
+                "execution modes")
+        if self.join is not None and self.smart_addressing:
+            raise QueryError(
+                "small-table joins need the full probe tuple stream; smart "
+                "addressing is not applicable")
+        if self.encrypt_output is not None:
+            key, nonce = self.encrypt_output
+            if len(key) != 16 or len(nonce) != 12:
+                raise QueryError(
+                    "encrypt_output needs a 16-byte key and 12-byte nonce")
+
+    # -- validation against a schema -------------------------------------------
+    def _post_join_names(self, schema: Schema) -> set[str]:
+        """Column names visible after the (optional) join stage."""
+        names = set(schema.names)
+        if self.join is not None:
+            for name in self.join.payload:
+                names.add(name if name not in names else f"build_{name}")
+        return names
+
+    def validate(self, schema: Schema) -> None:
+        """Check all referenced columns exist and combinations make sense."""
+        visible = self._post_join_names(schema)
+        for name in self.projection or ():
+            if name not in visible:
+                raise QueryError(
+                    f"unknown projected column {name!r}; visible: "
+                    f"{sorted(visible)}")
+        if self.join is not None:
+            schema.column(self.join.probe_key)
+            build_schema = self.join.build_table.schema  # type: ignore[attr-defined]
+            build_schema.column(self.join.build_key)
+            for name in self.join.payload:
+                build_schema.column(name)
+        if self.predicate is not None:
+            self.predicate.validate(schema)
+        if self.regex is not None:
+            col = schema.column(self.regex.column)
+            if col.kind != "char":
+                raise QueryError(
+                    f"regex column {self.regex.column!r} must be char, "
+                    f"is {col.kind}")
+        for name in self.distinct_columns or ():
+            schema.column(name)
+        for name in self.group_by or ():
+            schema.column(name)
+        for spec in self.aggregates:
+            spec.validate(schema)
+        self._validate_projection_consistency(schema)
+
+    def _validate_projection_consistency(self, schema: Schema) -> None:
+        """Columns needed downstream must survive the projection."""
+        if self.projection is None:
+            return
+        projected = set(self.projection)
+        for name in self.group_by or ():
+            if name not in projected:
+                raise QueryError(
+                    f"group_by column {name!r} dropped by projection "
+                    f"{sorted(projected)}")
+        for spec in self.aggregates:
+            if spec.func == "count" and spec.column == "*":
+                continue
+            if spec.column not in projected:
+                raise QueryError(
+                    f"aggregate column {spec.column!r} dropped by projection")
+        for name in self.distinct_columns or ():
+            if name not in projected:
+                raise QueryError(
+                    f"distinct column {name!r} dropped by projection")
+
+    # -- introspection -------------------------------------------------------------
+    def accessed_columns(self, schema: Schema) -> tuple[str, ...]:
+        """Columns the pipeline must read from memory, in schema order."""
+        needed: set[str] = set()
+        if self.projection is not None:
+            needed.update(self.projection)
+        else:
+            needed.update(schema.names)
+        if self.predicate is not None:
+            needed.update(self.predicate.columns())
+        if self.regex is not None:
+            needed.add(self.regex.column)
+        if self.join is not None:
+            needed.add(self.join.probe_key)
+        for name in self.group_by or ():
+            needed.add(name)
+        for spec in self.aggregates:
+            if not (spec.func == "count" and spec.column == "*"):
+                needed.add(spec.column)
+        return tuple(n for n in schema.names if n in needed)
+
+    @property
+    def is_projection_only(self) -> bool:
+        return (self.predicate is None and self.regex is None
+                and self.join is None
+                and not self.distinct and self.group_by is None
+                and not self.aggregates and self.projection is not None)
+
+    @property
+    def signature(self) -> str:
+        """Stable pipeline identity for region bitstream caching."""
+        parts = []
+        if self.decrypt_input:
+            parts.append("dec")
+        if self.regex is not None:
+            parts.append(f"regex[{self.regex.column}:{self.regex.pattern}]")
+        if self.predicate is not None:
+            parts.append(f"sel[{self.predicate!r}]")
+        if self.join is not None:
+            build_name = getattr(self.join.build_table, "name", "?")
+            parts.append(f"join[{build_name}.{self.join.build_key}="
+                         f"{self.join.probe_key}]")
+        if self.vectorized:
+            parts.append("vec")
+        if self.projection is not None:
+            parts.append(f"proj[{','.join(self.projection)}]")
+        if self.distinct:
+            cols = ",".join(self.distinct_columns or ("*",))
+            parts.append(f"distinct[{cols}]")
+        if self.group_by:
+            aggs = ",".join(f"{s.func}({s.column})" for s in self.aggregates)
+            parts.append(f"groupby[{','.join(self.group_by)};{aggs}]")
+        elif self.aggregates:
+            aggs = ",".join(f"{s.func}({s.column})" for s in self.aggregates)
+            parts.append(f"agg[{aggs}]")
+        if self.encrypt_output is not None:
+            parts.append("enc")
+        return "|".join(parts) if parts else "raw-read"
+
+
+def select_star(predicate: Predicate, vectorized: bool = False) -> Query:
+    """``SELECT * FROM t WHERE <predicate>`` (the Figure 8 query shape)."""
+    return Query(predicate=predicate, vectorized=vectorized,
+                 label="select_star")
+
+
+def select_distinct(columns: list[str]) -> Query:
+    """``SELECT DISTINCT(cols) FROM t`` (the Figure 9(a) query shape)."""
+    return Query(projection=tuple(columns), distinct=True,
+                 label="select_distinct")
+
+
+def group_by_sum(key: str, value: str) -> Query:
+    """``SELECT key, SUM(value) FROM t GROUP BY key`` (Figure 9(b,c))."""
+    return Query(group_by=(key,), aggregates=(AggregateSpec("sum", value),),
+                 label="group_by_sum")

@@ -1,0 +1,415 @@
+"""A SQL front end for the offloadable query fragment.
+
+The paper positions its data API as a target for "the query compiler in
+Farview" and leaves that compiler as future work (§4.2).  This module
+covers the front half: a from-scratch tokenizer + recursive-descent parser
+for the SQL fragment Farview can offload, producing
+:class:`~repro.core.query.Query` descriptors for the pipeline compiler.
+
+Supported grammar (case-insensitive keywords)::
+
+    query     := SELECT [DISTINCT] select_list FROM ident
+                 [WHERE disjunction] [GROUP BY column_list] [';']
+    select_list := '*' | select_item (',' select_item)*
+    select_item := aggregate | column
+    aggregate := (COUNT '(' '*' ')' | (SUM|MIN|MAX|AVG) '(' column ')')
+                 [AS ident]
+    disjunction := conjunction (OR conjunction)*
+    conjunction := factor (AND factor)*
+    factor    := [NOT] ( '(' disjunction ')' | comparison )
+    comparison := column op literal
+               |  column LIKE string        -- compiled to the regex engine
+               |  column REGEXP string
+    op        := '<' | '<=' | '>' | '>=' | '=' | '==' | '!=' | '<>'
+    literal   := integer | float | string
+
+``LIKE`` patterns translate to the Farview regex operator (``%`` -> ``.*``,
+``_`` -> ``.``, everything else escaped, anchored at both ends as SQL
+semantics require).
+
+Examples from the paper::
+
+    SELECT S.a FROM S WHERE S.c > 3.14;              (§4.2)
+    SELECT * FROM S WHERE S.a < 17 AND S.b < 0.5;    (§6.4)
+    SELECT DISTINCT a FROM S;                        (§6.5)
+    SELECT a, SUM(b) FROM S GROUP BY a;              (§6.5)
+
+Table-qualified columns (``S.a``) are accepted and resolved against the
+single FROM table.
+"""
+
+from __future__ import annotations
+
+import enum
+import re as _stdlib_re
+from dataclasses import dataclass
+
+from ..common.errors import QueryError
+from ..operators.aggregate import SUPPORTED_FUNCS, AggregateSpec
+from ..operators.selection import And, Compare, Not, Or, Predicate
+from .query import Query, RegexFilter
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+# --------------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------------
+
+class _Kind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    END = "end"
+
+
+_KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "and", "or",
+    "not", "as", "like", "regexp", "count", "sum", "min", "max", "avg",
+}
+
+_TOKEN_RE = _stdlib_re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><=|>=|!=|<>|==|<|>|=)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+  | (?P<punct>[(),;*])
+""", _stdlib_re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: _Kind
+    text: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is _Kind.KEYWORD and self.text == word
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {sql[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "ident":
+            lowered = text.lower()
+            if lowered in _KEYWORDS and "." not in text:
+                tokens.append(_Token(_Kind.KEYWORD, lowered, match.start()))
+            else:
+                tokens.append(_Token(_Kind.IDENT, text, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(_Token(_Kind.NUMBER, text, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(_Token(_Kind.STRING, text, match.start()))
+        elif match.lastgroup == "op":
+            tokens.append(_Token(_Kind.OP, text, match.start()))
+        else:
+            tokens.append(_Token(_Kind.PUNCT, text, match.start()))
+    tokens.append(_Token(_Kind.END, "", len(sql)))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# LIKE -> regex translation
+# --------------------------------------------------------------------------
+
+_REGEX_META = set(".^$*+?()[]{}|\\")
+
+
+def like_to_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern into our regex syntax (full match)."""
+    out = ["^"]
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        elif ch in _REGEX_META:
+            out.append("\\" + ch)
+        else:
+            out.append(ch)
+    out.append("$")
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed statement: the table name plus the offloadable Query."""
+
+    table: str
+    query: Query
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()} at offset {token.pos}, got "
+                f"{token.text!r}")
+
+    def _expect_punct(self, text: str) -> None:
+        token = self._advance()
+        if token.kind is not _Kind.PUNCT or token.text != text:
+            raise SqlSyntaxError(
+                f"expected {text!r} at offset {token.pos}, got {token.text!r}")
+
+    def _column_name(self) -> str:
+        token = self._advance()
+        if token.kind is not _Kind.IDENT:
+            raise SqlSyntaxError(
+                f"expected a column name at offset {token.pos}, got "
+                f"{token.text!r}")
+        # Strip the table qualifier (single-table queries).
+        return token.text.split(".")[-1]
+
+    # -- grammar ------------------------------------------------------------------
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("select")
+        distinct = False
+        if self._peek().is_keyword("distinct"):
+            self._advance()
+            distinct = True
+        star, columns, aggregates = self._select_list()
+        self._expect_keyword("from")
+        table_token = self._advance()
+        if table_token.kind is not _Kind.IDENT:
+            raise SqlSyntaxError(
+                f"expected a table name at offset {table_token.pos}")
+        predicate: Predicate | None = None
+        regex: RegexFilter | None = None
+        if self._peek().is_keyword("where"):
+            self._advance()
+            predicate, regex = self._where()
+        group_by: tuple[str, ...] | None = None
+        if self._peek().is_keyword("group"):
+            self._advance()
+            self._expect_keyword("by")
+            group_by = tuple(self._column_list())
+        if self._peek().kind is _Kind.PUNCT and self._peek().text == ";":
+            self._advance()
+        if self._peek().kind is not _Kind.END:
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"unexpected trailing input at offset {token.pos}: "
+                f"{token.text!r}")
+        query = self._build_query(star, columns, aggregates, distinct,
+                                  predicate, regex, group_by)
+        return ParsedQuery(table=table_token.text.split(".")[-1], query=query)
+
+    def _select_list(self):
+        star = False
+        columns: list[str] = []
+        aggregates: list[AggregateSpec] = []
+        while True:
+            token = self._peek()
+            if token.kind is _Kind.PUNCT and token.text == "*":
+                self._advance()
+                star = True
+            elif (token.kind is _Kind.KEYWORD
+                  and token.text in SUPPORTED_FUNCS
+                  or token.is_keyword("count")):
+                aggregates.append(self._aggregate())
+            elif token.kind is _Kind.IDENT:
+                columns.append(self._column_name())
+            else:
+                raise SqlSyntaxError(
+                    f"expected a select item at offset {token.pos}, got "
+                    f"{token.text!r}")
+            if self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
+                self._advance()
+                continue
+            return star, columns, aggregates
+
+    def _aggregate(self) -> AggregateSpec:
+        func_token = self._advance()
+        func = func_token.text
+        self._expect_punct("(")
+        if func == "count" and self._peek().text == "*":
+            self._advance()
+            column = "*"
+        else:
+            column = self._column_name()
+        self._expect_punct(")")
+        alias = ""
+        if self._peek().is_keyword("as"):
+            self._advance()
+            alias_token = self._advance()
+            if alias_token.kind is not _Kind.IDENT:
+                raise SqlSyntaxError(
+                    f"expected an alias at offset {alias_token.pos}")
+            alias = alias_token.text
+        return AggregateSpec(func, column, alias)
+
+    def _column_list(self) -> list[str]:
+        columns = [self._column_name()]
+        while self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
+            self._advance()
+            columns.append(self._column_name())
+        return columns
+
+    # -- WHERE clause -----------------------------------------------------------------
+    def _where(self) -> tuple[Predicate | None, RegexFilter | None]:
+        """Parse the disjunction; LIKE/REGEXP terms become the regex filter.
+
+        Farview's regex operator is a separate pipeline stage, so at most
+        one LIKE/REGEXP term is supported and it must be AND-combined with
+        the rest of the predicate (top level), mirroring how the pipeline
+        composes the two operators.
+        """
+        self._regex: RegexFilter | None = None
+        self._regex_depth_ok = True
+        predicate = self._disjunction(top_level=True)
+        return predicate, self._regex
+
+    def _disjunction(self, top_level: bool = False) -> Predicate | None:
+        left = self._conjunction(top_level)
+        while self._peek().is_keyword("or"):
+            self._advance()
+            right = self._conjunction(False)
+            if left is None or right is None:
+                raise SqlSyntaxError(
+                    "LIKE/REGEXP cannot appear under OR; the regex stage "
+                    "is AND-combined with the predicate")
+            left = Or(left, right)
+        return left
+
+    def _conjunction(self, top_level: bool) -> Predicate | None:
+        left = self._factor(top_level)
+        while self._peek().is_keyword("and"):
+            self._advance()
+            right = self._factor(top_level)
+            if left is None:
+                left = right
+            elif right is not None:
+                left = And(left, right)
+        return left
+
+    def _factor(self, top_level: bool) -> Predicate | None:
+        token = self._peek()
+        if token.is_keyword("not"):
+            self._advance()
+            inner = self._factor(False)
+            if inner is None:
+                raise SqlSyntaxError("NOT cannot apply to LIKE/REGEXP")
+            return Not(inner)
+        if token.kind is _Kind.PUNCT and token.text == "(":
+            self._advance()
+            inner = self._disjunction(top_level)
+            self._expect_punct(")")
+            return inner
+        return self._comparison(top_level)
+
+    def _comparison(self, top_level: bool) -> Predicate | None:
+        column = self._column_name()
+        token = self._advance()
+        if token.is_keyword("like") or token.is_keyword("regexp"):
+            if not top_level:
+                raise SqlSyntaxError(
+                    "LIKE/REGEXP must be a top-level AND term")
+            if self._regex is not None:
+                raise SqlSyntaxError(
+                    "only one LIKE/REGEXP term is supported per query")
+            pattern_token = self._advance()
+            if pattern_token.kind is not _Kind.STRING:
+                raise SqlSyntaxError(
+                    f"expected a string pattern at offset {pattern_token.pos}")
+            raw = _unquote(pattern_token.text)
+            pattern = like_to_regex(raw) if token.text == "like" else raw
+            self._regex = RegexFilter(column, pattern)
+            return None
+        if token.kind is not _Kind.OP:
+            raise SqlSyntaxError(
+                f"expected a comparison operator at offset {token.pos}, got "
+                f"{token.text!r}")
+        op = {"=": "==", "<>": "!="}.get(token.text, token.text)
+        value_token = self._advance()
+        if value_token.kind is _Kind.NUMBER:
+            text = value_token.text
+            value: object = float(text) if "." in text else int(text)
+        elif value_token.kind is _Kind.STRING:
+            value = _unquote(value_token.text)
+        else:
+            raise SqlSyntaxError(
+                f"expected a literal at offset {value_token.pos}, got "
+                f"{value_token.text!r}")
+        return Compare(column, op, value)
+
+    # -- assembly -----------------------------------------------------------------------
+    @staticmethod
+    def _build_query(star: bool, columns: list[str],
+                     aggregates: list[AggregateSpec], distinct: bool,
+                     predicate: Predicate | None, regex: RegexFilter | None,
+                     group_by: tuple[str, ...] | None) -> Query:
+        if star and (columns or aggregates):
+            raise SqlSyntaxError("'*' cannot be mixed with other select items")
+        if not star and not columns and not aggregates:
+            raise SqlSyntaxError("empty select list")
+        if distinct and aggregates:
+            raise SqlSyntaxError("DISTINCT cannot be combined with aggregates")
+        if group_by is not None:
+            if not aggregates:
+                raise SqlSyntaxError("GROUP BY requires aggregate functions")
+            missing = [c for c in columns if c not in group_by]
+            if missing:
+                raise SqlSyntaxError(
+                    f"non-aggregated columns {missing} must appear in "
+                    f"GROUP BY")
+        elif aggregates and columns:
+            raise SqlSyntaxError(
+                "plain columns next to aggregates need a GROUP BY")
+        projection = None
+        if not star and columns and group_by is None and not aggregates:
+            projection = tuple(columns)
+        return Query(
+            projection=projection,
+            predicate=predicate,
+            regex=regex,
+            distinct=distinct,
+            distinct_columns=None,  # DISTINCT applies to the projection
+            group_by=group_by,
+            aggregates=tuple(aggregates),
+            label="sql")
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")
+
+
+def parse_sql(sql: str) -> ParsedQuery:
+    """Parse one SQL statement into (table name, offloadable Query)."""
+    if not sql or not sql.strip():
+        raise SqlSyntaxError("empty statement")
+    return _Parser(sql).parse()

@@ -1,0 +1,28 @@
+"""FPGA fabric model: clocks, dynamic regions, resource accounting."""
+
+from .clock import MEMORY_CLOCK, NETWORK_CLOCK, OPERATOR_CLOCK, ClockDomain
+from .region import DynamicRegion, RegionManager, RegionState
+from .resource_model import (
+    OPERATOR_COSTS,
+    ResourceModel,
+    ResourceVector,
+    operator_cost,
+    render_table1,
+    system_cost,
+)
+
+__all__ = [
+    "MEMORY_CLOCK",
+    "NETWORK_CLOCK",
+    "OPERATOR_CLOCK",
+    "ClockDomain",
+    "DynamicRegion",
+    "RegionManager",
+    "RegionState",
+    "OPERATOR_COSTS",
+    "ResourceModel",
+    "ResourceVector",
+    "operator_cost",
+    "render_table1",
+    "system_cost",
+]

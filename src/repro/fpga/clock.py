@@ -1,0 +1,51 @@
+"""Clock domains of the Farview design (paper §4.1).
+
+"The frequencies of the components in Farview range between 250 MHz
+(network stack, operator stack) and 300 MHz (memory stack)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A fixed-frequency clock: converts cycle counts to nanoseconds."""
+
+    name: str
+    freq_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise ConfigurationError(
+                f"clock {self.name!r}: frequency must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1_000.0 / self.freq_mhz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        if cycles < 0:
+            raise ConfigurationError(f"negative cycle count: {cycles}")
+        return cycles * self.cycle_ns
+
+    def ns_to_cycles(self, ns: float) -> float:
+        if ns < 0:
+            raise ConfigurationError(f"negative duration: {ns}")
+        return ns / self.cycle_ns
+
+    def throughput(self, bytes_per_cycle: int) -> float:
+        """Streaming bandwidth in bytes/ns for a given datapath width."""
+        if bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                f"datapath width must be positive: {bytes_per_cycle}")
+        return bytes_per_cycle / self.cycle_ns
+
+
+#: The three clock domains named in §4.1.
+NETWORK_CLOCK = ClockDomain("network", 250.0)
+OPERATOR_CLOCK = ClockDomain("operator", 250.0)
+MEMORY_CLOCK = ClockDomain("memory", 300.0)

@@ -1,0 +1,101 @@
+"""Dynamic regions: allocation and runtime partial reconfiguration (§3.2, §4.5).
+
+The FPGA is divided into pre-defined, fixed-size dynamic regions.  Each
+serves one client connection and hosts one operator pipeline.  Pipelines
+are swapped at runtime ("on the order of milliseconds, depending on the
+size of the region") without disturbing other regions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..common.config import OperatorStackConfig
+from ..common.errors import OperatorError, RegionUnavailableError
+from ..sim.engine import Simulator
+
+
+class RegionState(enum.Enum):
+    FREE = "free"
+    CONFIGURING = "configuring"
+    READY = "ready"
+
+
+class DynamicRegion:
+    """One isolated, reconfigurable slot in the operator stack."""
+
+    def __init__(self, sim: Simulator, config: OperatorStackConfig, index: int):
+        self.sim = sim
+        self.config = config
+        self.index = index
+        self.state = RegionState.FREE
+        self.loaded_pipeline: str | None = None
+        self.owner_qp: int | None = None
+        self.reconfigurations = 0
+
+    def assign(self, qp_id: int) -> None:
+        if self.state is not RegionState.FREE:
+            raise OperatorError(
+                f"region {self.index} is {self.state.value}, cannot assign")
+        self.owner_qp = qp_id
+
+    def release(self) -> None:
+        self.state = RegionState.FREE
+        self.loaded_pipeline = None
+        self.owner_qp = None
+
+    def load_pipeline(self, pipeline_name: str):
+        """Process: partial reconfiguration of this region (ms-scale).
+
+        Loading the pipeline that is already resident is free — the paper's
+        pipelines are precompiled bitstreams cached per query shape.
+        """
+        if self.owner_qp is None:
+            raise OperatorError(f"region {self.index} has no owner")
+        if self.state is RegionState.CONFIGURING:
+            raise OperatorError(f"region {self.index} is mid-reconfiguration")
+        if self.loaded_pipeline == pipeline_name:
+            self.state = RegionState.READY
+            return
+        self.state = RegionState.CONFIGURING
+        yield self.sim.timeout(self.config.reconfiguration_ns)
+        self.loaded_pipeline = pipeline_name
+        self.state = RegionState.READY
+        self.reconfigurations += 1
+
+    def __repr__(self) -> str:
+        return (f"DynamicRegion({self.index}, {self.state.value}, "
+                f"pipeline={self.loaded_pipeline!r}, qp={self.owner_qp})")
+
+
+class RegionManager:
+    """Allocates the fixed pool of dynamic regions to client connections."""
+
+    def __init__(self, sim: Simulator, config: OperatorStackConfig):
+        self.sim = sim
+        self.config = config
+        self.regions = [DynamicRegion(sim, config, i)
+                        for i in range(config.regions)]
+
+    def acquire(self, qp_id: int) -> DynamicRegion:
+        """Assign a free region to a connection, or raise."""
+        for region in self.regions:
+            if region.state is RegionState.FREE and region.owner_qp is None:
+                region.assign(qp_id)
+                return region
+        raise RegionUnavailableError(
+            f"all {len(self.regions)} dynamic regions are in use")
+
+    def release(self, region: DynamicRegion) -> None:
+        region.release()
+
+    def region_of(self, qp_id: int) -> DynamicRegion:
+        for region in self.regions:
+            if region.owner_qp == qp_id:
+                return region
+        raise OperatorError(f"no region owned by QP {qp_id}")
+
+    @property
+    def free_count(self) -> int:
+        return sum(1 for r in self.regions
+                   if r.state is RegionState.FREE and r.owner_qp is None)

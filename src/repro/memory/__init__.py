@@ -1,0 +1,26 @@
+"""Memory stack: DRAM channels, striped allocation, MMU, buffer pool (§4.4)."""
+
+from .allocator import PageFrames, StripedAllocator
+from .buffer_pool import (
+    BufferPool,
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    StorageBackend,
+)
+from .dram import DramChannel, build_channels
+from .mmu import Mmu, Tlb
+
+__all__ = [
+    "PageFrames",
+    "StripedAllocator",
+    "BufferPool",
+    "ClockPolicy",
+    "FifoPolicy",
+    "LruPolicy",
+    "StorageBackend",
+    "DramChannel",
+    "build_channels",
+    "Mmu",
+    "Tlb",
+]

@@ -1,0 +1,243 @@
+"""Disaggregated buffer pool with pluggable replacement policies.
+
+The paper uses Farview's memory *as* the database buffer pool ("blocks/pages
+being loaded from storage as needed", §4.4) and defers cache-replacement
+policy design to future work (§1, §7).  This module covers that deferred
+piece: a page-granular buffer pool that faults table pages in from a
+(simulated) storage backend and evicts according to a pluggable policy.
+
+The pool is layered on top of the :class:`~repro.memory.mmu.Mmu` so cached
+pages live in real simulated DRAM and are served at DRAM speed, while
+misses pay storage bandwidth + latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Protocol
+
+from ..common.errors import CatalogError, MemoryError_
+from ..sim.engine import Event, Simulator
+from ..sim.resources import BandwidthPipe
+from .mmu import Mmu
+
+#: Storage model defaults: NVMe-class device (3 GB/s, ~80 us access).
+STORAGE_BANDWIDTH = 3.0
+STORAGE_LATENCY_NS = 80_000.0
+
+
+class StorageBackend:
+    """Functional + timed block storage holding base-table images."""
+
+    def __init__(self, sim: Simulator, bandwidth: float = STORAGE_BANDWIDTH,
+                 latency_ns: float = STORAGE_LATENCY_NS):
+        self.sim = sim
+        self._tables: dict[str, bytes] = {}
+        self.pipe = BandwidthPipe(sim, bandwidth, latency_ns, name="storage")
+
+    def store_table(self, name: str, data: bytes) -> None:
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already stored")
+        self._tables[name] = bytes(data)
+
+    def table_size(self, name: str) -> int:
+        self._require(name)
+        return len(self._tables[name])
+
+    def _require(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} not in storage")
+
+    def read_block(self, name: str, offset: int, length: int) -> Event:
+        """Timed block read; event fires with the bytes."""
+        self._require(name)
+        data = self._tables[name]
+        if offset < 0 or offset + length > len(data):
+            raise MemoryError_(
+                f"storage read [{offset}, +{length}) beyond table "
+                f"{name!r} of {len(data)} bytes")
+        chunk = data[offset:offset + length]
+        done = self.sim.event()
+        self.pipe.transfer(length).add_callback(lambda _e: done.succeed(chunk))
+        return done
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses which resident page to evict when the pool is full."""
+
+    def on_insert(self, key: tuple[str, int]) -> None: ...
+
+    def on_access(self, key: tuple[str, int]) -> None: ...
+
+    def choose_victim(self) -> tuple[str, int]: ...
+
+    def on_evict(self, key: tuple[str, int]) -> None: ...
+
+
+class LruPolicy:
+    """Evict the least recently used page."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[tuple[str, int], None] = OrderedDict()
+
+    def on_insert(self, key: tuple[str, int]) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: tuple[str, int]) -> None:
+        self._order.move_to_end(key)
+
+    def choose_victim(self) -> tuple[str, int]:
+        if not self._order:
+            raise MemoryError_("LRU policy has no pages to evict")
+        return next(iter(self._order))
+
+    def on_evict(self, key: tuple[str, int]) -> None:
+        self._order.pop(key, None)
+
+
+class FifoPolicy:
+    """Evict the page resident the longest, regardless of use."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[tuple[str, int], None] = OrderedDict()
+
+    def on_insert(self, key: tuple[str, int]) -> None:
+        self._order[key] = None
+
+    def on_access(self, key: tuple[str, int]) -> None:
+        pass  # FIFO ignores accesses
+
+    def choose_victim(self) -> tuple[str, int]:
+        if not self._order:
+            raise MemoryError_("FIFO policy has no pages to evict")
+        return next(iter(self._order))
+
+    def on_evict(self, key: tuple[str, int]) -> None:
+        self._order.pop(key, None)
+
+
+class ClockPolicy:
+    """Second-chance (CLOCK) replacement.
+
+    Pages are inserted with the reference bit *clear* so that only pages
+    genuinely re-accessed after admission earn a second chance; inserting
+    with the bit set would make the first sweep evict in pure FIFO order
+    regardless of access pattern.
+    """
+
+    def __init__(self) -> None:
+        self._ref: OrderedDict[tuple[str, int], bool] = OrderedDict()
+
+    def on_insert(self, key: tuple[str, int]) -> None:
+        self._ref[key] = False
+
+    def on_access(self, key: tuple[str, int]) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def choose_victim(self) -> tuple[str, int]:
+        if not self._ref:
+            raise MemoryError_("CLOCK policy has no pages to evict")
+        while True:
+            key, referenced = next(iter(self._ref.items()))
+            if referenced:
+                # Second chance: clear the bit and rotate to the back.
+                self._ref[key] = False
+                self._ref.move_to_end(key)
+            else:
+                return key
+
+    def on_evict(self, key: tuple[str, int]) -> None:
+        self._ref.pop(key, None)
+
+
+class BufferPool:
+    """A page-granular cache of storage-resident tables in the MMU's DRAM."""
+
+    def __init__(self, sim: Simulator, mmu: Mmu, storage: StorageBackend,
+                 domain: int, capacity_pages: int,
+                 policy: ReplacementPolicy | None = None):
+        if capacity_pages <= 0:
+            raise MemoryError_("buffer pool needs >= 1 page")
+        self.sim = sim
+        self.mmu = mmu
+        self.storage = storage
+        self.domain = domain
+        self.capacity_pages = capacity_pages
+        self.policy: ReplacementPolicy = policy if policy is not None else LruPolicy()
+        self.page_size = mmu.config.page_size
+        self._resident: dict[tuple[str, int], int] = {}  # key -> vaddr
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- residency -----------------------------------------------------------
+    def is_resident(self, table: str, page_index: int) -> bool:
+        return (table, page_index) in self._resident
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    # -- reads ---------------------------------------------------------------
+    def read(self, table: str, offset: int, length: int) -> Event:
+        """Timed read through the pool; event fires with the bytes."""
+        done = self.sim.event()
+        self.sim.process(self._read_proc(table, offset, length, done),
+                         name=f"pool.read:{table}")
+        return done
+
+    def _read_proc(self, table: str, offset: int, length: int, done: Event):
+        table_size = self.storage.table_size(table)
+        if offset < 0 or offset + length > table_size:
+            done.fail(MemoryError_(
+                f"pool read [{offset}, +{length}) beyond table {table!r}"))
+            return
+        out = bytearray()
+        cursor = offset
+        remaining = length
+        while remaining > 0:
+            page_index, page_offset = divmod(cursor, self.page_size)
+            chunk = min(remaining, self.page_size - page_offset)
+            vaddr = yield from self._ensure_resident(table, page_index)
+            data = yield self.mmu.read(self.domain, vaddr + page_offset, chunk)
+            out.extend(data)
+            cursor += chunk
+            remaining -= chunk
+        done.succeed(bytes(out))
+
+    def _ensure_resident(self, table: str, page_index: int):
+        key = (table, page_index)
+        vaddr = self._resident.get(key)
+        if vaddr is not None:
+            self.hits += 1
+            self.policy.on_access(key)
+            return vaddr
+        self.misses += 1
+        if len(self._resident) >= self.capacity_pages:
+            victim = self.policy.choose_victim()
+            self._evict(victim)
+        table_size = self.storage.table_size(table)
+        start = page_index * self.page_size
+        span = min(self.page_size, table_size - start)
+        if span <= 0:
+            raise MemoryError_(
+                f"page {page_index} beyond table {table!r} ({table_size} B)")
+        block = yield self.storage.read_block(table, start, span)
+        vaddr = self.mmu.alloc(self.domain, self.page_size)
+        yield self.mmu.write(self.domain, vaddr, block)
+        self._resident[key] = vaddr
+        self.policy.on_insert(key)
+        return vaddr
+
+    def _evict(self, key: tuple[str, int]) -> None:
+        vaddr = self._resident.pop(key)
+        self.policy.on_evict(key)
+        self.mmu.free(self.domain, vaddr)
+        self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

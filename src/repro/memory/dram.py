@@ -1,0 +1,79 @@
+"""On-board DRAM channel model (paper §4.4, §6.1).
+
+Each channel is a byte-addressable backing store (a real ``bytearray``, so
+reads return the bytes that were written) plus a :class:`BandwidthPipe`
+modelling the softcore controller: 64-byte interface at 300 MHz, ~18 GBps
+theoretical, with a fixed access latency for the first beat of a burst.
+
+Reads and writes use **decoupled pipes** ("fully decoupled read and write
+channels", §4.4): a stream of reads does not queue behind writes.
+"""
+
+from __future__ import annotations
+
+from ..common.config import MemoryConfig
+from ..common.errors import MemoryError_
+from ..sim.engine import Event, Simulator
+from ..sim.resources import BandwidthPipe
+
+
+class DramChannel:
+    """One memory channel: backing store + read/write bandwidth pipes."""
+
+    def __init__(self, sim: Simulator, config: MemoryConfig, index: int):
+        self.sim = sim
+        self.config = config
+        self.index = index
+        self.capacity = config.channel_capacity
+        self._data = bytearray(self.capacity)
+        rate = config.effective_channel_bandwidth
+        self.read_pipe = BandwidthPipe(
+            sim, rate, latency_ns=config.access_latency_ns,
+            name=f"dram{index}.rd")
+        self.write_pipe = BandwidthPipe(
+            sim, rate, latency_ns=config.access_latency_ns,
+            name=f"dram{index}.wr")
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.capacity:
+            raise MemoryError_(
+                f"channel {self.index}: access [{offset}, {offset + length}) "
+                f"outside capacity {self.capacity}")
+
+    # -- functional access (no timing) ---------------------------------------
+    def peek(self, offset: int, length: int) -> bytes:
+        """Read bytes without consuming simulated bandwidth."""
+        self._check_range(offset, length)
+        return bytes(self._data[offset:offset + length])
+
+    def poke(self, offset: int, data: bytes) -> None:
+        """Write bytes without consuming simulated bandwidth."""
+        self._check_range(offset, len(data))
+        self._data[offset:offset + len(data)] = data
+
+    # -- timed access ---------------------------------------------------------
+    def read(self, offset: int, length: int) -> Event:
+        """Timed read; the event fires with the bytes read."""
+        data = self.peek(offset, length)
+        done = self.sim.event()
+        self.read_pipe.transfer(length).add_callback(
+            lambda _ev: done.succeed(data))
+        return done
+
+    def write(self, offset: int, data: bytes) -> Event:
+        """Timed write; the event fires when the last byte lands."""
+        self.poke(offset, data)
+        return self.write_pipe.transfer(len(data))
+
+    @property
+    def bytes_read(self) -> int:
+        return self.read_pipe.bytes_transferred
+
+    @property
+    def bytes_written(self) -> int:
+        return self.write_pipe.bytes_transferred
+
+
+def build_channels(sim: Simulator, config: MemoryConfig) -> list[DramChannel]:
+    """Instantiate the configured number of channels."""
+    return [DramChannel(sim, config, i) for i in range(config.channels)]

@@ -1,0 +1,48 @@
+"""The 100 Gbps network link between clients and the Farview node.
+
+Each direction is an independent :class:`BandwidthPipe` at line rate (full
+duplex), with a fixed one-way propagation latency.  Wire occupancy charges
+payload plus RoCE framing overhead; per-packet processing time at the
+sender is added as extra occupancy.
+"""
+
+from __future__ import annotations
+
+from ..common.config import NetworkConfig
+from ..sim.engine import Event, Simulator
+from ..sim.resources import BandwidthPipe, RoundRobinArbiter
+
+
+class Link:
+    """Full-duplex link: ``uplink`` (client->server), ``downlink`` (server->client)."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig, name: str = "link"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.uplink = BandwidthPipe(sim, config.line_rate,
+                                    latency_ns=config.one_way_latency_ns,
+                                    name=f"{name}.up")
+        self.downlink = BandwidthPipe(sim, config.line_rate,
+                                      latency_ns=config.one_way_latency_ns,
+                                      name=f"{name}.down")
+        #: Fair-share arbitration of the downlink between QPs (§4.3).
+        self.down_arbiter = RoundRobinArbiter(sim, self.downlink,
+                                              name=f"{name}.down_arb")
+
+    def wire_size(self, payload_bytes: int) -> int:
+        """Bytes on the wire for one packet with ``payload_bytes`` payload."""
+        return payload_bytes + self.config.header_overhead
+
+    def send_up(self, payload_bytes: int, extra_ns: float = 0.0) -> Event:
+        """Transmit one client->server packet; fires on arrival at server."""
+        return self.uplink.transfer(self.wire_size(payload_bytes), extra_ns)
+
+    def send_down(self, flow_id: int, payload_bytes: int,
+                  extra_ns: float = 0.0) -> Event:
+        """Transmit one server->client packet through the fair-share arbiter."""
+        return self.down_arbiter.submit(flow_id, self.wire_size(payload_bytes),
+                                        extra_ns)
+
+    def register_flow(self, flow_id: int) -> None:
+        self.down_arbiter.register_flow(flow_id)

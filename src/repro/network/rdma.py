@@ -1,0 +1,132 @@
+"""RDMA verb transport: request delivery and packetized response streams.
+
+Implements the data movement shared by all one-sided verbs (paper §4.2-4.3):
+
+* :func:`deliver_request` — a small control packet travels client->server
+  (wire + propagation + NIC processing).
+* :class:`ResponseStreamer` — the server streams a response payload to the
+  client's buffer as a sequence of packets through the fair-share downlink
+  arbiter, consuming a flow-control credit per packet in flight and
+  releasing it when the packet lands (credit-based flow control, §4.3).
+  Packets may land out of order; each carries its own buffer offset, as
+  one-sided RDMA writes do, so reassembly is positional.
+* :func:`deliver_write` — packetized client->server payload for RDMA WRITE.
+
+The streamer is deliberately *incremental*: producers feed it chunk by
+chunk, so memory reads, operator processing, and network sends overlap the
+way the paper's deeply pipelined design intends (§4.1).
+"""
+
+from __future__ import annotations
+
+from ..common.config import NetworkConfig
+from ..common.errors import NetworkError
+from ..sim.engine import Event, Simulator
+from .link import Link
+from .packet import CONTROL_PACKET_BYTES, split_lengths
+from .qp import QueuePair
+
+
+def deliver_request(sim: Simulator, link: Link, qp: QueuePair,
+                    request_bytes: int = CONTROL_PACKET_BYTES):
+    """Process: one control packet client->server.  Yields until delivered."""
+    qp.requests_sent += 1
+    yield link.send_up(request_bytes)
+
+
+def deliver_write(sim: Simulator, link: Link, qp: QueuePair, payload: bytes,
+                  per_packet_overhead_ns: float = 0.0):
+    """Process: packetized client->server payload (RDMA WRITE data).
+
+    Returns the payload so callers can hand it to the memory stack.
+    """
+    lengths = split_lengths(len(payload), link.config.packet_size)
+    if not lengths:
+        yield link.send_up(CONTROL_PACKET_BYTES)
+        return payload
+    events = [link.send_up(n, per_packet_overhead_ns) for n in lengths]
+    # Completion when the last packet arrives (uplink preserves order).
+    yield events[-1]
+    return payload
+
+
+class ResponseStreamer:
+    """Streams a response to one client as credit-controlled packets.
+
+    Usage (inside server processes)::
+
+        streamer = ResponseStreamer(sim, link, qp, config)
+        yield from streamer.send(chunk_bytes)     # repeatedly, any chunk sizes
+        ...
+        yield from streamer.finish()              # flush + wait for delivery
+
+    Chunks are coalesced into wire packets of ``config.packet_size``; the
+    final partial packet is flushed by :meth:`finish`.  The client-buffer
+    offset advances monotonically — exactly how Farview's sender issues
+    one-sided writes into the client's posted buffer (§5.5 "Sending").
+    """
+
+    def __init__(self, sim: Simulator, link: Link, qp: QueuePair,
+                 config: NetworkConfig,
+                 per_packet_overhead_ns: float | None = None):
+        self.sim = sim
+        self.link = link
+        self.qp = qp
+        self.config = config
+        self.per_packet_overhead_ns = (
+            config.per_packet_overhead_ns if per_packet_overhead_ns is None
+            else per_packet_overhead_ns)
+        self._pending = bytearray()
+        self._buffer_offset = 0
+        self._inflight: list[Event] = []
+        self._finished = False
+        self.packets_sent = 0
+        self.payload_bytes_sent = 0
+
+    # -- producer interface ----------------------------------------------------
+    def send(self, chunk: bytes):
+        """Process: enqueue ``chunk``; emits any full packets (may block on
+        flow-control credits)."""
+        if self._finished:
+            raise NetworkError("stream already finished")
+        self._pending.extend(chunk)
+        size = self.config.packet_size
+        while len(self._pending) >= size:
+            packet = bytes(self._pending[:size])
+            del self._pending[:size]
+            yield from self._emit(packet)
+
+    def finish(self):
+        """Process: flush the final partial packet and wait for delivery.
+
+        Returns the total payload bytes streamed.
+        """
+        if self._finished:
+            raise NetworkError("stream already finished")
+        if self._pending:
+            packet = bytes(self._pending)
+            self._pending.clear()
+            yield from self._emit(packet)
+        self._finished = True
+        if self._inflight:
+            yield self.sim.all_of(self._inflight)
+            self._inflight.clear()
+        return self.payload_bytes_sent
+
+    # -- internals ---------------------------------------------------------------
+    def _emit(self, payload: bytes):
+        yield self.qp.credits.acquire()
+        offset = self._buffer_offset
+        self._buffer_offset += len(payload)
+        delivered = self.link.send_down(self.qp.qp_id, len(payload),
+                                        self.per_packet_overhead_ns)
+        delivered.add_callback(
+            lambda _ev, off=offset, data=payload: self._on_delivered(off, data))
+        self._inflight.append(delivered)
+        self.packets_sent += 1
+        self.payload_bytes_sent += len(payload)
+
+    def _on_delivered(self, offset: int, payload: bytes) -> None:
+        self.qp.buffer.deposit(offset, payload)
+        self.qp.credits.release()
+        self.qp.responses_received += 1

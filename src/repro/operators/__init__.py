@@ -1,0 +1,68 @@
+"""Operator stack: the offloaded query operators (paper §5)."""
+
+from .aggregate import AggregateSpec, StandaloneAggregateOperator
+from .base import ByteOperator, OperatorPipeline, RowOperator
+from .crypto import AesCtr, encrypt_block, expand_key
+from .cuckoo import CuckooHashTable
+from .distinct import DistinctOperator
+from .encryption_op import (
+    DecryptOperator,
+    EncryptOperator,
+    decrypt_table_image,
+    encrypt_table_image,
+)
+from .groupby import GroupByOperator
+from .hashing import HashFamily, hash_key, hash_u64_array, mix64
+from .lru_cache import ShiftRegisterLru
+from .packing import Packer, RoundRobinCombiner
+from .projection import ProjectionOperator, SmartAddressingPlan
+from .regex_engine import CompiledRegex, compile_pattern
+from .regex_op import RegexMatchOperator
+from .selection import (
+    And,
+    Compare,
+    Not,
+    Or,
+    Predicate,
+    SelectionOperator,
+    VectorizedSelectionOperator,
+)
+from .sending import Sender
+
+__all__ = [
+    "AggregateSpec",
+    "StandaloneAggregateOperator",
+    "ByteOperator",
+    "OperatorPipeline",
+    "RowOperator",
+    "AesCtr",
+    "encrypt_block",
+    "expand_key",
+    "CuckooHashTable",
+    "DistinctOperator",
+    "DecryptOperator",
+    "EncryptOperator",
+    "decrypt_table_image",
+    "encrypt_table_image",
+    "GroupByOperator",
+    "HashFamily",
+    "hash_key",
+    "hash_u64_array",
+    "mix64",
+    "ShiftRegisterLru",
+    "Packer",
+    "RoundRobinCombiner",
+    "ProjectionOperator",
+    "SmartAddressingPlan",
+    "CompiledRegex",
+    "compile_pattern",
+    "RegexMatchOperator",
+    "And",
+    "Compare",
+    "Not",
+    "Or",
+    "Predicate",
+    "SelectionOperator",
+    "VectorizedSelectionOperator",
+    "Sender",
+]

@@ -1,0 +1,167 @@
+"""Aggregation operators: count, min, max, sum, average (paper §5.4).
+
+Aggregations run either *standalone* ("simple computations are performed
+directly on the passing data streams") or on top of the group-by operator
+(each hash-table entry carries accumulator state).  This module provides
+the accumulator machinery shared by both and the standalone operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import OperatorError, QueryError
+from ..common.records import Column, Schema
+from .base import RowOperator
+
+SUPPORTED_FUNCS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregation: ``func(column) AS alias``.
+
+    ``count`` ignores ``column`` (may be ``"*"``).
+    """
+
+    func: str
+    column: str
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if self.func not in SUPPORTED_FUNCS:
+            raise QueryError(
+                f"unsupported aggregate {self.func!r}; supported: "
+                f"{SUPPORTED_FUNCS}")
+        if not self.alias:
+            object.__setattr__(self, "alias", f"{self.func}_{self.column}"
+                               .replace("*", "star"))
+
+    def validate(self, schema: Schema) -> None:
+        if self.func == "count" and self.column == "*":
+            return
+        col = schema.column(self.column)
+        if col.kind == "char":
+            raise QueryError(
+                f"cannot aggregate char column {self.column!r} with "
+                f"{self.func!r}")
+
+    def output_column(self, schema: Schema) -> Column:
+        if self.func == "count":
+            return Column(self.alias, "uint64", 8)
+        if self.func == "avg":
+            return Column(self.alias, "float64", 8)
+        kind = schema.column(self.column).kind
+        return Column(self.alias, kind, 8)
+
+
+class Accumulator:
+    """Running state for one group's aggregates (one hash-table entry)."""
+
+    __slots__ = ("count", "sums", "mins", "maxs")
+
+    def __init__(self, num_value_columns: int):
+        self.count = 0
+        self.sums = [0.0] * num_value_columns
+        self.mins = [None] * num_value_columns
+        self.maxs = [None] * num_value_columns
+
+    def update(self, values: tuple, weight: int = 1) -> None:
+        self.count += weight
+        for i, v in enumerate(values):
+            self.sums[i] += v * weight
+            if self.mins[i] is None or v < self.mins[i]:
+                self.mins[i] = v
+            if self.maxs[i] is None or v > self.maxs[i]:
+                self.maxs[i] = v
+
+    def merge(self, other: "Accumulator") -> None:
+        self.count += other.count
+        for i in range(len(self.sums)):
+            self.sums[i] += other.sums[i]
+            for mine, theirs, pick in ((self.mins, other.mins, min),
+                                       (self.maxs, other.maxs, max)):
+                if theirs[i] is not None:
+                    mine[i] = (theirs[i] if mine[i] is None
+                               else pick(mine[i], theirs[i]))
+
+    def result(self, spec: AggregateSpec, column_index: int):
+        if self.count == 0:
+            raise OperatorError("empty accumulator has no result")
+        if spec.func == "count":
+            return self.count
+        if spec.func == "sum":
+            return self.sums[column_index]
+        if spec.func == "avg":
+            return self.sums[column_index] / self.count
+        if spec.func == "min":
+            return self.mins[column_index]
+        return self.maxs[column_index]
+
+
+def batch_accumulate(acc: Accumulator, batch: np.ndarray,
+                     value_columns: list[str]) -> None:
+    """Vectorized accumulation of a whole batch into one accumulator."""
+    n = len(batch)
+    if n == 0:
+        return
+    acc.count += n
+    for i, name in enumerate(value_columns):
+        col = batch[name]
+        acc.sums[i] += float(col.sum())
+        lo = col.min()
+        hi = col.max()
+        if acc.mins[i] is None or lo < acc.mins[i]:
+            acc.mins[i] = lo
+        if acc.maxs[i] is None or hi > acc.maxs[i]:
+            acc.maxs[i] = hi
+
+
+class StandaloneAggregateOperator(RowOperator):
+    """Whole-table aggregation without grouping: emits one row at flush."""
+
+    fill_latency_cycles = 6
+
+    def __init__(self, specs: list[AggregateSpec]):
+        super().__init__("aggregation")
+        if not specs:
+            raise OperatorError("aggregation needs at least one spec")
+        self.specs = list(specs)
+        self._value_columns = sorted(
+            {s.column for s in self.specs if not (s.func == "count" and s.column == "*")})
+        self._acc = Accumulator(len(self._value_columns))
+        self._out_schema: Schema | None = None
+
+    def _bind(self, schema: Schema) -> Schema:
+        try:
+            for spec in self.specs:
+                spec.validate(schema)
+        except QueryError as exc:
+            raise OperatorError(str(exc)) from exc
+        aliases = [s.alias for s in self.specs]
+        if len(set(aliases)) != len(aliases):
+            raise OperatorError(f"duplicate aggregate aliases: {aliases}")
+        self._out_schema = Schema([s.output_column(schema) for s in self.specs])
+        return self._out_schema
+
+    def _process(self, batch: np.ndarray) -> np.ndarray:
+        assert self._out_schema is not None
+        batch_accumulate(self._acc, batch, self._value_columns)
+        return self._out_schema.empty(0)
+
+    def flush(self) -> np.ndarray | None:
+        assert self._out_schema is not None
+        if self._acc.count == 0:
+            return self._out_schema.empty(0)
+        row = self._out_schema.empty(1)
+        for spec in self.specs:
+            idx = (self._value_columns.index(spec.column)
+                   if spec.column in self._value_columns else 0)
+            row[spec.alias] = self._acc.result(spec, idx)
+        self.rows_out += 1
+        return row
+
+    def flush_cycles(self) -> int:
+        return 4  # one result row

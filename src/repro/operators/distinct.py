@@ -1,0 +1,83 @@
+"""DISTINCT operator: cuckoo hash tables + shift-register LRU (paper §5.4).
+
+Architecture (Figure 5): each tuple's key is first probed in the LRU cache
+(hides hash-table pipeline latency / data hazards), then looked up in N
+cuckoo tables in parallel.  Unseen keys are emitted immediately (fully
+streaming) and inserted; keys that fail insertion after the eviction chain
+land in the *overflow buffer*, "which is sent to the client to be
+deduplicated in software".
+
+Overflowed keys are emitted too (the hardware cannot suppress what it
+cannot remember) and the node surfaces ``overflow_keys`` so the client-side
+software dedup can be applied — the integration tests verify end-to-end
+exactness of that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import OperatorError
+from ..common.records import Schema
+from .base import RowOperator
+from .cuckoo import CuckooHashTable
+from .lru_cache import ShiftRegisterLru
+
+
+class DistinctOperator(RowOperator):
+    """Eliminate duplicate tuples on the given key columns."""
+
+    fill_latency_cycles = 10  # deeper block: hash + table lookup stages
+
+    def __init__(self, key_columns: list[str] | None = None,
+                 ways: int = 4, slots_per_way: int = 16_384,
+                 max_kicks: int = 32, lru_depth_per_way: int = 4):
+        super().__init__("distinct")
+        self.key_columns = list(key_columns) if key_columns else None
+        self.table = CuckooHashTable(ways, slots_per_way, max_kicks)
+        self.lru = ShiftRegisterLru(ways * lru_depth_per_way)
+        self.duplicates_dropped = 0
+        self.overflow_count = 0
+        self._schema: Schema | None = None
+
+    def _bind(self, schema: Schema) -> Schema:
+        if self.key_columns is None:
+            self.key_columns = list(schema.names)
+        for name in self.key_columns:
+            schema.column(name)  # validates
+        self._schema = schema
+        return schema
+
+    def _key_bytes(self, batch: np.ndarray) -> list[bytes]:
+        assert self._schema is not None
+        key_schema = self._schema.project(self.key_columns)
+        keys = key_schema.empty(len(batch))
+        for name in self.key_columns:
+            keys[name] = batch[name]
+        raw = key_schema.to_bytes(keys)
+        width = key_schema.row_width
+        return [raw[i * width:(i + 1) * width] for i in range(len(batch))]
+
+    def _process(self, batch: np.ndarray) -> np.ndarray:
+        keep = np.zeros(len(batch), dtype=bool)
+        for i, key in enumerate(self._key_bytes(batch)):
+            if self.lru.lookup(key):
+                self.duplicates_dropped += 1
+                continue
+            self.lru.insert(key)
+            if key in self.table:
+                self.duplicates_dropped += 1
+                continue
+            ok = self.table.put(key, True)
+            if not ok:
+                self.overflow_count += 1
+            keep[i] = True
+        return batch[keep]
+
+    @property
+    def distinct_seen(self) -> int:
+        return len(self.table)
+
+    def drain_overflow_keys(self) -> list[bytes]:
+        """Overflowed keys for client-side software dedup (§5.4)."""
+        return [key for key, _ in self.table.drain_overflow()]

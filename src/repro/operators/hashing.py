@@ -1,0 +1,74 @@
+"""Hash functions for the grouping operators.
+
+FPGA database operators favour cheap, high-quality multiplicative and
+XOR-shift mixers that pipeline to one result per cycle (cf. Kara & Alonso,
+"Fast and robust hashing for database operators", FPL'16 — reference [44]
+of the paper).  We implement a splitmix64-style finalizer parameterized by
+seed so the cuckoo tables can use independent hash functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import OperatorError
+
+_MASK64 = (1 << 64) - 1
+
+#: Odd multipliers for the seeded mixers (from splitmix64 / murmur3 lineage).
+_M1 = 0xBF58476D1CE4E5B9
+_M2 = 0x94D049BB133111EB
+_SEED_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64(value: int, seed: int = 0) -> int:
+    """SplitMix64 finalizer over one 64-bit value (seeded)."""
+    x = (value + (seed + 1) * _SEED_GOLDEN) & _MASK64
+    x ^= x >> 30
+    x = (x * _M1) & _MASK64
+    x ^= x >> 27
+    x = (x * _M2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def hash_key(key: bytes, seed: int = 0) -> int:
+    """Hash an arbitrary-length byte key by chaining 8-byte mixes."""
+    if seed < 0:
+        raise OperatorError(f"negative hash seed: {seed}")
+    acc = mix64(len(key), seed)
+    for off in range(0, len(key), 8):
+        word = int.from_bytes(key[off:off + 8].ljust(8, b"\x00"), "little")
+        acc = mix64(acc ^ word, seed)
+    return acc
+
+
+def hash_u64_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized SplitMix64 over a uint64 array (one hash per element)."""
+    x = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(((seed + 1) * _SEED_GOLDEN) & _MASK64)
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(_M1)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(_M2)
+        x ^= x >> np.uint64(31)
+    return x
+
+
+class HashFamily:
+    """A family of independent hash functions (one per cuckoo table)."""
+
+    def __init__(self, count: int):
+        if count <= 0:
+            raise OperatorError(f"hash family needs >= 1 function: {count}")
+        self.count = count
+
+    def hash(self, index: int, key: bytes) -> int:
+        if not 0 <= index < self.count:
+            raise OperatorError(
+                f"hash index {index} out of range [0, {self.count})")
+        return hash_key(key, seed=index)
+
+    def slot(self, index: int, key: bytes, table_slots: int) -> int:
+        return self.hash(index, key) % table_slots

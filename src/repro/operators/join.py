@@ -1,0 +1,137 @@
+"""Small-table join operator — the paper's §7 extension sketch.
+
+"We also want to explore, as part of a query optimizer, options such as
+performing joins against small tables in the memory by reading the small
+table into the FPGA and matching the tuples read from memory against it."
+
+The *build* side (a small dimension table) is read from disaggregated
+memory into the region's on-chip hash tables at query start; the *probe*
+side (the large fact table) then streams through and each tuple is matched
+against the build hash.  The build side must fit in BRAM — the operator
+enforces the cuckoo capacity and reports build-overflow keys so the
+compiler can refuse plans that would not fit the fabric.
+
+Semantics: inner equi-join, emitting the probe tuple extended with the
+selected build payload columns.  Build keys are unique (dimension-table
+primary keys); a duplicate build key is a compile-time error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import OperatorError
+from ..common.records import Column, Schema
+from .base import RowOperator
+from .cuckoo import CuckooHashTable
+
+
+class SmallTableJoinOperator(RowOperator):
+    """Inner hash join: streaming probe side vs BRAM-resident build side."""
+
+    fill_latency_cycles = 12
+
+    def __init__(self, build_schema: Schema, build_key: str, probe_key: str,
+                 payload_columns: list[str],
+                 ways: int = 4, slots_per_way: int = 16_384,
+                 max_kicks: int = 32):
+        super().__init__("join_small_table")
+        if not payload_columns:
+            raise OperatorError("join needs at least one payload column")
+        if build_key in payload_columns:
+            raise OperatorError(
+                f"build key {build_key!r} need not be in the payload; it "
+                f"equals the probe key after the join")
+        self.build_schema = build_schema
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.payload_columns = list(payload_columns)
+        for name in [build_key, *payload_columns]:
+            build_schema.column(name)
+        self.table = CuckooHashTable(ways, slots_per_way, max_kicks)
+        self._key_schema = build_schema.project([build_key])
+        self._payload_schema = build_schema.project(payload_columns)
+        self._built = False
+        self.build_rows_loaded = 0
+        self.probe_matches = 0
+        self._out_schema: Schema | None = None
+        self._probe_schema: Schema | None = None
+
+    # -- build phase -------------------------------------------------------------
+    def load_build(self, rows: np.ndarray) -> None:
+        """Load the small table into the on-chip hash (one-off, at deploy)."""
+        if self._built:
+            raise OperatorError("build side already loaded")
+        keys = self._key_schema.empty(len(rows))
+        keys[self.build_key] = rows[self.build_key]
+        raw = self._key_schema.to_bytes(keys)
+        width = self._key_schema.row_width
+        payload = self._payload_schema.empty(len(rows))
+        for name in self.payload_columns:
+            payload[name] = rows[name]
+        for i in range(len(rows)):
+            key = raw[i * width:(i + 1) * width]
+            if key in self.table:
+                raise OperatorError(
+                    f"duplicate build key at row {i}: the small table must "
+                    f"have unique join keys")
+            ok = self.table.put(key, payload[i:i + 1].copy())
+            if not ok:
+                raise OperatorError(
+                    f"build side of {len(rows)} rows does not fit the "
+                    f"on-chip hash ({self.table.capacity} slots); offload "
+                    f"refused — execute the join on the client")
+        self.build_rows_loaded = len(rows)
+        self._built = True
+
+    # -- binding (probe side) ---------------------------------------------------------
+    def _bind(self, schema: Schema) -> Schema:
+        probe_col = schema.column(self.probe_key)
+        build_col = self.build_schema.column(self.build_key)
+        if probe_col.kind != build_col.kind or probe_col.width != build_col.width:
+            raise OperatorError(
+                f"join key type mismatch: probe {self.probe_key!r} is "
+                f"{probe_col.kind}({probe_col.width}), build "
+                f"{self.build_key!r} is {build_col.kind}({build_col.width})")
+        out_columns = list(schema.columns)
+        existing = set(schema.names)
+        for name in self.payload_columns:
+            col = self.build_schema.column(name)
+            out_name = name if name not in existing else f"build_{name}"
+            if out_name in existing:
+                raise OperatorError(
+                    f"cannot disambiguate joined column {name!r}")
+            out_columns.append(Column(out_name, col.kind, col.width))
+            existing.add(out_name)
+        self._probe_schema = schema
+        self._out_schema = Schema(out_columns)
+        return self._out_schema
+
+    @property
+    def output_names_for_payload(self) -> list[str]:
+        assert self._out_schema is not None and self._probe_schema is not None
+        return list(self._out_schema.names[len(self._probe_schema.names):])
+
+    # -- probe phase ----------------------------------------------------------------------
+    def _process(self, batch: np.ndarray) -> np.ndarray:
+        if not self._built:
+            raise OperatorError("probe started before the build side loaded")
+        assert self._out_schema is not None and self._probe_schema is not None
+        keys = self._key_schema.empty(len(batch))
+        keys[self.build_key] = batch[self.probe_key]
+        raw = self._key_schema.to_bytes(keys)
+        width = self._key_schema.row_width
+        matches: list[tuple[int, np.ndarray]] = []
+        for i in range(len(batch)):
+            payload = self.table.get(raw[i * width:(i + 1) * width])
+            if payload is not None:
+                matches.append((i, payload))
+        out = self._out_schema.empty(len(matches))
+        payload_names = self.output_names_for_payload
+        for j, (i, payload) in enumerate(matches):
+            for name in self._probe_schema.names:
+                out[name][j] = batch[name][i]
+            for out_name, src_name in zip(payload_names, self.payload_columns):
+                out[out_name][j] = payload[src_name][0]
+        self.probe_matches += len(matches)
+        return out

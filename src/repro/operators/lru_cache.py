@@ -1,0 +1,64 @@
+"""Shift-register LRU cache hiding hash-table latency (paper §5.4).
+
+The distinct/group-by hash table is pipelined: an update issued for tuple i
+is not visible when tuple i+1 (or i+k, for pipeline depth k) performs its
+lookup, creating a data hazard — two equal back-to-back keys would both be
+reported as "new".  The paper hides the hazard with a small true-LRU cache
+"implemented with a shift register, which adds a negligible latency to the
+data streams (the amount depends on the number of cuckoo hash tables)".
+
+We model exactly that: a fixed-depth shift register of recent keys.  A hit
+anywhere promotes the key to the front (true LRU); insertion shifts the
+oldest key out.  Capacity = depth per cuckoo way x number of ways, as the
+hardware sizes it to cover the table lookup latency.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import OperatorError
+
+
+class ShiftRegisterLru:
+    """Fixed-capacity true-LRU over byte keys, shift-register semantics."""
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise OperatorError(f"LRU depth must be positive: {depth}")
+        self.depth = depth
+        self._slots: list[bytes | None] = [None] * depth
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: bytes) -> bool:
+        """True if ``key`` is resident; promotes it to most-recent."""
+        for i, resident in enumerate(self._slots):
+            if resident == key:
+                # Promote: shift everything before i down by one.
+                del self._slots[i]
+                self._slots.insert(0, key)
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: bytes) -> None:
+        """Push ``key`` in front; the oldest entry falls off the end."""
+        self._slots.insert(0, key)
+        self._slots.pop()
+
+    def lookup_or_insert(self, key: bytes) -> bool:
+        """Combined probe+insert as the hardware does in one pass."""
+        if self.lookup(key):
+            return True
+        self.insert(key)
+        return False
+
+    @property
+    def resident(self) -> list[bytes]:
+        return [k for k in self._slots if k is not None]
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._slots
+
+    def __repr__(self) -> str:
+        return f"ShiftRegisterLru(depth={self.depth}, live={len(self.resident)})"

@@ -1,0 +1,94 @@
+"""Packing unit: dense 64-byte output words (paper §5.5).
+
+"At the end of the processing pipeline, the annotated columns are first
+packed based on their annotation flags in a bid to reduce the overall data
+sent over the network.  Multiple columns across the tuples are packed into
+64 byte words prior to their writing into the output queue.  This packing
+uses an overflow buffer to efficiently sustain the line rate."
+
+Our row operators already narrow tuples to the annotated columns, so the
+packer's functional job is dense serialization into 64-byte words with a
+carry (the "overflow buffer") for the partial word between bursts.  For
+the vectorized model it also models the round-robin lane combiner.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import OperatorError
+
+WORD_BYTES = 64
+
+
+class Packer:
+    """Accumulates output bytes and releases whole 64-byte words."""
+
+    def __init__(self, word_bytes: int = WORD_BYTES):
+        if word_bytes <= 0:
+            raise OperatorError(f"word size must be positive: {word_bytes}")
+        self.word_bytes = word_bytes
+        self._carry = bytearray()  # the overflow buffer
+        self.words_emitted = 0
+        self.bytes_in = 0
+
+    def pack(self, data: bytes) -> bytes:
+        """Append ``data``; return all complete words ready for the queue."""
+        self.bytes_in += len(data)
+        self._carry.extend(data)
+        whole = (len(self._carry) // self.word_bytes) * self.word_bytes
+        if whole == 0:
+            return b""
+        out = bytes(self._carry[:whole])
+        del self._carry[:whole]
+        self.words_emitted += whole // self.word_bytes
+        return out
+
+    def flush(self) -> bytes:
+        """Release the final partial word (sent as-is, like the hardware)."""
+        if not self._carry:
+            return b""
+        out = bytes(self._carry)
+        self._carry.clear()
+        self.words_emitted += 1
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._carry)
+
+
+class RoundRobinCombiner:
+    """Combines the output of parallel vectorized lanes (§5.5).
+
+    "In case of the vectorized processing model, the tuples are first
+    combined from each of the parallel pipelines with a simple round-robin
+    arbiter."  Lanes push row-serialized chunks; the combiner releases them
+    in strict lane order so the output is deterministic.
+    """
+
+    def __init__(self, lanes: int):
+        if lanes <= 0:
+            raise OperatorError(f"lanes must be positive: {lanes}")
+        self.lanes = lanes
+        self._queues: list[list[bytes]] = [[] for _ in range(lanes)]
+        self._next = 0
+
+    def push(self, lane: int, chunk: bytes) -> None:
+        if not 0 <= lane < self.lanes:
+            raise OperatorError(f"lane {lane} out of range [0, {self.lanes})")
+        self._queues[lane].append(chunk)
+
+    def drain(self) -> bytes:
+        """Release queued chunks in round-robin lane order."""
+        out = bytearray()
+        while True:
+            progressed = False
+            for offset in range(self.lanes):
+                lane = (self._next + offset) % self.lanes
+                if self._queues[lane]:
+                    out.extend(self._queues[lane].pop(0))
+                    self._next = (lane + 1) % self.lanes
+                    progressed = True
+                    break
+            if not progressed:
+                break
+        return bytes(out)

@@ -1,0 +1,47 @@
+"""Sender unit: dynamic RDMA command generation (paper §5.5).
+
+"The sender unit is the final step before the results are emitted to the
+network stack.  It monitors the queue present in this module where the
+packed results are written.  Based on the status of this queue this module
+issues specific RDMA packet commands ... even when the final data size is
+not known a priori, as is the case with most of the operators."
+
+The sender couples the packer's output queue to a
+:class:`~repro.network.rdma.ResponseStreamer`: every drained word batch
+becomes RDMA WRITE commands into the client's buffer, and ``finish``
+flushes the partial word plus the end-of-message command.
+"""
+
+from __future__ import annotations
+
+from ..network.rdma import ResponseStreamer
+from .packing import Packer
+
+
+class Sender:
+    """Drives packed result bytes into the response stream."""
+
+    def __init__(self, streamer: ResponseStreamer, packer: Packer | None = None):
+        self.streamer = streamer
+        self.packer = packer if packer is not None else Packer()
+        self.commands_issued = 0
+
+    def send(self, data: bytes):
+        """Process: pack ``data`` and emit any whole words to the network."""
+        ready = self.packer.pack(data)
+        if ready:
+            self.commands_issued += 1
+            yield from self.streamer.send(ready)
+
+    def finish(self):
+        """Process: flush the final partial word and close the stream.
+
+        Returns total payload bytes sent (the size was not known a priori —
+        the sender computed it on the fly, as the paper emphasizes).
+        """
+        tail = self.packer.flush()
+        if tail:
+            self.commands_issued += 1
+            yield from self.streamer.send(tail)
+        total = yield from self.streamer.finish()
+        return total

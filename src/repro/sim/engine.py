@@ -1,0 +1,255 @@
+"""Discrete-event simulation kernel.
+
+A compact, dependency-free engine in the style of SimPy: *processes* are
+Python generators that ``yield`` events (timeouts, queue operations, other
+processes) and are resumed by the event loop when those events fire.  Time is
+a float in **nanoseconds** (see :mod:`repro.common.units`).
+
+The kernel is deliberately small — just enough to model pipelined hardware:
+packet streams, bandwidth-limited channels, credit-based backpressure — while
+staying fast enough to push megabytes of simulated traffic per experiment.
+
+Example::
+
+    sim = Simulator()
+
+    def producer(env, store):
+        for i in range(3):
+            yield env.timeout(10.0)
+            yield store.put(i)
+
+    # (see repro.sim.resources for Store)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..common.errors import FarviewError
+
+
+class SimulationError(FarviewError):
+    """The event loop detected an inconsistency (e.g. deadlock)."""
+
+
+class Event:
+    """A one-shot occurrence with an optional value.
+
+    Callbacks registered via :meth:`add_callback` run when the event is
+    triggered.  Events may be triggered immediately (:meth:`succeed`) or
+    scheduled through :meth:`Simulator.schedule_event`.
+    """
+
+    __slots__ = ("sim", "_value", "_ok", "triggered", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._ok = True
+        self.triggered = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            # Late subscribers run at the current time, preserving ordering.
+            self.sim.schedule(0.0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.triggered = True
+        for fn in self._callbacks:
+            self.sim.schedule(0.0, lambda fn=fn: fn(self))
+        self._callbacks.clear()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event now with an exception to raise in the waiter."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = exc
+        self._ok = False
+        self.triggered = True
+        for fn in self._callbacks:
+            self.sim.schedule(0.0, lambda fn=fn: fn(self))
+        self._callbacks.clear()
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any = None) -> None:
+        self._value = value
+        self.triggered = True
+        for fn in self._callbacks:
+            fn(self)
+        self._callbacks.clear()
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process returns.
+
+    The process generator yields :class:`Event` instances; the returned value
+    of the generator becomes the value of this event.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        sim.schedule(0.0, self._resume, None, True)
+
+    def _resume(self, event_value: Any = None, ok: bool = True) -> None:
+        try:
+            if ok:
+                target = self._gen.send(event_value)
+            else:
+                target = self._gen.throw(event_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                f"yield Event instances")
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        self._resume(event.value, event.ok)
+
+    def _finish(self, value: Any) -> None:
+        self._value = value
+        self.triggered = True
+        for fn in self._callbacks:
+            self.sim.schedule(0.0, lambda fn=fn: fn(self))
+        self._callbacks.clear()
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            sim.schedule(0.0, lambda: self.succeed([]))
+        else:
+            for ev in self._events:
+                ev.add_callback(self._child_done)
+
+    def _child_done(self, _: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed([ev.value for ev in self._events])
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._counter = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` ns."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), fn, args))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a process; returns its completion event."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- running --------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event heap (optionally stopping at time ``until``).
+
+        Returns the simulation time when the loop stopped.  ``max_events``
+        guards against runaway loops in buggy models.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            steps = 0
+            while self._heap:
+                time, _seq, fn, args = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                fn(*args)
+                steps += 1
+                if steps > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a runaway model")
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, gen: ProcessGenerator, name: str = "") -> Any:
+        """Convenience: register ``gen``, drain the loop, return its value.
+
+        Raises if the process did not complete (deadlock in the model).
+        """
+        proc = self.process(gen, name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} never completed (deadlock?)")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,258 @@
+"""Shared simulation resources: queues, bandwidth pipes, credits, arbiters.
+
+These model the hardware structures the paper leans on:
+
+* :class:`Store` — a bounded FIFO with blocking put/get, the AXI-stream
+  queue used between stacks (§4.1 "data is buffered in queues as it
+  traverses from one stack to the other").
+* :class:`BandwidthPipe` — a serializing, rate-limited channel (a DRAM
+  channel or a network link): transfers queue behind one another and each
+  occupies the pipe for ``size / rate``.
+* :class:`CreditPool` — credit-based flow control (§4.3).
+* :class:`RoundRobinArbiter` — fair-share packet arbitration between
+  concurrent flows (§4.3, Figure 2 "Packet Based Arbitration").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+
+class Store:
+    """A FIFO queue with optional capacity and blocking put/get events."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` is accepted (backpressure-aware)."""
+        ev = self.sim.event()
+        if self._getters:
+            # Hand the item straight to a waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event that fires with the next item (FIFO order)."""
+        ev = self.sim.event()
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: (True, item) or (False, None)."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_waiting_putter()
+            return True, item
+        return False, None
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()
+
+
+class BandwidthPipe:
+    """A serializing channel with fixed rate and optional per-use latency.
+
+    ``transfer(nbytes)`` returns an event that fires when the last byte has
+    left the pipe.  Transfers are serviced in request order; each holds the
+    pipe for ``nbytes / rate`` after an initial ``latency`` (which overlaps
+    with other transfers' service — it models pipelined access latency, not
+    occupancy).
+    """
+
+    def __init__(self, sim: Simulator, rate: float, latency_ns: float = 0.0,
+                 name: str = ""):
+        if rate <= 0:
+            raise SimulationError(f"pipe rate must be positive: {rate}")
+        if latency_ns < 0:
+            raise SimulationError(f"negative latency: {latency_ns}")
+        self.sim = sim
+        self.rate = rate
+        self.latency_ns = latency_ns
+        self.name = name
+        self._busy_until = 0.0
+        self.bytes_transferred = 0
+        self.transfers = 0
+
+    def transfer(self, nbytes: int, extra_ns: float = 0.0) -> Event:
+        """Schedule ``nbytes`` through the pipe; event fires at completion.
+
+        ``extra_ns`` adds fixed occupancy to this transfer (e.g. per-packet
+        header processing) — it delays everything queued behind it, unlike
+        ``latency_ns`` which only delays this transfer's completion.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        if extra_ns < 0:
+            raise SimulationError(f"negative extra occupancy: {extra_ns}")
+        start = max(self.sim.now, self._busy_until)
+        service = nbytes / self.rate + extra_ns
+        done = start + service
+        self._busy_until = done
+        finish = done + self.latency_ns
+        self.bytes_transferred += nbytes
+        self.transfers += 1
+        ev = self.sim.event()
+        self.sim.schedule(finish - self.sim.now, ev.succeed, nbytes)
+        return ev
+
+    def service_time(self, nbytes: int) -> float:
+        """Pure occupancy time for ``nbytes`` (no queueing, no latency)."""
+        return nbytes / self.rate
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of ``elapsed_ns`` the pipe spent moving bytes."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_transferred / self.rate) / elapsed_ns)
+
+
+class CreditPool:
+    """Credit-based flow control: acquire blocks until a credit is free.
+
+    Models the network stack's per-flow credits (§4.3): a sender may have at
+    most ``credits`` packets in flight; receiving a response returns one.
+    """
+
+    def __init__(self, sim: Simulator, credits: int, name: str = ""):
+        if credits <= 0:
+            raise SimulationError(f"credit pool needs >= 1 credit: {credits}")
+        self.sim = sim
+        self.name = name
+        self._capacity = credits
+        self._available = credits
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def acquire(self) -> Event:
+        ev = self.sim.event()
+        if self._available > 0:
+            self._available -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._available += 1
+            if self._available > self._capacity:
+                from ..common.errors import FlowControlError
+
+                raise FlowControlError(
+                    f"credit pool {self.name!r} over-released "
+                    f"({self._available} > {self._capacity})")
+
+
+class RoundRobinArbiter:
+    """Fair-share arbitration: interleaves work items from competing flows.
+
+    Each flow registers a FIFO of pending grants; ``pump`` services one item
+    per grant cycle in round-robin order, guaranteeing that no client can
+    starve another (§4.3 "prevents any malevolent behaviour by any of the
+    users that could lead to a complete system stall").
+
+    The arbiter is used by driving it as a process over a downstream
+    :class:`BandwidthPipe`: every granted item is a (nbytes, completion
+    event) pair whose completion fires when the pipe finishes that item.
+    """
+
+    def __init__(self, sim: Simulator, pipe: BandwidthPipe, name: str = ""):
+        self.sim = sim
+        self.pipe = pipe
+        self.name = name
+        self._flows: dict[int, Deque[tuple[int, float, Event]]] = {}
+        self._order: list[int] = []
+        self._next = 0
+        self._pumping = False
+
+    def register_flow(self, flow_id: int) -> None:
+        if flow_id in self._flows:
+            raise SimulationError(f"flow {flow_id} already registered")
+        self._flows[flow_id] = deque()
+        self._order.append(flow_id)
+
+    def submit(self, flow_id: int, nbytes: int, extra_ns: float = 0.0) -> Event:
+        """Queue ``nbytes`` for ``flow_id``; event fires when transferred.
+
+        ``extra_ns`` is forwarded to the pipe as fixed per-item occupancy.
+        """
+        if flow_id not in self._flows:
+            raise SimulationError(f"unknown flow {flow_id}")
+        done = self.sim.event()
+        self._flows[flow_id].append((nbytes, extra_ns, done))
+        if not self._pumping:
+            self._pumping = True
+            self.sim.process(self._pump(), name=f"arbiter:{self.name}")
+        return done
+
+    def _pump(self):
+        while True:
+            granted = self._grant_next()
+            if granted is None:
+                self._pumping = False
+                return
+            nbytes, extra_ns, done = granted
+            delivered = self.pipe.transfer(nbytes, extra_ns)
+            # Wait only until the pipe is free again (occupancy); delivery
+            # latency (propagation) overlaps with the next grant.
+            delivered.add_callback(lambda ev, d=done: d.succeed(ev.value))
+            wait = self.pipe.busy_until - self.sim.now
+            if wait > 0:
+                yield self.sim.timeout(wait)
+
+    def _grant_next(self) -> Optional[tuple[int, float, Event]]:
+        """Pick the next pending item in round-robin flow order."""
+        n = len(self._order)
+        for i in range(n):
+            flow_id = self._order[(self._next + i) % n]
+            queue = self._flows[flow_id]
+            if queue:
+                self._next = (self._next + i + 1) % n
+                return queue.popleft()
+        return None

@@ -1,0 +1,30 @@
+"""Synthetic workload generators for the evaluation experiments."""
+
+from .generator import (
+    REGEX_NEEDLE,
+    REGEX_PATTERN,
+    SelectionWorkload,
+    distinct_workload,
+    groupby_workload,
+    make_rows,
+    projection_workload,
+    selection_workload,
+    string_workload,
+)
+from .tpch import LINEITEM_SCHEMA, lineitem, q1_query, q6_query
+
+__all__ = [
+    "REGEX_NEEDLE",
+    "REGEX_PATTERN",
+    "SelectionWorkload",
+    "distinct_workload",
+    "groupby_workload",
+    "make_rows",
+    "projection_workload",
+    "selection_workload",
+    "string_workload",
+    "LINEITEM_SCHEMA",
+    "lineitem",
+    "q1_query",
+    "q6_query",
+]

@@ -1,0 +1,89 @@
+"""TPC-H-inspired micro workloads (the paper motivates with Q1 and Q6).
+
+The paper cites TPC-H Q6 as the canonical high-selectivity scan ("only 2%
+of the data is finally selected", §5.3) and Q1 as the canonical GROUP BY
+aggregation (§5.4).  These generators build lineitem-like tables sized to
+the simulator and the matching offloaded query fragments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common import calibration as cal
+from ..common.records import Column, Schema
+from ..operators.aggregate import AggregateSpec
+from ..operators.selection import And, Compare
+from ..core.query import Query
+
+#: A lineitem-like row: 8 x 8-byte attributes (the paper's default width).
+LINEITEM_SCHEMA = Schema([
+    Column("orderkey", "int64"),
+    Column("quantity", "float64"),
+    Column("extendedprice", "float64"),
+    Column("discount", "float64"),
+    Column("tax", "float64"),
+    Column("returnflag", "int64"),    # encoded flag (0..2)
+    Column("linestatus", "int64"),    # encoded flag (0..1)
+    Column("shipdate", "int64"),      # days since epoch
+])
+
+_EPOCH_1994 = 8766   # days: 1994-01-01
+_EPOCH_1995 = 9131   # days: 1995-01-01
+_EPOCH_1998 = 10410  # days: 1998-09-02 region used by Q1
+
+
+def lineitem(num_rows: int, seed: int = 7) -> np.ndarray:
+    """Generate a lineitem-like table with TPC-H-ish value distributions."""
+    rng = np.random.default_rng(seed)
+    rows = LINEITEM_SCHEMA.empty(num_rows)
+    rows["orderkey"] = rng.integers(1, 6_000_000, num_rows)
+    rows["quantity"] = rng.integers(1, 51, num_rows).astype(np.float64)
+    rows["extendedprice"] = rng.random(num_rows) * 100_000.0
+    rows["discount"] = rng.integers(0, 11, num_rows) / 100.0
+    rows["tax"] = rng.integers(0, 9, num_rows) / 100.0
+    rows["returnflag"] = rng.integers(0, 3, num_rows)
+    rows["linestatus"] = rng.integers(0, 2, num_rows)
+    rows["shipdate"] = rng.integers(8035, 10592, num_rows)  # 1992..1998
+    return rows
+
+
+def q6_query() -> Query:
+    """TPC-H Q6's scan fragment: the date/discount/quantity filter.
+
+    ``SELECT extendedprice, discount FROM lineitem WHERE shipdate in 1994
+    AND discount BETWEEN 0.05 AND 0.07 AND quantity < 24`` — roughly 2 %
+    selectivity (paper §5.3), then the revenue product is computed
+    client-side.
+    """
+    predicate = And(
+        And(Compare("shipdate", ">=", _EPOCH_1994),
+            Compare("shipdate", "<", _EPOCH_1995)),
+        And(And(Compare("discount", ">=", 0.05),
+                Compare("discount", "<=", 0.07)),
+            Compare("quantity", "<", 24.0)))
+    return Query(projection=("extendedprice", "discount"),
+                 predicate=predicate, label="tpch_q6")
+
+
+def q6_expected_selectivity() -> float:
+    """The paper's quoted Q6 selectivity anchor."""
+    return cal.TPCH_Q6_SELECTIVITY
+
+
+def q1_query() -> Query:
+    """TPC-H Q1's aggregation fragment.
+
+    ``SELECT returnflag, linestatus, SUM(quantity), SUM(extendedprice),
+    AVG(discount), COUNT(*) FROM lineitem GROUP BY returnflag,
+    linestatus`` — six wide groups, the canonical group-by offload.
+    """
+    return Query(
+        group_by=("returnflag", "linestatus"),
+        aggregates=(
+            AggregateSpec("sum", "quantity", alias="sum_qty"),
+            AggregateSpec("sum", "extendedprice", alias="sum_price"),
+            AggregateSpec("avg", "discount", alias="avg_disc"),
+            AggregateSpec("count", "*", alias="count_order"),
+        ),
+        label="tpch_q1")

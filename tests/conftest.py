@@ -1,0 +1,28 @@
+"""Shared fixtures: a fresh simulator and small memory configs for tests."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.memory.mmu import Mmu
+from repro.sim.engine import Simulator
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def small_memconfig():
+    """Two channels, 64 KB pages, 2 MB per channel — fast to construct."""
+    return MemoryConfig(channels=2, channel_capacity=2 * MB, page_size=64 * KB)
+
+
+@pytest.fixture
+def mmu(sim, small_memconfig):
+    m = Mmu(sim, small_memconfig)
+    m.create_domain(1)
+    return m

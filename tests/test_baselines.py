@@ -1,0 +1,205 @@
+"""CPU baselines: functional equality with oracles + cost-model behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_model import CostBreakdown, CpuCostModel
+from repro.baselines.hashmap import SoftwareHashMap
+from repro.baselines.lcpu import LcpuBaseline
+from repro.baselines.rcpu import RcpuBaseline
+from repro.baselines.rnic import RnicBaseline
+from repro.common import calibration as cal
+from repro.common.config import CpuConfig
+from repro.common.errors import ConfigurationError, OperatorError
+from repro.operators.aggregate import AggregateSpec
+from repro.operators.encryption_op import encrypt_table_image
+from repro.workloads.generator import (
+    distinct_workload,
+    groupby_workload,
+    selection_workload,
+    string_workload,
+)
+
+KB = 1024
+
+
+# --- software hash map ----------------------------------------------------------
+
+def test_hashmap_put_get():
+    m = SoftwareHashMap()
+    assert m.put(b"a", 1)
+    assert not m.put(b"a", 2)  # update, not new
+    assert m.get(b"a") == 2
+    assert b"a" in m and b"b" not in m
+    assert len(m) == 1
+
+
+def test_hashmap_grows():
+    m = SoftwareHashMap(initial_slots=16)
+    for i in range(100):
+        m.put(f"key{i}".encode(), i)
+    assert len(m) == 100
+    assert m.resizes >= 3
+    assert m.rehashed_entries > 0
+    for i in range(100):
+        assert m.get(f"key{i}".encode()) == i
+
+
+def test_hashmap_items():
+    m = SoftwareHashMap()
+    m.put(b"x", 1)
+    m.put(b"y", 2)
+    assert dict(m.items()) == {b"x": 1, b"y": 2}
+
+
+def test_hashmap_validates_slots():
+    with pytest.raises(OperatorError):
+        SoftwareHashMap(initial_slots=12)  # not power of two
+
+
+def test_hashmap_matches_dict_oracle():
+    import random
+    rng = random.Random(42)
+    m = SoftwareHashMap()
+    oracle = {}
+    for _ in range(500):
+        k = f"k{rng.randrange(100)}".encode()
+        v = rng.randrange(1000)
+        m.put(k, v)
+        oracle[k] = v
+    assert dict(m.items()) == oracle
+
+
+# --- cost model --------------------------------------------------------------------
+
+def test_cost_breakdown_totals():
+    cb = CostBreakdown()
+    cb.add("read", 100.0)
+    cb.add("read", 50.0)
+    cb.add("write", 25.0)
+    assert cb.total_ns == 175.0
+    with pytest.raises(ConfigurationError):
+        cb.add("bad", -1.0)
+
+
+def test_interference_shrinks_bandwidth():
+    solo = CpuCostModel(active_clients=1)
+    six = CpuCostModel(active_clients=6)
+    assert six.read_bandwidth < solo.read_bandwidth
+    # With 6 clients the socket ceiling also binds.
+    assert six.read_bandwidth <= CpuConfig().socket_dram_bandwidth / 6 + 1e-9
+
+
+def test_growing_hash_costs_more():
+    m = CpuCostModel()
+    assert m.hash_ns(1000, growing=True) > m.hash_ns(1000, growing=False)
+
+
+def test_model_validates_clients():
+    with pytest.raises(ConfigurationError):
+        CpuCostModel(active_clients=0)
+
+
+# --- LCPU functional equality ----------------------------------------------------------
+
+def test_lcpu_select_matches_numpy():
+    wl = selection_workload(2048, 0.5)
+    result, elapsed, cost = LcpuBaseline().select(wl.schema, wl.rows,
+                                                  wl.predicate)
+    expected = wl.rows[wl.predicate.evaluate(wl.rows)]
+    np.testing.assert_array_equal(result["a"], expected["a"])
+    assert elapsed > 0
+    assert set(cost.parts) == {"setup", "read", "predicate", "write"}
+
+
+def test_lcpu_distinct_matches_set():
+    schema, rows = distinct_workload(1024, 200)
+    result, elapsed, cost = LcpuBaseline().distinct(schema, rows, ["a"])
+    assert sorted(result["a"].tolist()) == sorted(set(rows["a"].tolist()))
+    assert "hash" in cost.parts
+
+
+def test_lcpu_groupby_matches_dict():
+    schema, rows = groupby_workload(1024, 32)
+    result, _, _ = LcpuBaseline().group_by(
+        schema, rows, ["a"], [AggregateSpec("sum", "b")])
+    got = {int(k): v for k, v in zip(result["a"], result["sum_b"])}
+    expected = {}
+    for k, v in zip(rows["a"], rows["b"]):
+        expected[int(k)] = expected.get(int(k), 0.0) + float(v)
+    assert got.keys() == expected.keys()
+    for k in expected:
+        assert got[k] == pytest.approx(expected[k])
+
+
+def test_lcpu_regex_matches_substring_oracle():
+    schema, rows = string_workload(256, 64, match_fraction=0.5)
+    result, _, cost = LcpuBaseline().regex(schema, rows, "s", "farview")
+    expected_ids = {int(r["id"]) for r in rows if b"farview" in bytes(r["s"])}
+    assert set(result["id"].tolist()) == expected_ids
+    assert "re2" in cost.parts
+
+
+def test_lcpu_decrypt_round_trip():
+    key, nonce = b"k" * 16, b"n" * 12
+    wl = selection_workload(256, 1.0)
+    image = encrypt_table_image(wl.schema.to_bytes(wl.rows), key, nonce)
+    rows, _, cost = LcpuBaseline().decrypt(wl.schema, image, key, nonce)
+    np.testing.assert_array_equal(rows["a"], wl.rows["a"])
+    assert "aes" in cost.parts
+
+
+# --- RCPU is LCPU + shipping ---------------------------------------------------------------
+
+def test_rcpu_slower_than_lcpu_everywhere():
+    wl = selection_workload(4096, 0.5)
+    _, t_l, _ = LcpuBaseline().select(wl.schema, wl.rows, wl.predicate)
+    _, t_r, _ = RcpuBaseline().select(wl.schema, wl.rows, wl.predicate)
+    assert t_r > t_l  # §6.4: "in all the cases it is slower than LCPU"
+
+
+def test_rcpu_result_identical_to_lcpu():
+    schema, rows = distinct_workload(512, 64)
+    r_l, _, _ = LcpuBaseline().distinct(schema, rows, ["a"])
+    r_r, _, _ = RcpuBaseline().distinct(schema, rows, ["a"])
+    np.testing.assert_array_equal(r_l["a"], r_r["a"])
+
+
+def test_rcpu_ship_cost_grows_with_result_size():
+    wl_small = selection_workload(4096, 0.1)
+    wl_large = selection_workload(4096, 0.9)
+    _, _, cost_small = RcpuBaseline().select(wl_small.schema, wl_small.rows,
+                                             wl_small.predicate)
+    _, _, cost_large = RcpuBaseline().select(wl_large.schema, wl_large.rows,
+                                             wl_large.predicate)
+    assert cost_large.parts["ship_result"] > cost_small.parts["ship_result"]
+
+
+# --- RNIC microbenchmark model (Figure 6 anchors) ------------------------------------------------
+
+def test_rnic_throughput_peaks_near_11():
+    rnic = RnicBaseline()
+    peak = max(rnic.read_throughput_gbps(s)
+               for s in (8 * KB, 16 * KB, 32 * KB))
+    assert 10.0 <= peak <= 11.5  # "peaks at ~11 GBps" (PCIe bound)
+
+
+def test_rnic_response_time_monotonic_in_size():
+    rnic = RnicBaseline()
+    times = [rnic.read_response_time_ns(s)
+             for s in (512, 2 * KB, 8 * KB, 32 * KB)]
+    assert times == sorted(times)
+
+
+def test_rnic_pcie_latency_visible_at_small_sizes():
+    rnic = RnicBaseline()
+    rt = rnic.read_response_time_ns(512)
+    assert rt > cal.RNIC_PCIE_LATENCY_NS  # the crossing is paid
+
+
+def test_rnic_validates_inputs():
+    rnic = RnicBaseline()
+    with pytest.raises(ConfigurationError):
+        rnic.read_response_time_ns(0)
+    with pytest.raises(ConfigurationError):
+        rnic.read_throughput_gbps(1024, window=0)

@@ -1,0 +1,157 @@
+"""Schema and row encoding round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.common.records import (
+    Column,
+    Schema,
+    default_schema,
+    string_schema,
+    wide_schema,
+)
+
+
+def test_default_schema_is_8x8():
+    schema = default_schema()
+    assert len(schema) == 8
+    assert schema.row_width == 64
+    assert schema.names[:3] == ("a", "b", "c")
+
+
+def test_default_schema_second_column_is_float():
+    schema = default_schema()
+    assert schema.column("b").kind == "float64"
+    assert schema.column("a").kind == "int64"
+
+
+def test_column_rejects_unknown_kind():
+    with pytest.raises(QueryError):
+        Column("x", "int32")
+
+
+def test_column_rejects_wrong_width_for_fixed_kind():
+    with pytest.raises(QueryError):
+        Column("x", "int64", width=4)
+
+
+def test_char_column_requires_positive_width():
+    with pytest.raises(QueryError):
+        Column("x", "char", width=0)
+
+
+def test_schema_rejects_duplicate_names():
+    with pytest.raises(QueryError):
+        Schema([Column("a", "int64"), Column("a", "int64")])
+
+
+def test_schema_rejects_empty():
+    with pytest.raises(QueryError):
+        Schema([])
+
+
+def test_offsets_are_cumulative():
+    schema = default_schema()
+    assert schema.offset("a") == 0
+    assert schema.offset("b") == 8
+    assert schema.offset("h") == 56
+
+
+def test_byte_range():
+    schema = default_schema()
+    assert schema.byte_range("c") == (16, 8)
+
+
+def test_unknown_column_raises():
+    schema = default_schema()
+    with pytest.raises(QueryError):
+        schema.offset("zz")
+    with pytest.raises(QueryError):
+        schema.column("zz")
+    with pytest.raises(QueryError):
+        schema.index("zz")
+
+
+def test_index():
+    schema = default_schema()
+    assert schema.index("a") == 0
+    assert schema.index("h") == 7
+
+
+def test_project_preserves_order():
+    schema = default_schema()
+    sub = schema.project(["c", "a"])
+    assert sub.names == ("c", "a")
+    assert sub.row_width == 16
+
+
+def test_round_trip_bytes():
+    schema = default_schema()
+    rows = schema.empty(4)
+    rows["a"] = [1, 2, 3, 4]
+    rows["b"] = [0.5, 1.5, 2.5, 3.5]
+    image = schema.to_bytes(rows)
+    assert len(image) == 4 * 64
+    back = schema.from_bytes(image)
+    np.testing.assert_array_equal(back["a"], rows["a"])
+    np.testing.assert_array_equal(back["b"], rows["b"])
+
+
+def test_from_bytes_rejects_ragged_image():
+    schema = default_schema()
+    with pytest.raises(QueryError):
+        schema.from_bytes(b"\x00" * 65)
+
+
+def test_wide_schema_widths():
+    schema = wide_schema(512)
+    assert schema.row_width == 512
+    assert len(schema) == 64
+
+
+def test_wide_schema_rejects_ragged():
+    with pytest.raises(QueryError):
+        wide_schema(100, attr_bytes=8)
+
+
+def test_string_schema():
+    schema = string_schema(256)
+    assert schema.row_width == 264
+    assert schema.column("s").kind == "char"
+
+
+def test_schema_equality_and_hash():
+    assert default_schema() == default_schema()
+    assert hash(default_schema()) == hash(default_schema())
+    assert default_schema() != wide_schema(512)
+
+
+def test_generated_names_do_not_collide():
+    schema = wide_schema(8 * 60)
+    assert len(set(schema.names)) == 60
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=-2**63, max_value=2**63 - 1),
+                min_size=1, max_size=64))
+def test_round_trip_property_int64(values):
+    schema = Schema([Column("v", "int64")])
+    rows = schema.empty(len(values))
+    rows["v"] = values
+    back = schema.from_bytes(schema.to_bytes(rows))
+    assert back["v"].tolist() == values
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=16), min_size=1, max_size=32))
+def test_round_trip_property_char(blobs):
+    schema = Schema([Column("s", "char", 16)])
+    rows = schema.empty(len(blobs))
+    rows["s"] = blobs
+    back = schema.from_bytes(schema.to_bytes(rows))
+    # numpy S-columns strip trailing NULs; compare against that normal form
+    for got, want in zip(back["s"], blobs):
+        assert got == want.rstrip(b"\x00")[:16] or got == want[:16].rstrip(b"\x00")

@@ -1,0 +1,138 @@
+"""Region leasing / admission control (elasticity future work)."""
+
+import pytest
+
+from repro.common.config import FarviewConfig, MemoryConfig, OperatorStackConfig
+from repro.core.elasticity import RegionLeaseManager
+from repro.core.node import FarviewNode
+from repro.core.query import select_star
+from repro.core.table import FTable
+from repro.operators.selection import Compare
+from repro.sim.engine import Simulator
+from repro.workloads.generator import selection_workload
+
+KB = 1024
+MB = 1024 * KB
+
+
+def make_node(regions=2):
+    sim = Simulator()
+    config = FarviewConfig(
+        memory=MemoryConfig(channels=2, channel_capacity=8 * MB,
+                            page_size=64 * KB),
+        operator_stack=OperatorStackConfig(regions=regions))
+    return sim, FarviewNode(sim, config)
+
+
+def test_acquire_within_capacity_is_immediate():
+    sim, node = make_node(regions=2)
+    manager = RegionLeaseManager(node)
+
+    def main():
+        a = yield from manager.acquire()
+        b = yield from manager.acquire()
+        return a, b, sim.now
+
+    a, b, now = sim.run_process(main())
+    assert a.connection.region.index != b.connection.region.index
+    assert now == 0.0
+    assert manager.leases_granted == 2
+
+
+def test_acquire_waits_for_release_fifo():
+    sim, node = make_node(regions=1)
+    manager = RegionLeaseManager(node)
+    order = []
+
+    def holder():
+        client = yield from manager.acquire()
+        order.append("holder")
+        yield sim.timeout(100.0)
+        manager.release(client)
+
+    def waiter(tag, delay):
+        yield sim.timeout(delay)
+        client = yield from manager.acquire()
+        order.append((tag, sim.now))
+        manager.release(client)
+
+    def main():
+        procs = [sim.process(holder()),
+                 sim.process(waiter("first", 1.0)),
+                 sim.process(waiter("second", 2.0))]
+        yield sim.all_of(procs)
+
+    sim.run_process(main())
+    assert order[0] == "holder"
+    assert order[1][0] == "first"       # FIFO: earlier request served first
+    assert order[1][1] >= 100.0
+    assert order[2][0] == "second"
+    assert manager.max_queue_depth == 2
+
+
+def test_with_lease_releases_on_success():
+    sim, node = make_node(regions=1)
+    manager = RegionLeaseManager(node)
+
+    def body(client):
+        yield sim.timeout(5.0)
+        return client.connection.region.index
+
+    def main():
+        first = yield from manager.with_lease(body)
+        second = yield from manager.with_lease(body)
+        return first, second
+
+    first, second = sim.run_process(main())
+    assert first == second == 0  # region recycled
+    assert node.free_regions == 1
+
+
+def test_with_lease_releases_on_failure():
+    sim, node = make_node(regions=1)
+    manager = RegionLeaseManager(node)
+
+    def failing(client):
+        yield sim.timeout(1.0)
+        raise RuntimeError("query exploded")
+
+    def main():
+        try:
+            yield from manager.with_lease(failing)
+        except RuntimeError:
+            pass
+        # The region must be free again for the next tenant.
+        client = yield from manager.acquire()
+        return client.connection.region.index
+
+    assert sim.run_process(main()) == 0
+
+
+def test_leased_clients_run_real_queries():
+    sim, node = make_node(regions=2)
+    manager = RegionLeaseManager(node)
+    wl = selection_workload(512, 0.5)
+    completions = []
+
+    def tenant(i):
+        def body(client):
+            table = FTable(f"T{i}", wl.schema, len(wl.rows))
+            client.alloc_table_mem(table)
+            yield from client.table_write_proc(table, wl.rows)
+            result = yield from client.far_view_proc(
+                table, select_star(wl.predicate))
+            return len(result.rows())
+        count = yield from manager.with_lease(body)
+        completions.append((i, count, sim.now))
+
+    def main():
+        procs = [sim.process(tenant(i)) for i in range(5)]
+        yield sim.all_of(procs)
+
+    sim.run_process(main())
+    assert len(completions) == 5
+    expected = int(wl.predicate.evaluate(wl.rows).sum())
+    assert all(count == expected for _, count, _ in completions)
+    # With 2 regions and 5 tenants, some had to queue.
+    assert manager.max_queue_depth >= 1
+    assert node.free_regions == 2

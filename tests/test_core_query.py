@@ -1,0 +1,244 @@
+"""Query descriptors, FTable, catalog, and the pipeline compiler."""
+
+import pytest
+
+from repro.common.config import FarviewConfig
+from repro.common.errors import (
+    CatalogError,
+    PipelineCompilationError,
+    QueryError,
+)
+from repro.common.records import default_schema, string_schema, wide_schema
+from repro.core.catalog import Catalog
+from repro.core.pipeline_compiler import choose_smart_addressing, compile_query
+from repro.core.query import Query, RegexFilter, group_by_sum, select_distinct, select_star
+from repro.core.table import FTable
+from repro.operators.aggregate import AggregateSpec
+from repro.operators.selection import Compare
+
+CONFIG = FarviewConfig()
+
+
+def make_table(schema=None, rows=100, **kw):
+    return FTable("t", schema if schema is not None else default_schema(),
+                  rows, **kw)
+
+
+# --- FTable -------------------------------------------------------------------
+
+def test_table_size():
+    table = make_table(rows=10)
+    assert table.size_bytes == 640
+
+
+def test_table_requires_allocation():
+    table = make_table()
+    assert not table.allocated
+    with pytest.raises(CatalogError):
+        table.require_allocated()
+
+
+def test_encrypted_table_needs_keys():
+    with pytest.raises(CatalogError):
+        FTable("e", default_schema(), 1, encrypted=True)
+
+
+def test_table_validate_rows():
+    table = make_table(rows=2)
+    rows = default_schema().empty(2)
+    table.validate_rows(rows)
+    with pytest.raises(QueryError):
+        table.validate_rows(default_schema().empty(3))
+    with pytest.raises(QueryError):
+        table.validate_rows(wide_schema(128).empty(2))
+
+
+# --- catalog --------------------------------------------------------------------
+
+def test_catalog_register_lookup():
+    cat = Catalog()
+    table = cat.register(make_table())
+    assert cat.lookup("t") is table
+    assert "t" in cat
+    assert len(cat) == 1
+    assert cat.names == ["t"]
+
+
+def test_catalog_duplicate_rejected():
+    cat = Catalog()
+    cat.register(make_table())
+    with pytest.raises(CatalogError):
+        cat.register(make_table())
+
+
+def test_catalog_missing_lookup():
+    cat = Catalog()
+    with pytest.raises(CatalogError):
+        cat.lookup("missing")
+    with pytest.raises(CatalogError):
+        cat.deregister("missing")
+
+
+def test_catalog_total_bytes():
+    cat = Catalog()
+    cat.register(make_table(rows=10))
+    assert cat.total_bytes() == 640
+
+
+# --- query validation ----------------------------------------------------------------
+
+def test_query_builders():
+    q = select_star(Compare("a", "<", 5))
+    assert q.predicate is not None and q.projection is None
+    q2 = select_distinct(["a"])
+    assert q2.distinct and q2.projection == ("a",)
+    q3 = group_by_sum("a", "b")
+    assert q3.group_by == ("a",) and len(q3.aggregates) == 1
+
+
+def test_query_invalid_combinations():
+    with pytest.raises(QueryError):
+        Query(group_by=("a",))  # no aggregates
+    with pytest.raises(QueryError):
+        Query(distinct=True, group_by=("a",),
+              aggregates=(AggregateSpec("sum", "b"),))
+    with pytest.raises(QueryError):
+        Query(distinct_columns=("a",))  # without distinct
+    with pytest.raises(QueryError):
+        Query(projection=())
+    with pytest.raises(QueryError):
+        Query(smart_addressing=True, vectorized=True,
+              projection=("a",))
+    with pytest.raises(QueryError):
+        Query(encrypt_output=(b"short", b"x" * 12))
+
+
+def test_query_validates_against_schema():
+    schema = default_schema()
+    Query(projection=("a", "b")).validate(schema)
+    with pytest.raises(QueryError):
+        Query(projection=("zz",)).validate(schema)
+    with pytest.raises(QueryError):
+        Query(regex=RegexFilter("a", "x")).validate(schema)  # not char
+    with pytest.raises(QueryError):
+        Query(projection=("a",), group_by=("c",),
+              aggregates=(AggregateSpec("sum", "a"),)).validate(schema)
+
+
+def test_query_accessed_columns():
+    schema = default_schema()
+    q = Query(projection=("a",), predicate=Compare("c", "<", 5))
+    assert q.accessed_columns(schema) == ("a", "c")
+    q_all = Query(predicate=Compare("a", "<", 5))
+    assert q_all.accessed_columns(schema) == schema.names
+
+
+def test_query_signature_stable_and_distinct():
+    q1 = select_star(Compare("a", "<", 5))
+    q2 = select_star(Compare("a", "<", 5))
+    q3 = select_star(Compare("a", "<", 6))
+    assert q1.signature == q2.signature
+    assert q1.signature != q3.signature
+    assert Query().signature == "raw-read"
+
+
+# --- smart addressing planning (Figure 7 rule) ------------------------------------------
+
+def test_planner_prefers_standard_for_narrow_tuples():
+    schema = wide_schema(256)
+    q = Query(projection=("a", "b", "c"))
+    assert not choose_smart_addressing(q, schema, CONFIG)
+
+
+def test_planner_prefers_smart_for_wide_tuples():
+    schema = wide_schema(512)
+    q = Query(projection=("a", "b", "c"))
+    assert choose_smart_addressing(q, schema, CONFIG)
+
+
+def test_planner_honours_explicit_choice():
+    schema = wide_schema(512)
+    q = Query(projection=("a",), smart_addressing=False)
+    assert not choose_smart_addressing(q, schema, CONFIG)
+    q2 = Query(projection=("a",), smart_addressing=True)
+    assert choose_smart_addressing(q2, schema, CONFIG)
+
+
+def test_planner_rejects_sa_for_non_projection_queries():
+    schema = wide_schema(512)
+    q = Query(predicate=Compare("a", "<", 5))
+    assert not choose_smart_addressing(q, schema, CONFIG)
+
+
+# --- compiler ------------------------------------------------------------------------------
+
+def test_compile_selection_query():
+    table = make_table()
+    compiled = compile_query(select_star(Compare("a", "<", 5)), table, CONFIG)
+    assert compiled.ingest_mode == "standard"
+    assert "selection" in compiled.resource_operators
+    assert compiled.output_schema == table.schema
+
+
+def test_compile_vectorized_sets_lanes_and_rate():
+    table = make_table()
+    compiled = compile_query(
+        select_star(Compare("a", "<", 5), vectorized=True), table, CONFIG)
+    assert compiled.ingest_mode == "vectorized"
+    assert compiled.lanes >= 2
+    assert compiled.ingest_rate > CONFIG.operator_stack.region_throughput
+
+
+def test_compile_smart_addressing_query():
+    table = FTable("w", wide_schema(512), 100)
+    compiled = compile_query(Query(projection=("a", "b", "c")), table, CONFIG)
+    assert compiled.ingest_mode == "smart"
+    assert compiled.sa_plan is not None
+    assert compiled.output_schema.names == ("a", "b", "c")
+
+
+def test_compile_rejects_encrypted_table_without_decrypt():
+    table = FTable("e", default_schema(), 10, encrypted=True,
+                   key=b"k" * 16, nonce=b"n" * 12)
+    with pytest.raises(PipelineCompilationError):
+        compile_query(select_star(Compare("a", "<", 5)), table, CONFIG)
+
+
+def test_compile_rejects_decrypt_of_plain_table():
+    table = make_table()
+    with pytest.raises(PipelineCompilationError):
+        compile_query(Query(decrypt_input=True), table, CONFIG)
+
+
+def test_compile_decrypting_query():
+    table = FTable("e", default_schema(), 10, encrypted=True,
+                   key=b"k" * 16, nonce=b"n" * 12)
+    compiled = compile_query(
+        Query(predicate=Compare("a", "<", 5), decrypt_input=True),
+        table, CONFIG)
+    assert "decryption" in compiled.resource_operators
+
+
+def test_compile_groupby_and_distinct_and_agg():
+    table = make_table()
+    gb = compile_query(group_by_sum("a", "b"), table, CONFIG)
+    assert "groupby" in gb.resource_operators
+    assert gb.output_schema.names == ("a", "sum_b")
+    d = compile_query(select_distinct(["a"]), table, CONFIG)
+    assert "distinct" in d.resource_operators
+    agg = compile_query(
+        Query(aggregates=(AggregateSpec("count", "*"),)), table, CONFIG)
+    assert "aggregation" in agg.resource_operators
+
+
+def test_compile_regex_query():
+    table = FTable("s", string_schema(64), 10)
+    compiled = compile_query(
+        Query(regex=RegexFilter("s", "abc|def")), table, CONFIG)
+    assert "regex" in compiled.resource_operators
+
+
+def test_compile_always_includes_pack_send():
+    table = make_table()
+    compiled = compile_query(Query(), table, CONFIG)
+    assert compiled.resource_operators[-2:] == ["packing", "sending"]

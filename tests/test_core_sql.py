@@ -1,0 +1,216 @@
+"""SQL front end: tokenizer, parser, LIKE translation, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.common.records import default_schema, string_schema
+from repro.core.sql import SqlSyntaxError, like_to_regex, parse_sql
+from repro.operators.regex_engine import compile_pattern
+from repro.operators.selection import And, Compare, Not, Or
+
+
+# --- basic statements ---------------------------------------------------------
+
+def test_select_star():
+    parsed = parse_sql("SELECT * FROM S")
+    assert parsed.table == "S"
+    assert parsed.query.projection is None
+    assert parsed.query.predicate is None
+
+
+def test_select_columns():
+    parsed = parse_sql("SELECT a, b FROM t;")
+    assert parsed.query.projection == ("a", "b")
+
+
+def test_table_qualified_columns_resolve():
+    parsed = parse_sql("SELECT S.a FROM S WHERE S.c > 3.14;")
+    assert parsed.table == "S"
+    assert parsed.query.projection == ("a",)
+    assert parsed.query.predicate == Compare("c", ">", 3.14)
+
+
+def test_keywords_case_insensitive():
+    parsed = parse_sql("select A From T wHeRe A < 5")
+    assert parsed.query.predicate == Compare("A", "<", 5)
+
+
+def test_paper_selection_query():
+    """§6.4: SELECT * FROM S WHERE S.a < X AND S.b < Y."""
+    parsed = parse_sql("SELECT * FROM S WHERE S.a < 17 AND S.b < 0.5")
+    assert parsed.query.predicate == And(Compare("a", "<", 17),
+                                         Compare("b", "<", 0.5))
+
+
+def test_distinct():
+    parsed = parse_sql("SELECT DISTINCT a FROM S")
+    assert parsed.query.distinct
+    assert parsed.query.projection == ("a",)
+
+
+def test_group_by_sum():
+    """§6.5: SELECT S.a, SUM(S.b) FROM S GROUP BY S.a."""
+    parsed = parse_sql("SELECT a, SUM(b) FROM S GROUP BY a")
+    q = parsed.query
+    assert q.group_by == ("a",)
+    assert len(q.aggregates) == 1
+    assert q.aggregates[0].func == "sum"
+    assert q.aggregates[0].column == "b"
+
+
+def test_aggregates_with_aliases():
+    parsed = parse_sql(
+        "SELECT a, COUNT(*) AS n, AVG(b) AS mean FROM t GROUP BY a")
+    specs = parsed.query.aggregates
+    assert [s.alias for s in specs] == ["n", "mean"]
+    assert specs[0].column == "*"
+
+
+def test_standalone_aggregate():
+    parsed = parse_sql("SELECT COUNT(*), MAX(a) FROM t")
+    assert parsed.query.group_by is None
+    assert len(parsed.query.aggregates) == 2
+
+
+# --- WHERE expressions ------------------------------------------------------------
+
+def test_boolean_nesting():
+    parsed = parse_sql(
+        "SELECT * FROM t WHERE (a < 1 OR b > 2.0) AND NOT c = 3")
+    expected = And(Or(Compare("a", "<", 1), Compare("b", ">", 2.0)),
+                   Not(Compare("c", "==", 3)))
+    assert parsed.query.predicate == expected
+
+
+def test_operator_spellings():
+    parsed = parse_sql("SELECT * FROM t WHERE a <> 1 AND b != 2 AND c = 3")
+    expected = And(And(Compare("a", "!=", 1), Compare("b", "!=", 2)),
+                   Compare("c", "==", 3))
+    assert parsed.query.predicate == expected
+
+
+def test_string_literal_with_escaped_quote():
+    parsed = parse_sql("SELECT * FROM t WHERE s = 'it''s'")
+    assert parsed.query.predicate == Compare("s", "==", "it's")
+
+
+def test_regexp_term():
+    parsed = parse_sql("SELECT * FROM t WHERE s REGEXP 'far(view|sight)'")
+    assert parsed.query.regex is not None
+    assert parsed.query.regex.pattern == "far(view|sight)"
+    assert parsed.query.predicate is None
+
+
+def test_like_combined_with_predicate():
+    parsed = parse_sql(
+        "SELECT * FROM t WHERE id < 100 AND s LIKE '%farview%'")
+    assert parsed.query.predicate == Compare("id", "<", 100)
+    assert parsed.query.regex is not None
+
+
+# --- LIKE translation ----------------------------------------------------------------
+
+def test_like_percent_and_underscore():
+    regex = like_to_regex("a%b_c")
+    assert regex == "^a.*b.c$"
+    compiled = compile_pattern(regex)
+    assert compiled.search(b"aXXXbYc")
+    assert not compiled.search(b"aXXXbYYc")
+
+
+def test_like_escapes_metacharacters():
+    regex = like_to_regex("50.5%")
+    compiled = compile_pattern(regex)
+    assert compiled.search(b"50.5 percent")
+    assert not compiled.search(b"50x5 percent")
+
+
+def test_like_is_full_match():
+    compiled = compile_pattern(like_to_regex("abc"))
+    assert compiled.search(b"abc")
+    assert not compiled.search(b"xabcx")  # SQL LIKE matches whole value
+
+
+# --- syntax errors -------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "SELECT FROM t",
+    "SELECT * t",
+    "SELECT *, a FROM t",
+    "SELECT a FROM",
+    "SELECT a FROM t WHERE",
+    "SELECT a FROM t WHERE a <",
+    "SELECT a FROM t WHERE a < 1 extra",
+    "SELECT a FROM t GROUP BY",
+    "SELECT a, SUM(b) FROM t",                    # aggregates need GROUP BY
+    "SELECT b, SUM(b) FROM t GROUP BY a",         # b not in GROUP BY
+    "SELECT a FROM t GROUP BY a",                 # GROUP BY needs aggregates
+    "SELECT DISTINCT SUM(a) FROM t",
+    "SELECT a FROM t WHERE s LIKE 5",
+    "SELECT a FROM t WHERE s LIKE 'x' AND s LIKE 'y'",
+    "SELECT a FROM t WHERE a < 1 OR s LIKE 'x'",  # regex under OR
+    "SELECT a FROM t WHERE NOT s LIKE 'x'",
+    "SELECT a FROM t WHERE a ~ 1",
+])
+def test_syntax_errors(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse_sql(bad)
+
+
+# --- end-to-end through the node ----------------------------------------------------------
+
+@pytest.fixture
+def bench():
+    from repro.experiments.common import make_bench, upload_table
+    from repro.workloads.generator import make_rows
+
+    b = make_bench()
+    schema = default_schema()
+    rows = make_rows(schema, 512)
+    rows["c"] = np.arange(512) % 7
+    table = upload_table(b, "S", schema, rows)
+    return b, rows, table
+
+
+def test_sql_selection_end_to_end(bench):
+    b, rows, table = bench
+    result, _ = b.client.sql("SELECT * FROM S WHERE c < 3")
+    expected = rows[rows["c"] < 3]
+    np.testing.assert_array_equal(result.rows()["a"], expected["a"])
+
+
+def test_sql_groupby_end_to_end(bench):
+    b, rows, table = bench
+    result, _ = b.client.sql(
+        "SELECT c, COUNT(*) AS n FROM S GROUP BY c")
+    got = {int(r["c"]): int(r["n"]) for r in result.rows()}
+    expected = {}
+    for v in rows["c"]:
+        expected[int(v)] = expected.get(int(v), 0) + 1
+    assert got == expected
+
+
+def test_sql_distinct_end_to_end(bench):
+    b, rows, table = bench
+    result, _ = b.client.sql("SELECT DISTINCT c FROM S")
+    assert sorted(result.rows()["c"].tolist()) == sorted(set(rows["c"].tolist()))
+
+
+def test_sql_like_end_to_end():
+    from repro.experiments.common import make_bench, upload_table
+    from repro.workloads.generator import string_workload
+
+    b = make_bench()
+    schema, rows = string_workload(64, 64, match_fraction=0.5)
+    table = upload_table(b, "docs", schema, rows)
+    result, _ = b.client.sql("SELECT * FROM docs WHERE s LIKE '%farview%'")
+    expected = {int(r["id"]) for r in rows if b"farview" in bytes(r["s"])}
+    assert set(result.rows()["id"].tolist()) == expected
+
+
+def test_sql_unknown_table_raises(bench):
+    b, _, _ = bench
+    from repro.common.errors import CatalogError
+    with pytest.raises(CatalogError):
+        b.client.sql("SELECT * FROM missing")

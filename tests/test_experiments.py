@@ -1,0 +1,109 @@
+"""Experiment harnesses on scaled-down sweeps: shapes must match the paper."""
+
+import pytest
+
+from repro.experiments import (
+    fig6_rdma,
+    fig7_projection,
+    fig8_selection,
+    fig9_grouping,
+    fig10_regex,
+    fig12_multiclient,
+    table1_resources,
+)
+
+KB = 1024
+
+
+def test_table1_reproduces_paper_rows():
+    result = table1_resources.run()
+    assert result.system_row == pytest.approx((24.0, 23.0, 29.0, 0.0))
+    assert result.full_deployment_max_utilization <= 0.30
+    assert "6 regions" in result.render()
+
+
+def test_fig6_small_vs_large_transfer_shape():
+    fig6a, fig6b = fig6_rdma.run(
+        sizes_throughput=(512, 2 * KB, 16 * KB),
+        sizes_response=(512, 16 * KB))
+    tput_fv = fig6a.series_named("FV")
+    tput_rnic = fig6a.series_named("RNIC")
+    # RNIC ahead at small, FV ahead at large.
+    assert tput_rnic.y_at(512) >= tput_fv.y_at(512)
+    assert tput_fv.y_at(16 * KB) > tput_rnic.y_at(16 * KB)
+    resp_fv = fig6b.series_named("FV")
+    resp_rnic = fig6b.series_named("RNIC")
+    assert resp_rnic.y_at(512) <= resp_fv.y_at(512)
+    assert resp_fv.y_at(16 * KB) < resp_rnic.y_at(16 * KB)
+
+
+def test_fig7_crossover_between_256_and_512():
+    result = fig7_projection.run(tuple_counts=(1024, 4096))
+    sa = result.series_named("FV-SA")
+    t256 = result.series_named("FV-t256B")
+    t512 = result.series_named("FV-t512B")
+    for n in (1024, 4096):
+        assert t256.y_at(n) <= sa.y_at(n) <= t512.y_at(n)
+
+
+def test_fig8_orderings_at_25pct():
+    result = fig8_selection.run_panel(0.25, table_sizes=(64 * KB, 256 * KB))
+    fv = result.series_named("FV")
+    fvv = result.series_named("FV-V")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+    for size in (64 * KB, 256 * KB):
+        assert fvv.y_at(size) <= fv.y_at(size) <= lcpu.y_at(size) <= rcpu.y_at(size)
+
+
+def test_fig8_vectorization_useless_at_full_selectivity():
+    result = fig8_selection.run_panel(1.0, table_sizes=(256 * KB,))
+    fv = result.series_named("FV")
+    fvv = result.series_named("FV-V")
+    assert fv.y_at(256 * KB) == pytest.approx(fvv.y_at(256 * KB), rel=0.1)
+
+
+def test_fig9a_baselines_grow_faster_than_fv():
+    result = fig9_grouping.run_distinct(table_sizes=(64 * KB, 256 * KB))
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    fv_growth = fv.y_at(256 * KB) / fv.y_at(64 * KB)
+    lcpu_growth = lcpu.y_at(256 * KB) / lcpu.y_at(64 * KB)
+    assert lcpu.y_at(64 * KB) > fv.y_at(64 * KB)
+    assert lcpu_growth >= fv_growth * 0.9  # both grow; baseline at least as fast
+
+
+def test_fig9c_fv_flush_grows_with_groups():
+    result = fig9_grouping.run_groupby_vs_groups(
+        group_counts=(256, 2048), table_size=256 * KB)
+    fv = result.series_named("FV")
+    assert fv.y_at(2048) > fv.y_at(256)
+
+
+def test_fig10_fv_ahead_and_gap_widens():
+    result = fig10_regex.run(string_sizes=(256, 4 * KB), num_rows=4)
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+    for size in (256, 4 * KB):
+        assert fv.y_at(size) < lcpu.y_at(size) < rcpu.y_at(size)
+    assert (lcpu.y_at(4 * KB) / fv.y_at(4 * KB)
+            >= lcpu.y_at(256) / fv.y_at(256))
+
+
+def test_fig12_fv_beats_contending_cpus():
+    result = fig12_multiclient.run(table_sizes=(64 * KB, 256 * KB))
+    fv = result.series_named("FV")
+    lcpu = result.series_named("LCPU")
+    rcpu = result.series_named("RCPU")
+    for size in (64 * KB, 256 * KB):
+        assert fv.y_at(size) < lcpu.y_at(size) < rcpu.y_at(size)
+
+
+def test_experiment_result_rendering():
+    result = fig8_selection.run_panel(1.0, table_sizes=(64 * KB,))
+    text = result.render()
+    assert "fig8_100pct" in text
+    assert "FV" in text and "RCPU" in text
+    with pytest.raises(KeyError):
+        result.series_named("nope")

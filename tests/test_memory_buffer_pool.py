@@ -1,0 +1,191 @@
+"""Buffer pool: residency, replacement policies, read-through semantics."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import CatalogError, MemoryError_
+from repro.memory.buffer_pool import (
+    BufferPool,
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    StorageBackend,
+)
+from repro.memory.mmu import Mmu
+from repro.sim.engine import Simulator
+
+KB = 1024
+MB = 1024 * 1024
+PAGE = 64 * KB
+
+
+@pytest.fixture
+def setup(sim):
+    config = MemoryConfig(channels=2, channel_capacity=2 * MB, page_size=PAGE)
+    mmu = Mmu(sim, config)
+    mmu.create_domain(0)
+    storage = StorageBackend(sim)
+    return sim, mmu, storage
+
+
+def make_pool(setup, capacity_pages=4, policy=None):
+    sim, mmu, storage = setup
+    pool = BufferPool(sim, mmu, storage, domain=0,
+                      capacity_pages=capacity_pages, policy=policy)
+    return sim, storage, pool
+
+
+def table_image(npages, fill=None):
+    out = bytearray()
+    for i in range(npages):
+        byte = (fill if fill is not None else i + 1) % 256
+        out += bytes([byte]) * PAGE
+    return bytes(out)
+
+
+def test_read_through_returns_storage_bytes(setup):
+    sim, storage, pool = make_pool(setup)
+    storage.store_table("t", table_image(2))
+
+    def proc():
+        data = yield pool.read("t", 10, 100)
+        return data
+
+    assert sim.run_process(proc()) == b"\x01" * 100
+    assert pool.misses == 1
+    assert pool.resident_pages == 1
+
+
+def test_second_read_hits_cache(setup):
+    sim, storage, pool = make_pool(setup)
+    storage.store_table("t", table_image(1))
+
+    def proc():
+        yield pool.read("t", 0, 64)
+        t0 = sim.now
+        yield pool.read("t", 64, 64)
+        return sim.now - t0
+
+    hit_time = sim.run_process(proc())
+    assert pool.hits == 1
+    assert pool.misses == 1
+    # A cache hit is served from DRAM: far faster than the 80 us storage trip.
+    assert hit_time < 10_000.0
+
+
+def test_read_crossing_pages(setup):
+    sim, storage, pool = make_pool(setup)
+    storage.store_table("t", table_image(3))
+
+    def proc():
+        data = yield pool.read("t", PAGE - 8, 16)
+        return data
+
+    assert sim.run_process(proc()) == b"\x01" * 8 + b"\x02" * 8
+    assert pool.resident_pages == 2
+
+
+def test_lru_evicts_least_recent(setup):
+    sim, storage, pool = make_pool(setup, capacity_pages=2, policy=LruPolicy())
+    storage.store_table("t", table_image(3))
+
+    def proc():
+        yield pool.read("t", 0 * PAGE, 8)        # page 0
+        yield pool.read("t", 1 * PAGE, 8)        # page 1
+        yield pool.read("t", 0 * PAGE + 16, 8)   # touch page 0
+        yield pool.read("t", 2 * PAGE, 8)        # page 2 -> evict page 1
+
+    sim.run_process(proc())
+    assert pool.is_resident("t", 0)
+    assert not pool.is_resident("t", 1)
+    assert pool.is_resident("t", 2)
+    assert pool.evictions == 1
+
+
+def test_fifo_ignores_recency(setup):
+    sim, storage, pool = make_pool(setup, capacity_pages=2, policy=FifoPolicy())
+    storage.store_table("t", table_image(3))
+
+    def proc():
+        yield pool.read("t", 0 * PAGE, 8)
+        yield pool.read("t", 1 * PAGE, 8)
+        yield pool.read("t", 0 * PAGE + 16, 8)   # hit, but FIFO doesn't care
+        yield pool.read("t", 2 * PAGE, 8)        # evicts page 0 (oldest)
+
+    sim.run_process(proc())
+    assert not pool.is_resident("t", 0)
+    assert pool.is_resident("t", 1)
+
+
+def test_clock_gives_second_chance(setup):
+    sim, storage, pool = make_pool(setup, capacity_pages=2, policy=ClockPolicy())
+    storage.store_table("t", table_image(3))
+
+    def proc():
+        yield pool.read("t", 0 * PAGE, 8)
+        yield pool.read("t", 1 * PAGE, 8)
+        yield pool.read("t", 0 * PAGE + 16, 8)   # sets ref bit on page 0
+        yield pool.read("t", 2 * PAGE, 8)
+
+    sim.run_process(proc())
+    # Page 0 was referenced -> second chance; page 1 is the victim.
+    assert pool.is_resident("t", 0)
+    assert not pool.is_resident("t", 1)
+
+
+def test_eviction_frees_mmu_pages(setup):
+    sim, mmu, storage = setup
+    pool = BufferPool(sim, mmu, storage, domain=0, capacity_pages=1)
+    storage.store_table("t", table_image(3))
+
+    def proc():
+        for i in range(3):
+            yield pool.read("t", i * PAGE, 8)
+
+    sim.run_process(proc())
+    assert pool.resident_pages == 1
+    assert mmu.domain_pages(0) == 1  # evicted pages were freed
+
+
+def test_out_of_range_read_fails(setup):
+    sim, storage, pool = make_pool(setup)
+    storage.store_table("t", table_image(1))
+
+    def proc():
+        try:
+            yield pool.read("t", PAGE - 4, 16)
+        except MemoryError_ as exc:
+            return str(exc)
+
+    assert "beyond table" in sim.run_process(proc())
+
+
+def test_unknown_table_raises(setup):
+    sim, storage, pool = make_pool(setup)
+    with pytest.raises(CatalogError):
+        storage.table_size("missing")
+
+
+def test_duplicate_table_rejected(setup):
+    _, storage, _pool = make_pool(setup)
+    storage.store_table("t", b"x")
+    with pytest.raises(CatalogError):
+        storage.store_table("t", b"y")
+
+
+def test_hit_rate(setup):
+    sim, storage, pool = make_pool(setup)
+    storage.store_table("t", table_image(1))
+
+    def proc():
+        for _ in range(4):
+            yield pool.read("t", 0, 32)
+
+    sim.run_process(proc())
+    assert pool.hit_rate == pytest.approx(0.75)
+
+
+def test_pool_requires_positive_capacity(setup):
+    sim, mmu, storage = setup
+    with pytest.raises(MemoryError_):
+        BufferPool(sim, mmu, storage, domain=0, capacity_pages=0)

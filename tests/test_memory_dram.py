@@ -1,0 +1,86 @@
+"""DRAM channel model: backing store correctness and timing."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import MemoryError_
+from repro.memory.dram import DramChannel, build_channels
+from repro.sim.engine import Simulator
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def channel(sim):
+    config = MemoryConfig(channels=1, channel_capacity=1 * MB, page_size=64 * KB)
+    return DramChannel(sim, config, index=0)
+
+
+def test_poke_peek_round_trip(channel):
+    channel.poke(100, b"hello world")
+    assert channel.peek(100, 11) == b"hello world"
+
+
+def test_peek_uninitialized_is_zero(channel):
+    assert channel.peek(0, 4) == b"\x00\x00\x00\x00"
+
+
+def test_out_of_range_access_raises(channel):
+    with pytest.raises(MemoryError_):
+        channel.peek(1 * MB - 2, 4)
+    with pytest.raises(MemoryError_):
+        channel.poke(-1, b"x")
+
+
+def test_timed_read_returns_data_and_takes_time(sim, channel):
+    channel.poke(0, b"abcd" * 16)
+
+    def proc():
+        data = yield channel.read(0, 64)
+        return data, sim.now
+
+    data, elapsed = sim.run_process(proc())
+    assert data == b"abcd" * 16
+    # 64 B / (18 * 0.9) B/ns + 90 ns access latency
+    expected = 64 / (18.0 * 0.9) + 90.0
+    assert elapsed == pytest.approx(expected)
+
+
+def test_timed_write_lands_immediately_functionally(sim, channel):
+    def proc():
+        yield channel.write(10, b"xyz")
+        return channel.peek(10, 3)
+
+    assert sim.run_process(proc()) == b"xyz"
+
+
+def test_read_write_pipes_are_decoupled(sim, channel):
+    """A large write must not delay a concurrent read (decoupled channels)."""
+
+    def proc():
+        channel.write(0, bytes(512 * KB))  # occupies the write pipe
+        start = sim.now
+        yield channel.read(0, 64)
+        return sim.now - start
+
+    elapsed = sim.run_process(proc())
+    expected = 64 / (18.0 * 0.9) + 90.0
+    assert elapsed == pytest.approx(expected)
+
+
+def test_bytes_counters(sim, channel):
+    def proc():
+        yield channel.write(0, bytes(128))
+        yield channel.read(0, 64)
+
+    sim.run_process(proc())
+    assert channel.bytes_written == 128
+    assert channel.bytes_read == 64
+
+
+def test_build_channels_count(sim):
+    config = MemoryConfig(channels=4, channel_capacity=1 * MB, page_size=64 * KB)
+    channels = build_channels(sim, config)
+    assert len(channels) == 4
+    assert [c.index for c in channels] == [0, 1, 2, 3]

@@ -1,0 +1,143 @@
+"""Node failure paths and out-of-order delivery robustness."""
+
+import pytest
+
+from repro.common.config import FarviewConfig, MemoryConfig, NetworkConfig
+from repro.common.errors import CatalogError, ConnectionError_, NetworkError, OperatorError
+from repro.core.api import FarviewClient
+from repro.core.node import FarviewNode
+from repro.core.query import select_star
+from repro.core.table import FTable
+from repro.network.link import Link
+from repro.network.qp import QueuePair
+from repro.network.rdma import ResponseStreamer
+from repro.operators.selection import Compare
+from repro.sim.engine import Simulator
+from repro.workloads.generator import selection_workload
+
+KB = 1024
+MB = 1024 * KB
+
+CONFIG = FarviewConfig(
+    memory=MemoryConfig(channels=2, channel_capacity=4 * MB,
+                        page_size=64 * KB))
+
+
+@pytest.fixture
+def client():
+    sim = Simulator()
+    node = FarviewNode(sim, CONFIG)
+    c = FarviewClient(node)
+    c.open_connection()
+    return c
+
+
+def test_write_beyond_table_size_rejected(client):
+    wl = selection_workload(16, 1.0)
+    table = FTable("S", wl.schema, 16)
+    client.alloc_table_mem(table)
+    with pytest.raises(OperatorError, match="exceeds"):
+        client.table_write(table, b"x" * (table.size_bytes + 1))
+
+
+def test_read_outside_table_rejected(client):
+    wl = selection_workload(16, 1.0)
+    table = FTable("S", wl.schema, 16)
+    client.alloc_table_mem(table)
+    client.table_write(table, wl.rows)
+    with pytest.raises(OperatorError, match="outside"):
+        client.table_read(table, offset=table.size_bytes - 8, length=64)
+
+
+def test_query_on_unallocated_table_rejected(client):
+    wl = selection_workload(16, 1.0)
+    table = FTable("S", wl.schema, 16)  # never allocated
+    with pytest.raises(CatalogError, match="no disaggregated memory"):
+        client.far_view(table, select_star(Compare("a", "<", 1)))
+
+
+def test_closed_connection_rejects_verbs():
+    sim = Simulator()
+    node = FarviewNode(sim, CONFIG)
+    client = FarviewClient(node)
+    client.open_connection()
+    client.close_connection()
+    wl = selection_workload(4, 1.0)
+    with pytest.raises(ConnectionError_):
+        client.alloc_table_mem(FTable("S", wl.schema, 4))
+    with pytest.raises(ConnectionError_):
+        client.close_connection()
+
+
+def test_double_close_of_node_connection_rejected():
+    sim = Simulator()
+    node = FarviewNode(sim, CONFIG)
+    conn = node.open_connection()
+    node.close_connection(conn)
+    with pytest.raises(ConnectionError_):
+        node.close_connection(conn)
+
+
+def test_client_buffer_overflow_detected():
+    """A result larger than the posted client buffer must fail loudly."""
+    sim = Simulator()
+    node = FarviewNode(sim, CONFIG)
+    client = FarviewClient(node, buffer_capacity=1 * KB)
+    client.open_connection()
+    wl = selection_workload(256, 1.0)  # 16 kB result into a 1 kB buffer
+    table = FTable("S", wl.schema, len(wl.rows))
+    client.alloc_table_mem(table)
+    client.table_write(table, wl.rows)
+    with pytest.raises(NetworkError, match="overflows"):
+        client.table_read(table)
+
+
+def test_resources_undeployed_on_close():
+    sim = Simulator()
+    node = FarviewNode(sim, CONFIG)
+    client = FarviewClient(node)
+    client.open_connection()
+    wl = selection_workload(64, 1.0)
+    table = FTable("S", wl.schema, len(wl.rows))
+    client.alloc_table_mem(table)
+    client.table_write(table, wl.rows)
+    client.far_view(table, select_star(wl.predicate))
+    region = client.connection.region.index
+    busy = node.utilization()
+    client.close_connection()
+    freed = node.utilization()
+    assert freed.luts < busy.luts  # operator share released
+    assert region not in node.resources._deployed
+
+
+def test_free_table_memory_is_reusable(client):
+    wl = selection_workload(64, 1.0)
+    for i in range(10):  # would exhaust a leaky allocator
+        table = FTable(f"S{i}", wl.schema, len(wl.rows))
+        client.alloc_table_mem(table)
+        client.table_write(table, wl.rows)
+        client.free_table_mem(table)
+    assert client.node.mmu.allocator.pages_allocated == 0
+
+
+# --- out-of-order delivery ---------------------------------------------------------
+
+def test_streamer_deposits_are_position_based_not_order_based():
+    """One-sided writes carry their own buffer offset: delivering packets
+    out of order must still produce the correct client image (§4.3
+    out-of-order execution at packet granularity)."""
+    sim = Simulator()
+    config = NetworkConfig()
+    link = Link(sim, config)
+    qp = QueuePair(sim, buffer_capacity=8 * KB, credits=8)
+    link.register_flow(qp.qp_id)
+    streamer = ResponseStreamer(sim, link, qp, config)
+    payload = bytes(range(256)) * 12  # 3 packets
+
+    # Bypass the link: invoke the delivery callbacks in reverse order.
+    chunks = [payload[0:1024], payload[1024:2048], payload[2048:3072]]
+    offsets = [0, 1024, 2048]
+    for off, chunk in reversed(list(zip(offsets, chunks))):
+        qp.credits.acquire()
+        streamer._on_delivered(off, chunk)
+    assert qp.buffer.read(0, len(payload)) == payload

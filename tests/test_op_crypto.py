@@ -1,0 +1,191 @@
+"""AES-128-CTR: FIPS-197 / SP 800-38A vectors and stream properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import OperatorError
+from repro.operators.crypto import (
+    INV_SBOX,
+    SBOX,
+    AesCtr,
+    encrypt_block,
+    encrypt_blocks,
+    expand_key,
+)
+from repro.operators.encryption_op import (
+    DecryptOperator,
+    EncryptOperator,
+    decrypt_table_image,
+    encrypt_table_image,
+)
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# NIST SP 800-38A F.5.1 CTR-AES128.Encrypt
+SP_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP_NONCE = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafb")  # first 12 counter bytes
+SP_FIRST_COUNTER = 0xFCFDFEFF                          # last 4 counter bytes
+SP_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710")
+SP_CT = bytes.fromhex(
+    "874d6191b620e3261bef6864990db6ce"
+    "9806f66b7970fdff8617187bb9fffdff"
+    "5ae4df3edbd5d35e5b4f09020db03eab"
+    "1e031dda2fbe03d1792170a0f3009cee")
+
+
+# --- S-box derivation --------------------------------------------------------------
+
+def test_sbox_known_entries():
+    # FIPS-197 figure 7 spot checks.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_inv_sbox_inverts():
+    values = np.arange(256, dtype=np.uint8)
+    np.testing.assert_array_equal(INV_SBOX[SBOX[values]], values)
+
+
+# --- key expansion -------------------------------------------------------------------
+
+def test_key_expansion_first_and_last_round_keys():
+    rk = expand_key(FIPS_KEY)
+    assert rk.shape == (11, 16)
+    assert rk[0].tobytes() == FIPS_KEY
+    # FIPS-197 A.1 final round key for the sequential 00..0f key.
+    assert rk[10].tobytes().hex() == "13111d7fe3944a17f307a78b4d2b30c5"
+
+
+def test_key_expansion_rejects_bad_key():
+    with pytest.raises(OperatorError):
+        expand_key(b"short")
+
+
+# --- block encryption ------------------------------------------------------------------
+
+def test_fips197_appendix_c1():
+    assert encrypt_block(FIPS_PT, FIPS_KEY) == FIPS_CT
+
+
+def test_encrypt_blocks_vectorized_matches_scalar():
+    rk = expand_key(FIPS_KEY)
+    blocks = np.frombuffer(FIPS_PT * 4, dtype=np.uint8).reshape(4, 16)
+    out = encrypt_blocks(blocks, rk)
+    for row in out:
+        assert row.tobytes() == FIPS_CT
+
+
+def test_encrypt_block_rejects_bad_size():
+    with pytest.raises(OperatorError):
+        encrypt_block(b"tiny", FIPS_KEY)
+
+
+# --- CTR mode ------------------------------------------------------------------------------
+
+def test_sp800_38a_ctr_vector():
+    ctr = AesCtr(SP_KEY, SP_NONCE)
+    ct = ctr.process(SP_PT, byte_offset=SP_FIRST_COUNTER * 16)
+    assert ct == SP_CT
+
+
+def test_ctr_round_trip():
+    ctr = AesCtr(FIPS_KEY, b"\x00" * 12)
+    data = bytes(range(256)) * 10
+    assert ctr.process(ctr.process(data)) == data
+
+
+def test_ctr_is_seekable():
+    ctr = AesCtr(FIPS_KEY, b"\x01" * 12)
+    data = b"A" * 64
+    whole = ctr.process(data, 0)
+    # Encrypt the second 32 bytes independently at offset 32.
+    part = ctr.process(data[32:], 32)
+    assert part == whole[32:]
+
+
+def test_ctr_rejects_unaligned_offset():
+    ctr = AesCtr(FIPS_KEY, b"\x00" * 12)
+    with pytest.raises(OperatorError):
+        ctr.process(b"x" * 16, byte_offset=8)
+
+
+def test_ctr_nonce_must_be_12_bytes():
+    with pytest.raises(OperatorError):
+        AesCtr(FIPS_KEY, b"\x00" * 16)
+
+
+def test_ctr_different_nonces_differ():
+    a = AesCtr(FIPS_KEY, b"\x00" * 12).process(b"Z" * 32)
+    b = AesCtr(FIPS_KEY, b"\x01" + b"\x00" * 11).process(b"Z" * 32)
+    assert a != b
+
+
+def test_ctr_empty_input():
+    ctr = AesCtr(FIPS_KEY, b"\x00" * 12)
+    assert ctr.process(b"") == b""
+    assert len(ctr.keystream(0, 0)) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=1000))
+def test_ctr_round_trip_property(data):
+    ctr = AesCtr(FIPS_KEY, b"\x07" * 12)
+    assert ctr.process(ctr.process(data)) == data
+
+
+# --- streaming operators ------------------------------------------------------------------
+
+def test_decrypt_operator_streams_arbitrary_chunks():
+    key, nonce = FIPS_KEY, b"\x02" * 12
+    plain = bytes(range(256)) * 8
+    cipher = encrypt_table_image(plain, key, nonce)
+    op = DecryptOperator(key, nonce)
+    out = b""
+    # Chunk sizes deliberately not multiples of 16.
+    for cut in (0, 7, 100, 333, len(cipher)):
+        pass
+    chunks = [cipher[0:7], cipher[7:100], cipher[100:333], cipher[333:]]
+    for chunk in chunks:
+        out += op.process(chunk)
+    out += op.finish()
+    assert out == plain
+
+
+def test_encrypt_then_decrypt_operators_compose():
+    key, nonce = FIPS_KEY, b"\x03" * 12
+    plain = b"farview" * 100
+    enc = EncryptOperator(key, nonce)
+    dec = DecryptOperator(key, nonce)
+    middle = enc.process(plain) + enc.finish()
+    out = dec.process(middle) + dec.finish()
+    assert out == plain
+
+
+def test_table_image_round_trip():
+    key, nonce = FIPS_KEY, b"\x04" * 12
+    image = b"\x55" * 4096
+    assert decrypt_table_image(encrypt_table_image(image, key, nonce),
+                               key, nonce) == image
+
+
+def test_encrypt_table_rejects_empty():
+    with pytest.raises(OperatorError):
+        encrypt_table_image(b"", FIPS_KEY, b"\x00" * 12)
+
+
+def test_ciphertext_looks_random():
+    """Sanity: encrypting zeros yields ~uniform bytes (entropy check)."""
+    ct = encrypt_table_image(b"\x00" * 65536, FIPS_KEY, b"\x08" * 12)
+    counts = np.bincount(np.frombuffer(ct, dtype=np.uint8), minlength=256)
+    # Each value should appear ~256 times; allow generous spread.
+    assert counts.min() > 128 and counts.max() < 512

@@ -1,0 +1,166 @@
+"""Cuckoo hash table and shift-register LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import OperatorError
+from repro.operators.cuckoo import CuckooHashTable
+from repro.operators.lru_cache import ShiftRegisterLru
+
+
+# --- cuckoo ----------------------------------------------------------------------
+
+def test_put_get_round_trip():
+    table = CuckooHashTable(ways=4, slots_per_way=64)
+    assert table.put(b"alpha", 1)
+    assert table.get(b"alpha") == 1
+    assert b"alpha" in table
+    assert len(table) == 1
+
+
+def test_get_missing_returns_none():
+    table = CuckooHashTable(ways=2, slots_per_way=8)
+    assert table.get(b"nope") is None
+    assert b"nope" not in table
+
+
+def test_put_updates_existing():
+    table = CuckooHashTable(ways=2, slots_per_way=8)
+    table.put(b"k", 1)
+    table.put(b"k", 2)
+    assert table.get(b"k") == 2
+    assert len(table) == 1
+
+
+def test_update_in_place():
+    table = CuckooHashTable(ways=2, slots_per_way=8)
+    table.put(b"k", 10)
+    assert table.update_in_place(b"k", lambda v: v + 5)
+    assert table.get(b"k") == 15
+    assert not table.update_in_place(b"missing", lambda v: v)
+
+
+def test_many_inserts_without_overflow():
+    table = CuckooHashTable(ways=4, slots_per_way=256)
+    n = 512  # 50% load over 1024 slots
+    for i in range(n):
+        table.put(f"key{i}".encode(), i)
+    assert len(table) + len(table.overflow) == n
+    assert not table.overflow  # cuckoo at 50% load should not overflow
+    for i in range(0, n, 37):
+        assert table.get(f"key{i}".encode()) == i
+
+
+def test_overload_produces_overflow_not_errors():
+    table = CuckooHashTable(ways=2, slots_per_way=8, max_kicks=4)
+    inserted = 0
+    for i in range(64):  # 4x capacity
+        table.put(f"key{i}".encode(), i)
+        inserted += 1
+    assert len(table) <= table.capacity
+    assert len(table.overflow) == inserted - len(table)
+    # Every key is either resident or in the overflow buffer.
+    resident = {k for k, _ in table.items()}
+    overflowed = {k for k, _ in table.overflow}
+    assert resident | overflowed == {f"key{i}".encode() for i in range(64)}
+    assert resident.isdisjoint(overflowed)
+
+
+def test_drain_overflow_empties_buffer():
+    table = CuckooHashTable(ways=1, slots_per_way=2, max_kicks=1)
+    for i in range(16):
+        table.put(f"key{i}".encode(), i)
+    drained = table.drain_overflow()
+    assert drained
+    assert table.overflow == []
+
+
+def test_load_factor():
+    table = CuckooHashTable(ways=2, slots_per_way=8)
+    table.put(b"a", 1)
+    assert table.load_factor == pytest.approx(1 / 16)
+
+
+def test_validation():
+    with pytest.raises(OperatorError):
+        CuckooHashTable(ways=0, slots_per_way=8)
+    with pytest.raises(OperatorError):
+        CuckooHashTable(ways=2, slots_per_way=8, max_kicks=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.binary(min_size=1, max_size=16),
+                       st.integers(), min_size=1, max_size=200))
+def test_cuckoo_behaves_like_dict_when_not_overflowing(mapping):
+    table = CuckooHashTable(ways=4, slots_per_way=256)
+    for k, v in mapping.items():
+        table.put(k, v)
+    if not table.overflow:
+        for k, v in mapping.items():
+            assert table.get(k) == v
+        assert len(table) == len(mapping)
+    else:
+        resident = dict(table.items())
+        overflowed = dict(table.overflow)
+        combined = {**resident, **overflowed}
+        assert set(combined) == set(mapping)
+
+
+# --- shift-register LRU ---------------------------------------------------------------
+
+def test_lru_miss_then_hit():
+    lru = ShiftRegisterLru(4)
+    assert not lru.lookup(b"a")
+    lru.insert(b"a")
+    assert lru.lookup(b"a")
+    assert lru.hits == 1
+    assert lru.misses == 1
+
+
+def test_lru_evicts_oldest():
+    lru = ShiftRegisterLru(2)
+    lru.insert(b"a")
+    lru.insert(b"b")
+    lru.insert(b"c")  # a falls off
+    assert b"a" not in lru
+    assert b"b" in lru
+    assert b"c" in lru
+
+
+def test_lru_promotion_is_true_lru():
+    lru = ShiftRegisterLru(2)
+    lru.insert(b"a")
+    lru.insert(b"b")
+    assert lru.lookup(b"a")   # promote a over b
+    lru.insert(b"c")          # evicts b, not a
+    assert b"a" in lru
+    assert b"b" not in lru
+
+
+def test_lookup_or_insert():
+    lru = ShiftRegisterLru(4)
+    assert not lru.lookup_or_insert(b"x")
+    assert lru.lookup_or_insert(b"x")
+
+
+def test_lru_depth_validation():
+    with pytest.raises(OperatorError):
+        ShiftRegisterLru(0)
+
+
+def test_lru_resident_list():
+    lru = ShiftRegisterLru(3)
+    lru.insert(b"a")
+    lru.insert(b"b")
+    assert lru.resident == [b"b", b"a"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from([b"a", b"b", b"c", b"d", b"e"]),
+                min_size=1, max_size=100))
+def test_lru_never_exceeds_depth(keys):
+    lru = ShiftRegisterLru(3)
+    for k in keys:
+        lru.lookup_or_insert(k)
+        assert len(lru.resident) <= 3

@@ -1,0 +1,158 @@
+"""Deeper property-based tests: stateful MMU model check and streaming
+determinism of operator pipelines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.common.config import MemoryConfig
+from repro.common.records import default_schema
+from repro.memory.mmu import Mmu
+from repro.operators.aggregate import AggregateSpec
+from repro.operators.base import OperatorPipeline
+from repro.operators.groupby import GroupByOperator
+from repro.operators.projection import ProjectionOperator
+from repro.operators.selection import Compare, SelectionOperator
+from repro.sim.engine import Simulator
+
+KB = 1024
+MB = 1024 * KB
+
+
+class MmuModelCheck(RuleBasedStateMachine):
+    """The striped MMU must behave exactly like one flat byte array.
+
+    Hypothesis drives random allocations, writes and reads against both
+    the MMU (2-channel striping, 64 KB pages) and a plain ``bytearray``
+    reference per allocation; any divergence is a striping/translation bug.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        config = MemoryConfig(channels=2, channel_capacity=2 * MB,
+                              page_size=64 * KB)
+        self.mmu = Mmu(self.sim, config)
+        self.mmu.create_domain(1)
+        #: vaddr -> reference bytearray
+        self.reference: dict[int, bytearray] = {}
+
+    @rule(size=st.integers(min_value=1, max_value=96 * KB))
+    def allocate(self, size):
+        if self.mmu.allocator.free_pages < 2:
+            return  # avoid OOM noise; exhaustion is tested elsewhere
+        vaddr = self.mmu.alloc(1, size)
+        self.reference[vaddr] = bytearray(size)
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data(), payload=st.binary(min_size=1, max_size=4 * KB))
+    def write(self, data, payload):
+        vaddr = data.draw(st.sampled_from(sorted(self.reference)))
+        ref = self.reference[vaddr]
+        if len(payload) > len(ref):
+            payload = payload[:len(ref)]
+        offset = data.draw(st.integers(0, len(ref) - len(payload)))
+        self.mmu.poke(1, vaddr + offset, payload)
+        ref[offset:offset + len(payload)] = payload
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def read_matches_reference(self, data):
+        vaddr = data.draw(st.sampled_from(sorted(self.reference)))
+        ref = self.reference[vaddr]
+        length = data.draw(st.integers(1, len(ref)))
+        offset = data.draw(st.integers(0, len(ref) - length))
+        got = self.mmu.peek(1, vaddr + offset, length)
+        assert got == bytes(ref[offset:offset + length])
+
+    @precondition(lambda self: len(self.reference) > 1)
+    @rule(data=st.data())
+    def free_one(self, data):
+        vaddr = data.draw(st.sampled_from(sorted(self.reference)))
+        self.mmu.free(1, vaddr)
+        del self.reference[vaddr]
+
+    @invariant()
+    def page_accounting_consistent(self):
+        page = self.mmu.config.page_size
+        expected = sum((len(ref) + page - 1) // page
+                       for ref in self.reference.values())
+        assert self.mmu.domain_pages(1) == expected
+
+
+MmuModelCheck.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None)
+TestMmuModelCheck = MmuModelCheck.TestCase
+
+
+# --- streaming determinism --------------------------------------------------------
+
+def _make_pipeline():
+    return OperatorPipeline(
+        "det", default_schema(),
+        row_ops=[SelectionOperator(Compare("a", "<", 8)),
+                 ProjectionOperator(["a", "b"])])
+
+
+@settings(max_examples=30, deadline=None)
+@given(cuts=st.lists(st.integers(min_value=1, max_value=4096),
+                     min_size=0, max_size=8),
+       num_rows=st.integers(min_value=0, max_value=200),
+       seed=st.integers(min_value=0, max_value=999))
+def test_pipeline_output_independent_of_chunking(cuts, num_rows, seed):
+    """Any burst segmentation of the input yields identical output bytes."""
+    schema = default_schema()
+    rng = np.random.default_rng(seed)
+    rows = schema.empty(num_rows)
+    rows["a"] = rng.integers(0, 16, num_rows)
+    rows["b"] = rng.random(num_rows)
+    image = schema.to_bytes(rows)
+
+    whole = _make_pipeline()
+    expected = whole.process_chunk(image) + whole.flush()
+
+    chunked = _make_pipeline()
+    out = b""
+    cursor = 0
+    for cut in cuts:
+        out += chunked.process_chunk(image[cursor:cursor + cut])
+        cursor += cut
+        if cursor >= len(image):
+            break
+    out += chunked.process_chunk(image[cursor:])
+    out += chunked.flush()
+    assert out == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_rows=st.integers(min_value=0, max_value=300),
+       groups=st.integers(min_value=1, max_value=12),
+       chunk=st.integers(min_value=64, max_value=2048),
+       seed=st.integers(min_value=0, max_value=999))
+def test_groupby_pipeline_chunking_property(num_rows, groups, chunk, seed):
+    """Group-by results are identical for any burst size (state carries)."""
+    schema = default_schema()
+    rng = np.random.default_rng(seed)
+    rows = schema.empty(num_rows)
+    rows["a"] = rng.integers(0, groups, num_rows)
+    rows["b"] = rng.random(num_rows)
+    image = schema.to_bytes(rows)
+
+    def run(burst):
+        pipeline = OperatorPipeline(
+            "gb", schema,
+            row_ops=[GroupByOperator(["a"], [AggregateSpec("sum", "b")])])
+        out = b""
+        for i in range(0, max(len(image), 1), burst):
+            out += pipeline.process_chunk(image[i:i + burst])
+        out += pipeline.flush()
+        return pipeline.output_schema.from_bytes(out)
+
+    base = run(len(image) or 64)
+    other = run(chunk - chunk % 1)  # arbitrary burst
+    got_a = dict(zip(base["a"].tolist(), base["sum_b"].tolist()))
+    got_b = dict(zip(other["a"].tolist(), other["sum_b"].tolist()))
+    assert got_a.keys() == got_b.keys()
+    for key in got_a:
+        assert abs(got_a[key] - got_b[key]) < 1e-9
