@@ -1,0 +1,300 @@
+#!/usr/bin/env python
+"""Perf harness: wall-clock / event-count trajectory for the simulator.
+
+Times figure-style workloads end to end (simulated node + client, real byte
+movement) and records:
+
+* ``wall_s``        — host wall-clock seconds for the measured query phase
+                      (best of ``--repeat`` runs; setup/upload excluded),
+* ``sim_ns``        — simulated nanoseconds of the measured phase (must be
+                      invariant under pure-performance refactors),
+* ``events``        — simulator callbacks executed during the phase,
+* ``sha256``        — digest of the result bytes landed in the client
+                      buffer(s) (byte-exactness guard),
+* ``mb_per_s``      — processed table MB per host wall-clock second.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full run
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke    # quick sanity
+    PYTHONPATH=src python benchmarks/bench_perf.py --json out.json
+
+The committed ``BENCH_perf.json`` is the measured trajectory for this repo;
+``baseline_wall_s`` values were recorded at the pre-optimization seed commit
+on the same machine and are kept so every future PR reports a cumulative
+speedup.  A speedup < 1.0 against the stored baseline is a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.common.config import FarviewConfig, MemoryConfig
+from repro.common.units import MB
+from repro.core.api import FarviewClient
+from repro.core.node import FarviewNode
+from repro.core.query import Query, select_distinct, select_star
+from repro.core.table import FTable
+from repro.sim.engine import Simulator
+from repro.workloads.generator import (distinct_workload, projection_workload,
+                                       selection_workload)
+
+KB = 1024
+
+#: Wall-clock seconds measured at the pre-optimization seed commit
+#: (ffa8788, "v0 seed"); the denominator of the reported speedups.
+BASELINE_WALL_S: dict[str, float] = {
+    "fig6_read": 0.0766,
+    "fig7_smart": 0.0190,
+    "fig8_selection": 0.0133,
+    "fig12_multiclient": 0.2648,
+}
+
+#: Simulated nanoseconds at the seed commit for the same workloads.  These
+#: are *invariants*: a pure-performance refactor must reproduce them
+#: exactly (pre/post comparison is how this harness proves timing
+#: semantics were preserved).
+BASELINE_SIM_NS: dict[str, float] = {
+    "fig6_read": 365069.25234547275,
+    "fig7_smart": 284394.6567901261,
+    "fig8_selection": 69528.13234568108,
+    "fig12_multiclient": 198112.95407458395,
+}
+
+
+def _bench_config() -> FarviewConfig:
+    """Experiment-style config sized for the largest bench tables."""
+    return FarviewConfig(memory=MemoryConfig(channels=2,
+                                             channel_capacity=64 * MB))
+
+
+def _events(sim: Simulator) -> int:
+    """Callbacks executed so far (0 on engines without the counter)."""
+    return getattr(sim, "events_processed", 0)
+
+
+def _digest(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+# -- workloads ----------------------------------------------------------------
+
+def run_fig6_read(table_mb: float):
+    """Raw RDMA READ of one table: pure data-plane streaming (fig 6)."""
+    from repro.common.records import default_schema
+    from repro.workloads.generator import make_rows
+
+    sim = Simulator()
+    node = FarviewNode(sim, _bench_config())
+    client = FarviewClient(node, buffer_capacity=int(table_mb * MB) + KB)
+    client.open_connection()
+    schema = default_schema()
+    nrows = int(table_mb * MB) // schema.row_width
+    rows = make_rows(schema, nrows, seed=6)
+    table = FTable("T6", schema, nrows)
+    client.alloc_table_mem(table)
+    client.table_write(table, rows)
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    data, _elapsed = client.table_read(table)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(data),
+        "table_bytes": nrows * schema.row_width,
+    }
+
+
+def run_fig7_smart(num_tuples: int):
+    """Smart-addressing projection over 512 B tuples (fig 7)."""
+    sim = Simulator()
+    node = FarviewNode(sim, _bench_config())
+    client = FarviewClient(node)
+    client.open_connection()
+    schema, rows = projection_workload(num_tuples, 512, seed=7)
+    table = FTable("T7", schema, num_tuples)
+    client.alloc_table_mem(table)
+    client.table_write(table, rows)
+    names = list(schema.names[:3])
+    query = Query(projection=tuple(names), smart_addressing=True,
+                  label="bench-sa")
+    client.far_view(table, query)  # deploy (reconfiguration excluded)
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    result, _elapsed = client.far_view(table, query)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(result.data),
+        "table_bytes": num_tuples * schema.row_width,
+    }
+
+
+def run_fig8_selection(table_kb: int):
+    """Standard selection at 50% selectivity (fig 8)."""
+    sim = Simulator()
+    node = FarviewNode(sim, _bench_config())
+    client = FarviewClient(node)
+    client.open_connection()
+    wl = selection_workload(table_kb * KB // 64, selectivity=0.5, seed=8)
+    table = FTable("T8", wl.schema, len(wl.rows))
+    client.alloc_table_mem(table)
+    client.table_write(table, wl.rows)
+    query = select_star(wl.predicate)
+    client.far_view(table, query)  # deploy
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    result, _elapsed = client.far_view(table, query)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(result.data),
+        "table_bytes": len(wl.rows) * wl.schema.row_width,
+    }
+
+
+def run_fig12_multiclient(table_kb: int, num_clients: int = 6):
+    """Six concurrent DISTINCT clients sharing DRAM + downlink (fig 12)."""
+    sim = Simulator()
+    node = FarviewNode(sim, _bench_config())
+    clients, tables = [], []
+    nrows = table_kb * KB // 64
+    for i in range(num_clients):
+        client = FarviewClient(node)
+        client.open_connection()
+        schema, rows = distinct_workload(nrows, min(64, nrows), seed=i)
+        table = FTable(f"T12_{i}", schema, nrows)
+        client.alloc_table_mem(table)
+        client.table_write(table, rows)
+        clients.append(client)
+        tables.append(table)
+    query = select_distinct(["a"])
+    for client, table in zip(clients, tables):
+        client.far_view(table, query)  # deploy all pipelines first
+
+    results = {}
+
+    def run_one(client, table, tag):
+        result = yield from client.far_view_proc(table, query)
+        results[tag] = result
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    procs = [sim.process(run_one(c, t, i))
+             for i, (c, t) in enumerate(zip(clients, tables))]
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert all(p.triggered for p in procs)
+    digest = _digest(*(results[i].data for i in range(num_clients)))
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": digest,
+        "table_bytes": num_clients * nrows * 64,
+    }
+
+
+# -- harness ------------------------------------------------------------------
+
+FULL = {
+    "fig6_read": lambda: run_fig6_read(4.0),
+    "fig7_smart": lambda: run_fig7_smart(16_384),
+    "fig8_selection": lambda: run_fig8_selection(1024),
+    "fig12_multiclient": lambda: run_fig12_multiclient(1024),
+}
+
+SMOKE = {
+    "fig6_read": lambda: run_fig6_read(0.25),
+    "fig7_smart": lambda: run_fig7_smart(512),
+    "fig8_selection": lambda: run_fig8_selection(64),
+    "fig12_multiclient": lambda: run_fig12_multiclient(64),
+}
+
+
+def run_suite(workloads, repeat: int, compare_baseline: bool = True) -> dict:
+    """Run every workload; annotate with baseline comparisons if requested.
+
+    ``compare_baseline`` only makes sense for the FULL sizes (the stored
+    baselines were measured at those sizes); ``--smoke`` skips it.
+    """
+    out = {}
+    for name, fn in workloads.items():
+        best = None
+        for _ in range(repeat):
+            sample = fn()
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        best["mb_per_s"] = round(
+            best["table_bytes"] / MB / best["wall_s"], 2)
+        baseline = BASELINE_WALL_S.get(name) if compare_baseline else None
+        if baseline:
+            best["baseline_wall_s"] = baseline
+            best["speedup_vs_baseline"] = round(baseline / best["wall_s"], 2)
+        ref_sim = BASELINE_SIM_NS.get(name) if compare_baseline else None
+        if ref_sim is not None:
+            best["sim_ns_matches_baseline"] = (
+                abs(best["sim_ns"] - ref_sim) < 1e-6 * max(ref_sim, 1.0))
+        out[name] = best
+        print(f"{name:>20}: {best['wall_s'] * 1e3:8.1f} ms wall  "
+              f"{best['sim_ns'] / 1e3:10.1f} us sim  "
+              f"{best['events']:>9} events  "
+              f"{best.get('speedup_vs_baseline', '-'):>5}x  "
+              f"sim-exact={best.get('sim_ns_matches_baseline', 'n/a')}")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, one repetition, no JSON output")
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"--repeat must be >= 1, got {value}")
+        return value
+
+    parser.add_argument("--repeat", type=positive_int, default=3,
+                        help="repetitions per workload (min wall kept)")
+    parser.add_argument("--json", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_perf.json",
+                        help="output path for the JSON report")
+    args = parser.parse_args()
+
+    workloads = SMOKE if args.smoke else FULL
+    repeat = 1 if args.smoke else args.repeat
+    results = run_suite(workloads, repeat, compare_baseline=not args.smoke)
+
+    if args.smoke:
+        print("smoke ok")
+        return 0
+
+    report = {
+        "harness": "benchmarks/bench_perf.py",
+        "units": {"wall_s": "host seconds (best of repeat)",
+                  "sim_ns": "simulated nanoseconds (refactor-invariant)",
+                  "events": "simulator callbacks executed",
+                  "mb_per_s": "table MB processed per host second"},
+        "workloads": results,
+    }
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -154,14 +154,26 @@ class Schema:
         arr = np.ascontiguousarray(rows.astype(self._dtype, copy=False))
         return arr.tobytes()
 
-    def from_bytes(self, data: bytes | bytearray | memoryview) -> np.ndarray:
-        """View a flat byte image as a structured array (copies for safety)."""
-        buf = bytes(data)
-        if len(buf) % self._row_width:
+    def from_bytes(self, data: bytes | bytearray | memoryview,
+                   copy: bool = False) -> np.ndarray:
+        """View a flat byte image as a structured array — zero-copy.
+
+        The returned array is a **read-only view** over ``data``: no bytes
+        are duplicated, which keeps megabyte-scale burst parsing at memory
+        bandwidth.  Writable input buffers are wrapped read-only first, so
+        the view can never alias a mutable buffer.  Pass ``copy=True`` at
+        mutation boundaries (e.g. group-by build sides) to get a writable,
+        owned array instead.
+        """
+        mv = memoryview(data)
+        if not mv.readonly:
+            mv = mv.toreadonly()
+        if mv.nbytes % self._row_width:
             raise QueryError(
-                f"byte image of {len(buf)} bytes is not a multiple of the "
+                f"byte image of {mv.nbytes} bytes is not a multiple of the "
                 f"row width {self._row_width}")
-        return np.frombuffer(buf, dtype=self._dtype).copy()
+        arr = np.frombuffer(mv, dtype=self._dtype)
+        return arr.copy() if copy else arr
 
     def empty(self, nrows: int = 0) -> np.ndarray:
         """An empty (zeroed) structured array with this schema."""
@@ -203,11 +215,14 @@ def wide_schema(total_width: int, attr_bytes: int = 8) -> Schema:
 
 
 def string_schema(string_bytes: int, key_bytes: int = 8) -> Schema:
-    """Schema for the regex workload: an id column plus a fixed char payload."""
-    return Schema([
-        Column("id", "int64", 8),
-        Column("s", "char", string_bytes),
-    ])
+    """Schema for the regex workload: an id column plus a fixed char payload.
+
+    The id column is ``int64`` for the natural 8-byte case and a fixed char
+    column of ``key_bytes`` otherwise.
+    """
+    id_col = (Column("id", "int64", 8) if key_bytes == 8
+              else Column("id", "char", key_bytes))
+    return Schema([id_col, Column("s", "char", string_bytes)])
 
 
 def _attr_name(i: int) -> str:

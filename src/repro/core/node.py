@@ -291,11 +291,11 @@ class FarviewNode:
         vaddr = table.require_allocated()
         mem = self.config.memory
         num_tuples = table.num_rows
-        # Functional result: gather the projected columns.
-        image = self.mmu.peek(conn.domain, vaddr, table.size_bytes)
-        chunks = [image[v - vaddr:v - vaddr + w]
-                  for v, w in plan.requests(vaddr, num_tuples)]
-        rows = plan.assemble(chunks, num_tuples)
+        # Functional result: strided gather of the projected columns over a
+        # zero-copy view of the table image (no per-tuple request loop).
+        image = self.mmu.peek(conn.domain, vaddr,
+                              num_tuples * plan.schema.row_width)
+        rows = plan.gather(image, num_tuples)
         out_image = plan.out_schema.to_bytes(rows)
         report.bytes_scanned = plan.total_bytes(num_tuples)
 

@@ -11,6 +11,8 @@ channels", §4.4): a stream of reads does not queue behind writes.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..common.config import MemoryConfig
 from ..common.errors import MemoryError_
 from ..sim.engine import Event, Simulator
@@ -25,7 +27,10 @@ class DramChannel:
         self.config = config
         self.index = index
         self.capacity = config.channel_capacity
-        self._data = bytearray(self.capacity)
+        # numpy backing store: zero pages are materialized lazily by the OS
+        # (multi-GB channels cost nothing until touched) and the MMU's
+        # de-striping path can gather/scatter through views without copies.
+        self._data = np.zeros(self.capacity, dtype=np.uint8)
         rate = config.effective_channel_bandwidth
         self.read_pipe = BandwidthPipe(
             sim, rate, latency_ns=config.access_latency_ns,
@@ -44,12 +49,22 @@ class DramChannel:
     def peek(self, offset: int, length: int) -> bytes:
         """Read bytes without consuming simulated bandwidth."""
         self._check_range(offset, length)
-        return bytes(self._data[offset:offset + length])
+        return self._data[offset:offset + length].tobytes()
 
-    def poke(self, offset: int, data: bytes) -> None:
+    def poke(self, offset: int, data: bytes | memoryview) -> None:
         """Write bytes without consuming simulated bandwidth."""
         self._check_range(offset, len(data))
-        self._data[offset:offset + len(data)] = data
+        self._data[offset:offset + len(data)] = np.frombuffer(data,
+                                                              dtype=np.uint8)
+
+    def store_slice(self, offset: int, length: int) -> np.ndarray:
+        """Raw view into the backing store (MMU de-striping internals).
+
+        The view aliases live channel memory: the MMU copies out of it (or
+        scatters into it) immediately and never hands it to callers.
+        """
+        self._check_range(offset, length)
+        return self._data[offset:offset + length]
 
     # -- timed access ---------------------------------------------------------
     def read(self, offset: int, length: int) -> Event:

@@ -137,14 +137,14 @@ class Mmu:
         first_vpage = self._next_vpage[domain]
         alloc = _Allocation(vaddr=first_vpage * page_size, nbytes=nbytes)
         table = self._page_tables[domain]
-        zero_slice = bytes(self.allocator.slice_size)
+        slice_size = self.allocator.slice_size
         for i in range(npages):
             vpage = first_vpage + i
             frames = self.allocator.allocate_page()
             # Scrub recycled frames: fresh allocations read as zero, and no
             # data leaks across protection domains when pages are reused.
             for channel, offset in zip(self.channels, frames.slice_offsets):
-                channel.poke(offset, zero_slice)
+                channel.store_slice(offset, slice_size)[:] = 0
             table[vpage] = frames
             alloc.pages.append(vpage)
         self._next_vpage[domain] = first_vpage + npages
@@ -201,58 +201,75 @@ class Mmu:
                     f"unmapped page {vpage}")
 
     # -- functional data path ------------------------------------------------------
-    def peek(self, domain: int, vaddr: int, length: int) -> bytes:
-        """Untimed read of a virtual range (crosses pages and stripes)."""
+    def peek(self, domain: int, vaddr: int, length: int) -> memoryview:
+        """Untimed read of a virtual range (crosses pages and stripes).
+
+        Returns a **read-only memoryview** over a freshly assembled buffer:
+        exactly one gather out of the channel stores, then zero further
+        copies as the burst flows through parser, operators, and network.
+        """
         self._require_domain(domain)
         self._check_bounds(domain, vaddr, length)
-        out = bytearray(length)
+        out = np.empty(length, dtype=np.uint8)
         cursor = 0
         page_size = self.config.page_size
         while cursor < length:
             addr = vaddr + cursor
             frames, page_offset, _lat = self.translate(domain, addr)
             chunk = min(length - cursor, page_size - page_offset)
-            out[cursor:cursor + chunk] = self._page_read(frames, page_offset, chunk)
+            self._page_read_into(frames, page_offset,
+                                 out[cursor:cursor + chunk])
             cursor += chunk
-        return bytes(out)
+        return memoryview(out.data).toreadonly()
 
-    def poke(self, domain: int, vaddr: int, data: bytes) -> None:
+    def poke(self, domain: int, vaddr: int, data: bytes | memoryview) -> None:
         """Untimed write of a virtual range."""
         self._require_domain(domain)
         self._check_bounds(domain, vaddr, len(data))
+        src = np.frombuffer(data, dtype=np.uint8)
         cursor = 0
         page_size = self.config.page_size
-        while cursor < len(data):
+        while cursor < len(src):
             addr = vaddr + cursor
             frames, page_offset, _lat = self.translate(domain, addr)
-            chunk = min(len(data) - cursor, page_size - page_offset)
-            self._page_write(frames, page_offset, data[cursor:cursor + chunk])
+            chunk = min(len(src) - cursor, page_size - page_offset)
+            self._page_write(frames, page_offset, src[cursor:cursor + chunk])
             cursor += chunk
 
-    def _page_read(self, frames: PageFrames, start: int, length: int) -> bytes:
-        """De-stripe ``length`` bytes beginning at ``start`` within a page."""
+    def _page_read_into(self, frames: PageFrames, start: int,
+                        dest: np.ndarray) -> None:
+        """De-stripe ``len(dest)`` bytes at ``start`` directly into ``dest``."""
+        length = len(dest)
         if length == 0:
-            return b""
+            return
         unit = self.config.stripe_unit
         nchan = self.config.channels
         if nchan == 1:
-            return self.channels[0].peek(frames.slice_offsets[0] + start, length)
-        first_unit = start // unit
-        last_unit = (start + length - 1) // unit
-        row0 = first_unit // nchan
-        row1 = last_unit // nchan
+            dest[:] = self.channels[0].store_slice(
+                frames.slice_offsets[0] + start, length)
+            return
+        row0 = (start // unit) // nchan
+        row1 = ((start + length - 1) // unit) // nchan
         nrows = row1 - row0 + 1
-        parts = []
+        window_start = start - row0 * nchan * unit
+        if window_start == 0 and length == nrows * nchan * unit:
+            # Stripe-aligned burst (the hot path): one strided gather per
+            # channel straight into the destination.
+            dest3 = dest.reshape(nrows, nchan, unit)
+            for c, channel in enumerate(self.channels):
+                base = frames.slice_offsets[c] + row0 * unit
+                dest3[:, c, :] = channel.store_slice(
+                    base, nrows * unit).reshape(nrows, unit)
+            return
+        span = np.empty((nrows, nchan, unit), dtype=np.uint8)
         for c, channel in enumerate(self.channels):
             base = frames.slice_offsets[c] + row0 * unit
-            raw = channel.peek(base, nrows * unit)
-            parts.append(np.frombuffer(raw, dtype=np.uint8).reshape(nrows, unit))
-        # interleaved[r, c, :] is stripe unit (row0*nchan + r*nchan + c)
-        interleaved = np.stack(parts, axis=1).reshape(-1)
-        window_start = start - row0 * nchan * unit
-        return interleaved[window_start:window_start + length].tobytes()
+            span[:, c, :] = channel.store_slice(
+                base, nrows * unit).reshape(nrows, unit)
+        dest[:] = span.reshape(-1)[window_start:window_start + length]
 
-    def _page_write(self, frames: PageFrames, start: int, data: bytes) -> None:
+    def _page_write(self, frames: PageFrames, start: int,
+                    data: np.ndarray) -> None:
         """Stripe ``data`` into the channels (read-modify-write at edges)."""
         length = len(data)
         if length == 0:
@@ -260,33 +277,26 @@ class Mmu:
         unit = self.config.stripe_unit
         nchan = self.config.channels
         if nchan == 1:
-            self.channels[0].poke(frames.slice_offsets[0] + start, data)
+            self.channels[0].store_slice(
+                frames.slice_offsets[0] + start, length)[:] = data
             return
-        first_unit = start // unit
-        last_unit = (start + length - 1) // unit
-        row0 = first_unit // nchan
-        row1 = last_unit // nchan
+        row0 = (start // unit) // nchan
+        row1 = ((start + length - 1) // unit) // nchan
         nrows = row1 - row0 + 1
-        span = nrows * nchan * unit
         window_start = start - row0 * nchan * unit
-        # Read-modify-write the aligned span, then scatter per channel.
-        merged = bytearray(self._page_read_aligned(frames, row0, nrows))
-        merged[window_start:window_start + length] = data
-        arr = np.frombuffer(bytes(merged), dtype=np.uint8).reshape(nrows, nchan, unit)
+        span = np.empty((nrows, nchan, unit), dtype=np.uint8)
+        aligned = window_start == 0 and length == nrows * nchan * unit
+        if not aligned:
+            # Read-modify-write: gather the aligned span around the edges.
+            for c, channel in enumerate(self.channels):
+                base = frames.slice_offsets[c] + row0 * unit
+                span[:, c, :] = channel.store_slice(
+                    base, nrows * unit).reshape(nrows, unit)
+        span.reshape(-1)[window_start:window_start + length] = data
         for c, channel in enumerate(self.channels):
             base = frames.slice_offsets[c] + row0 * unit
-            channel.poke(base, np.ascontiguousarray(arr[:, c, :]).tobytes())
-        assert len(merged) == span
-
-    def _page_read_aligned(self, frames: PageFrames, row0: int, nrows: int) -> bytes:
-        unit = self.config.stripe_unit
-        nchan = self.config.channels
-        parts = []
-        for c, channel in enumerate(self.channels):
-            base = frames.slice_offsets[c] + row0 * unit
-            raw = channel.peek(base, nrows * unit)
-            parts.append(np.frombuffer(raw, dtype=np.uint8).reshape(nrows, unit))
-        return np.stack(parts, axis=1).reshape(-1).tobytes()
+            channel.store_slice(base, nrows * unit).reshape(
+                nrows, unit)[:, :] = span[:, c, :]
 
     # -- timed data path -------------------------------------------------------------
     def _translation_charge(self, domain: int, vaddr: int,

@@ -84,17 +84,36 @@ class ResponseStreamer:
         self.payload_bytes_sent = 0
 
     # -- producer interface ----------------------------------------------------
-    def send(self, chunk: bytes):
+    def send(self, chunk: bytes | memoryview):
         """Process: enqueue ``chunk``; emits any full packets (may block on
-        flow-control credits)."""
+        flow-control credits).
+
+        Zero-copy: whole packets are sliced straight out of ``chunk``
+        (callers hand over stable buffers); only the partial-packet tail is
+        ever copied into the coalescing buffer.
+        """
         if self._finished:
             raise NetworkError("stream already finished")
-        self._pending.extend(chunk)
         size = self.config.packet_size
-        while len(self._pending) >= size:
-            packet = bytes(self._pending[:size])
-            del self._pending[:size]
+        if type(chunk) is bytes:
+            chunk = memoryview(chunk)  # free; makes packet slices zero-copy
+        if self._pending:
+            need = size - len(self._pending)
+            if len(chunk) < need:
+                self._pending.extend(chunk)
+                return
+            self._pending.extend(chunk[:need])
+            packet = bytes(self._pending)
+            self._pending.clear()
+            chunk = chunk[need:]
             yield from self._emit(packet)
+        cursor = 0
+        end = len(chunk)
+        while end - cursor >= size:
+            yield from self._emit(chunk[cursor:cursor + size])
+            cursor += size
+        if cursor < end:
+            self._pending.extend(chunk[cursor:] if cursor else chunk)
 
     def finish(self):
         """Process: flush the final partial packet and wait for delivery.
@@ -114,7 +133,7 @@ class ResponseStreamer:
         return self.payload_bytes_sent
 
     # -- internals ---------------------------------------------------------------
-    def _emit(self, payload: bytes):
+    def _emit(self, payload: bytes | memoryview):
         yield self.qp.credits.acquire()
         offset = self._buffer_offset
         self._buffer_offset += len(payload)
@@ -126,7 +145,7 @@ class ResponseStreamer:
         self.packets_sent += 1
         self.payload_bytes_sent += len(payload)
 
-    def _on_delivered(self, offset: int, payload: bytes) -> None:
+    def _on_delivered(self, offset: int, payload: bytes | memoryview) -> None:
         self.qp.buffer.deposit(offset, payload)
         self.qp.credits.release()
         self.qp.responses_received += 1

@@ -77,7 +77,11 @@ class RowOperator(abc.ABC):
 
 
 class ByteOperator(abc.ABC):
-    """A streaming transformation over the raw byte stream."""
+    """A streaming transformation over the raw byte stream.
+
+    Chunks may be ``bytes`` or read-only ``memoryview`` bursts straight off
+    the memory stack; implementations must not assume they own the buffer.
+    """
 
     fill_latency_cycles: int = 4
 
@@ -85,12 +89,12 @@ class ByteOperator(abc.ABC):
         self.name = name
         self.bytes_in = 0
 
-    def process(self, chunk: bytes) -> bytes:
+    def process(self, chunk: bytes | memoryview) -> bytes:
         self.bytes_in += len(chunk)
         return self._process(chunk)
 
     @abc.abstractmethod
-    def _process(self, chunk: bytes) -> bytes:
+    def _process(self, chunk: bytes | memoryview) -> bytes:
         ...
 
     def finish(self) -> bytes:
@@ -112,14 +116,26 @@ class _RowParser:
         self.schema = schema
         self._residue = b""
 
-    def feed(self, chunk: bytes) -> np.ndarray:
-        data = self._residue + chunk
+    def feed(self, chunk: bytes | memoryview) -> np.ndarray:
+        """Parse one burst into whole rows — zero-copy on the aligned path.
+
+        Bursts from the memory stack are row-aligned in the common case
+        (burst size is a multiple of the row width), so the chunk is viewed
+        in place; only a split row's tail is ever copied into the residue.
+        """
         width = self.schema.row_width
-        whole = (len(data) // width) * width
-        self._residue = data[whole:]
-        if whole == 0:
+        if self._residue:
+            chunk = self._residue + bytes(chunk)
+            self._residue = b""
+        extra = len(chunk) % width
+        if extra:
+            split = len(chunk) - extra
+            # Compact copy of the tail so the burst buffer is not pinned.
+            self._residue = bytes(chunk[split:])
+            chunk = chunk[:split]
+        if not len(chunk):
             return self.schema.empty(0)
-        return self.schema.from_bytes(data[:whole])
+        return self.schema.from_bytes(chunk)
 
     def finish(self) -> None:
         if self._residue:
@@ -160,7 +176,7 @@ class OperatorPipeline:
         self._flushed = False
 
     # -- streaming -------------------------------------------------------------
-    def process_chunk(self, chunk: bytes) -> bytes:
+    def process_chunk(self, chunk: bytes | memoryview) -> bytes:
         """Push one burst of base-table bytes; returns output-ready bytes."""
         if self._flushed:
             raise OperatorError(f"pipeline {self.name!r} already flushed")

@@ -14,10 +14,12 @@ node ships back to the client for software post-processing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
 
 from ..common.errors import OperatorError
-from .hashing import HashFamily
+from .hashing import HashFamily, hash_key_batch
 
 
 @dataclass
@@ -52,41 +54,75 @@ class CuckooHashTable:
         return self.ways * self.slots_per_way
 
     # -- lookup -----------------------------------------------------------------
-    def _probe(self, key: bytes) -> tuple[int, int, _Entry] | None:
+    def batch_slots(self, raw: bytes | memoryview,
+                    width: int) -> list[list[int]]:
+        """Per-way slot indices for a packed batch of fixed-width keys.
+
+        Hashing dominates the streaming operators' per-tuple cost, so the
+        operators hash whole batches vectorized up front and thread the
+        precomputed slot rows through :meth:`_probe` / :meth:`put` /
+        :meth:`get` — bit-identical to hashing each key on demand.
+        """
+        cols = [hash_key_batch(raw, width, seed=way) % self.slots_per_way
+                for way in range(self.ways)]
+        return np.stack(cols, axis=1).tolist()
+
+    def _probe(self, key: bytes,
+               slots: Optional[Sequence[int]] = None
+               ) -> tuple[int, int, _Entry] | None:
         """Parallel lookup across all ways; returns (way, slot, entry)."""
-        for way in range(self.ways):
-            slot = self._family.slot(way, key, self.slots_per_way)
-            entry = self._tables[way][slot]
-            if entry is not None and entry.key == key:
-                return way, slot, entry
+        tables = self._tables
+        if slots is None:
+            family_slot = self._family.slot
+            nslots = self.slots_per_way
+            for way in range(self.ways):
+                slot = family_slot(way, key, nslots)
+                entry = tables[way][slot]
+                if entry is not None and entry.key == key:
+                    return way, slot, entry
+        else:
+            for way, slot in enumerate(slots):
+                entry = tables[way][slot]
+                if entry is not None and entry.key == key:
+                    return way, slot, entry
         return None
 
-    def get(self, key: bytes) -> object | None:
-        hit = self._probe(key)
+    def get(self, key: bytes,
+            slots: Optional[Sequence[int]] = None) -> object | None:
+        hit = self._probe(key, slots)
         return hit[2].value if hit else None
 
     def __contains__(self, key: bytes) -> bool:
         return self._probe(key) is not None
 
+    def contains_at(self, key: bytes, slots: Sequence[int]) -> bool:
+        """``key in table`` with precomputed per-way slots."""
+        return self._probe(key, slots) is not None
+
     def __len__(self) -> int:
         return self.size
 
     # -- insert / update -----------------------------------------------------------
-    def put(self, key: bytes, value: object) -> bool:
+    def put(self, key: bytes, value: object,
+            slots: Optional[Sequence[int]] = None) -> bool:
         """Insert or update; returns False if the entry overflowed.
 
         Overflowed entries are appended to :attr:`overflow` — they are *not*
         resident and subsequent lookups will miss, exactly like the
         hardware, where the overflow buffer is opaque to the pipeline.
+        ``slots`` may carry the key's precomputed per-way slot indices;
+        evicted residents are re-hashed on demand (the rare path).
         """
-        hit = self._probe(key)
+        hit = self._probe(key, slots)
         if hit is not None:
             hit[2].value = value
             return True
         entry = _Entry(key, value)
-        way = self._way_hint(key)
+        entry_slots = slots
+        way = self._way_hint(key, slots)
         for _ in range(self.max_kicks):
-            slot = self._family.slot(way, entry.key, self.slots_per_way)
+            slot = (entry_slots[way] if entry_slots is not None
+                    else self._family.slot(way, entry.key, self.slots_per_way))
             resident = self._tables[way][slot]
             if resident is None:
                 self._tables[way][slot] = entry
@@ -98,6 +134,7 @@ class CuckooHashTable:
             # function", §5.4).
             self._tables[way][slot] = entry
             entry = resident
+            entry_slots = None
             way = (way + 1) % self.ways
             self.kicks += 1
         self.overflow.append((entry.key, entry.value))
@@ -111,13 +148,19 @@ class CuckooHashTable:
         hit[2].value = fn(hit[2].value)
         return True
 
-    def _way_hint(self, key: bytes) -> int:
+    def _way_hint(self, key: bytes,
+                  slots: Optional[Sequence[int]] = None) -> int:
         # Start insertion at the way whose slot is empty if any (parallel
         # lookup sees all ways at once), else way 0.
-        for way in range(self.ways):
-            slot = self._family.slot(way, key, self.slots_per_way)
-            if self._tables[way][slot] is None:
-                return way
+        if slots is None:
+            for way in range(self.ways):
+                slot = self._family.slot(way, key, self.slots_per_way)
+                if self._tables[way][slot] is None:
+                    return way
+        else:
+            for way, slot in enumerate(slots):
+                if self._tables[way][slot] is None:
+                    return way
         return 0
 
     # -- iteration / draining ---------------------------------------------------------

@@ -39,6 +39,11 @@ class DistinctOperator(RowOperator):
         self.duplicates_dropped = 0
         self.overflow_count = 0
         self._schema: Schema | None = None
+        self._key_schema: Schema | None = None
+        #: O(1) mirror of the keys resident in the cuckoo table (kept in
+        #: lock-step with every put/overflow) so the streaming probe is one
+        #: hash lookup instead of a four-way table walk.
+        self._resident: set[bytes] = set()
 
     def _bind(self, schema: Schema) -> Schema:
         if self.key_columns is None:
@@ -46,32 +51,46 @@ class DistinctOperator(RowOperator):
         for name in self.key_columns:
             schema.column(name)  # validates
         self._schema = schema
+        self._key_schema = schema.project(self.key_columns)
         return schema
 
-    def _key_bytes(self, batch: np.ndarray) -> list[bytes]:
-        assert self._schema is not None
-        key_schema = self._schema.project(self.key_columns)
+    def _key_image(self, batch: np.ndarray) -> bytes:
+        """Serialized key columns, one fixed-width key per row."""
+        assert self._key_schema is not None
+        key_schema = self._key_schema
         keys = key_schema.empty(len(batch))
         for name in self.key_columns:
             keys[name] = batch[name]
-        raw = key_schema.to_bytes(keys)
-        width = key_schema.row_width
-        return [raw[i * width:(i + 1) * width] for i in range(len(batch))]
+        return key_schema.to_bytes(keys)
 
     def _process(self, batch: np.ndarray) -> np.ndarray:
-        keep = np.zeros(len(batch), dtype=bool)
-        for i, key in enumerate(self._key_bytes(batch)):
-            if self.lru.lookup(key):
-                self.duplicates_dropped += 1
+        n = len(batch)
+        if n == 0:
+            return batch
+        raw = self._key_image(batch)
+        width = self._key_schema.row_width
+        # Hash every key for every way in one vectorized pass; the per-row
+        # scan below then runs on O(1) dict/set operations only.
+        slots = self.table.batch_slots(raw, width)
+        keep = np.zeros(n, dtype=bool)
+        lru_probe = self.lru.lookup_or_insert
+        resident = self._resident
+        table = self.table
+        overflow = table.overflow
+        dropped = 0
+        for i in range(n):
+            key = raw[i * width:(i + 1) * width]
+            if lru_probe(key) or key in resident:
+                dropped += 1
                 continue
-            self.lru.insert(key)
-            if key in self.table:
-                self.duplicates_dropped += 1
-                continue
-            ok = self.table.put(key, True)
-            if not ok:
-                self.overflow_count += 1
             keep[i] = True
+            resident.add(key)
+            if not table.put(key, True, slots[i]):
+                # The eviction chain pushed exactly one key (possibly this
+                # one) out of residency into the overflow buffer.
+                self.overflow_count += 1
+                resident.discard(overflow[-1][0])
+        self.duplicates_dropped += dropped
         return batch[keep]
 
     @property

@@ -29,13 +29,17 @@ class _CtrStage(ByteOperator):
         self._offset = 0
         self._carry = b""
 
-    def _process(self, chunk: bytes) -> bytes:
-        data = self._carry + chunk
-        usable = (len(data) // AesCtr.BLOCK) * AesCtr.BLOCK
-        self._carry = data[usable:]
+    def _process(self, chunk: bytes | memoryview) -> bytes:
+        if self._carry:
+            chunk = self._carry + bytes(chunk)
+            self._carry = b""
+        usable = len(chunk) - (len(chunk) % AesCtr.BLOCK)
+        if usable != len(chunk):
+            self._carry = bytes(chunk[usable:])
+            chunk = chunk[:usable]
         if usable == 0:
             return b""
-        out = self._ctr.process(data[:usable], self._offset)
+        out = self._ctr.process(chunk, self._offset)
         self._offset += usable
         return out
 

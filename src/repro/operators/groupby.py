@@ -54,6 +54,10 @@ class GroupByOperator(RowOperator):
         self.lru = ShiftRegisterLru(ways * lru_depth_per_way)
         self._insertion_queue: list[bytes] = []
         self._overflow_groups: dict[bytes, Accumulator] = {}
+        #: O(1) mirror of the accumulators resident in the cuckoo table
+        #: (maintained through every put/overflow) so the per-tuple group
+        #: lookup is one dict access instead of a four-way table walk.
+        self._acc_mirror: dict[bytes, Accumulator] = {}
         self._value_columns = sorted(
             {s.column for s in self.aggregates
              if not (s.func == "count" and s.column == "*")})
@@ -86,45 +90,59 @@ class GroupByOperator(RowOperator):
     # -- streaming phase -----------------------------------------------------------
     def _process(self, batch: np.ndarray) -> np.ndarray:
         assert self._schema is not None and self._key_schema is not None
-        keys = self._key_schema.empty(len(batch))
+        n = len(batch)
+        keys = self._key_schema.empty(n)
         for name in self.key_columns:
             keys[name] = batch[name]
         raw = self._key_schema.to_bytes(keys)
         width = self._key_schema.row_width
-        values = [batch[name] for name in self._value_columns]
-        for i in range(len(batch)):
-            key = raw[i * width:(i + 1) * width]
-            row_values = tuple(float(col[i]) for col in values)
-            self._update(key, row_values)
+        if n:
+            # Vectorized: hash all keys per way up front, convert the value
+            # columns to plain floats in one pass.
+            slots = self.table.batch_slots(raw, width)
+            if self._value_columns:
+                values = np.column_stack(
+                    [batch[name].astype(np.float64, copy=False)
+                     for name in self._value_columns]).tolist()
+            else:
+                values = None
+            empty: tuple = ()
+            for i in range(n):
+                key = raw[i * width:(i + 1) * width]
+                row_values = tuple(values[i]) if values is not None else empty
+                self._update(key, row_values, slots[i])
         assert self._out_schema is not None
         return self._out_schema.empty(0)
 
-    def _update(self, key: bytes, row_values: tuple) -> None:
+    def _update(self, key: bytes, row_values: tuple,
+                slots: list[int] | None = None) -> None:
         # Write-through cache: promotes hot keys; the authoritative state
         # lives in the cuckoo table / overflow area.
         self.lru.lookup_or_insert(key)
-        if key in self._overflow_groups:
+        if self._overflow_groups and key in self._overflow_groups:
             self._overflow_groups[key].update(row_values)
             return
-        acc = self.table.get(key)
+        acc = self._acc_mirror.get(key)
         if acc is not None:
             acc.update(row_values)
             return
         acc = Accumulator(len(self._value_columns))
         acc.update(row_values)
         self._insertion_queue.append(key)
-        if not self.table.put(key, acc):
+        self._acc_mirror[key] = acc
+        if not self.table.put(key, acc, slots):
             # The eviction chain pushed some accumulator out; move it to the
             # software overflow area so no updates are lost.
             for evicted_key, evicted_acc in self.table.drain_overflow():
                 self._overflow_groups[evicted_key] = evicted_acc
+                self._acc_mirror.pop(evicted_key, None)
 
     # -- flush phase ------------------------------------------------------------------
     def flush(self) -> np.ndarray | None:
         assert self._out_schema is not None
         rows = []
         for key in self._insertion_queue:
-            acc = self.table.get(key)
+            acc = self._acc_mirror.get(key)
             if acc is None:
                 continue  # lives in the overflow area; client merges it
             rows.append((key, acc))

@@ -43,6 +43,39 @@ def hash_key(key: bytes, seed: int = 0) -> int:
     return acc
 
 
+def hash_key_batch(raw: bytes | memoryview, width: int,
+                   seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`hash_key` over ``n`` fixed-width keys.
+
+    ``raw`` packs ``n`` keys of ``width`` bytes back to back (a key-schema
+    byte image).  Returns one uint64 hash per key, bit-identical to calling
+    :func:`hash_key` on each slice — the scalar path chains 8-byte
+    little-endian words, and so does this, just across the whole batch at
+    once.
+    """
+    if width <= 0:
+        raise OperatorError(f"key width must be positive: {width}")
+    if seed < 0:
+        raise OperatorError(f"negative hash seed: {seed}")
+    data = np.frombuffer(raw, dtype=np.uint8)
+    if data.size % width:
+        raise OperatorError(
+            f"key image of {data.size} bytes is not a multiple of the key "
+            f"width {width}")
+    n = data.size // width
+    nwords = (width + 7) // 8
+    if width == nwords * 8:
+        words = data.view("<u8").reshape(n, nwords)
+    else:
+        padded = np.zeros((n, nwords * 8), dtype=np.uint8)
+        padded[:, :width] = data.reshape(n, width)
+        words = padded.view("<u8")
+    acc = np.full(n, mix64(width, seed), dtype=np.uint64)
+    for j in range(nwords):
+        acc = hash_u64_array(acc ^ words[:, j], seed)
+    return acc
+
+
 def hash_u64_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
     """Vectorized SplitMix64 over a uint64 array (one hash per element)."""
     x = values.astype(np.uint64, copy=True)

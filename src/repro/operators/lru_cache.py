@@ -7,10 +7,19 @@ reported as "new".  The paper hides the hazard with a small true-LRU cache
 "implemented with a shift register, which adds a negligible latency to the
 data streams (the amount depends on the number of cuckoo hash tables)".
 
-We model exactly that: a fixed-depth shift register of recent keys.  A hit
-anywhere promotes the key to the front (true LRU); insertion shifts the
+We model exactly that: a fixed-depth register of recent keys.  A hit
+anywhere promotes the key to most-recent (true LRU); insertion shifts the
 oldest key out.  Capacity = depth per cuckoo way x number of ways, as the
 hardware sizes it to cover the table lookup latency.
+
+The register is held as an insertion-ordered dict (oldest first) rather
+than a literal shift register: lookups and promotions are O(1) hash
+operations instead of list scans — this sits on the per-tuple hot path of
+DISTINCT and GROUP BY.  Hit/miss/eviction behaviour is identical for the
+lookup-then-insert protocol the operators use; the one divergence is that
+``insert`` of an already-resident key promotes it instead of storing a
+duplicate copy (true-LRU semantics; the old register could briefly hold
+the key twice).
 """
 
 from __future__ import annotations
@@ -25,40 +34,51 @@ class ShiftRegisterLru:
         if depth <= 0:
             raise OperatorError(f"LRU depth must be positive: {depth}")
         self.depth = depth
-        self._slots: list[bytes | None] = [None] * depth
+        self._reg: dict[bytes, None] = {}  # insertion order: oldest first
         self.hits = 0
         self.misses = 0
 
     def lookup(self, key: bytes) -> bool:
         """True if ``key`` is resident; promotes it to most-recent."""
-        for i, resident in enumerate(self._slots):
-            if resident == key:
-                # Promote: shift everything before i down by one.
-                del self._slots[i]
-                self._slots.insert(0, key)
-                self.hits += 1
-                return True
+        reg = self._reg
+        if key in reg:
+            del reg[key]
+            reg[key] = None  # re-append: most-recent position
+            self.hits += 1
+            return True
         self.misses += 1
         return False
 
     def insert(self, key: bytes) -> None:
-        """Push ``key`` in front; the oldest entry falls off the end."""
-        self._slots.insert(0, key)
-        self._slots.pop()
+        """Push ``key`` as most-recent; the oldest entry falls off the end."""
+        reg = self._reg
+        if key in reg:
+            del reg[key]
+        reg[key] = None
+        if len(reg) > self.depth:
+            del reg[next(iter(reg))]
 
     def lookup_or_insert(self, key: bytes) -> bool:
         """Combined probe+insert as the hardware does in one pass."""
-        if self.lookup(key):
+        reg = self._reg
+        if key in reg:
+            del reg[key]
+            reg[key] = None
+            self.hits += 1
             return True
-        self.insert(key)
+        self.misses += 1
+        reg[key] = None
+        if len(reg) > self.depth:
+            del reg[next(iter(reg))]
         return False
 
     @property
     def resident(self) -> list[bytes]:
-        return [k for k in self._slots if k is not None]
+        """Resident keys, most-recent first."""
+        return list(reversed(self._reg))
 
     def __contains__(self, key: bytes) -> bool:
-        return key in self._slots
+        return key in self._reg
 
     def __repr__(self) -> str:
-        return f"ShiftRegisterLru(depth={self.depth}, live={len(self.resident)})"
+        return f"ShiftRegisterLru(depth={self.depth}, live={len(self._reg)})"

@@ -99,6 +99,24 @@ class SmartAddressingPlan:
     def total_bytes(self, num_tuples: int) -> int:
         return self.bytes_per_tuple * num_tuples
 
+    def gather(self, image: bytes | memoryview, num_tuples: int) -> np.ndarray:
+        """Vectorized gather of the projected columns from a row image.
+
+        Equivalent to issuing :meth:`requests` and :meth:`assemble`-ing the
+        per-request chunks, but performed as one strided copy per column
+        over a zero-copy view of ``image`` — the functional half of smart
+        addressing at memory bandwidth instead of a per-tuple Python loop.
+        """
+        full = self.schema.from_bytes(image)
+        if len(full) != num_tuples:
+            raise OperatorError(
+                f"smart addressing expected {num_tuples} tuples, image "
+                f"holds {len(full)}")
+        out = self.out_schema.empty(num_tuples)
+        for name in self.columns:
+            out[name] = full[name]
+        return out
+
     def assemble(self, chunks: list[bytes], num_tuples: int) -> np.ndarray:
         """Rebuild projected tuples from the per-request result chunks.
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..common.errors import FarviewError
@@ -62,7 +63,7 @@ class Event:
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         if self.triggered:
             # Late subscribers run at the current time, preserving ordering.
-            self.sim.schedule(0.0, lambda: fn(self))
+            self.sim._immediate(fn, self)
         else:
             self._callbacks.append(fn)
 
@@ -72,9 +73,9 @@ class Event:
             raise SimulationError("event already triggered")
         self._value = value
         self.triggered = True
-        for fn in self._callbacks:
-            self.sim.schedule(0.0, lambda fn=fn: fn(self))
-        self._callbacks.clear()
+        if self._callbacks:
+            self.sim._immediate_all(self._callbacks, self)
+            self._callbacks.clear()
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -84,9 +85,9 @@ class Event:
         self._value = exc
         self._ok = False
         self.triggered = True
-        for fn in self._callbacks:
-            self.sim.schedule(0.0, lambda fn=fn: fn(self))
-        self._callbacks.clear()
+        if self._callbacks:
+            self.sim._immediate_all(self._callbacks, self)
+            self._callbacks.clear()
         return self
 
 
@@ -137,25 +138,33 @@ class Process(Event):
         except StopIteration as stop:
             self._finish(stop.value)
             return
-        if not isinstance(target, Event):
+        if type(target) is not Event and not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 f"yield Event instances")
-        target.add_callback(self._on_event)
+        if target.triggered:
+            self.sim._immediate(self._on_event, target)
+        else:
+            target._callbacks.append(self._on_event)
 
     def _on_event(self, event: Event) -> None:
-        self._resume(event.value, event.ok)
+        self._resume(event._value, event._ok)
 
     def _finish(self, value: Any) -> None:
         self._value = value
         self.triggered = True
-        for fn in self._callbacks:
-            self.sim.schedule(0.0, lambda fn=fn: fn(self))
-        self._callbacks.clear()
+        if self._callbacks:
+            self.sim._immediate_all(self._callbacks, self)
+            self._callbacks.clear()
 
 
 class AllOf(Event):
-    """Fires when every child event has fired; value is the list of values."""
+    """Fires when every child event has fired; value is the list of values.
+
+    A failed child fails the whole composition: the first child exception
+    propagates to the waiter as soon as it fires (remaining children still
+    run, but their completions are ignored).
+    """
 
     __slots__ = ("_pending", "_events")
 
@@ -164,25 +173,41 @@ class AllOf(Event):
         self._events = list(events)
         self._pending = len(self._events)
         if self._pending == 0:
-            sim.schedule(0.0, lambda: self.succeed([]))
+            sim._immediate(self.succeed, [])
         else:
             for ev in self._events:
                 ev.add_callback(self._child_done)
 
-    def _child_done(self, _: Event) -> None:
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
         self._pending -= 1
-        if self._pending == 0 and not self.triggered:
+        if self._pending == 0:
             self.succeed([ev.value for ev in self._events])
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of scheduled callbacks."""
+    """The event loop: a time-ordered heap plus an immediate-callback deque.
+
+    Zero-delay work (event callbacks, process hand-offs) dominates the
+    schedule in pipelined models, so it bypasses the heap entirely: it is
+    appended to a FIFO deque and drained at the current timestamp.  Every
+    callback — heap or deque — carries a ticket from one shared counter and
+    the loop always executes the lowest ticket among entries due *now*, so
+    the execution order is identical to a pure-heap engine.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._imm: deque[tuple[int, Callable, tuple]] = deque()
         self._counter = itertools.count()
         self._running = False
+        #: Total callbacks executed across all runs (perf harness metric).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -192,9 +217,23 @@ class Simulator:
     # -- scheduling -----------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` ns."""
+        if delay == 0.0:
+            self._imm.append((next(self._counter), fn, args))
+            return
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         heapq.heappush(self._heap, (self._now + delay, next(self._counter), fn, args))
+
+    def _immediate(self, fn: Callable, *args: Any) -> None:
+        """Queue ``fn(*args)`` at the current time (fast path, no heap)."""
+        self._imm.append((next(self._counter), fn, args))
+
+    def _immediate_all(self, fns: list[Callable], event: "Event") -> None:
+        """Queue ``fn(event)`` for every callback, preserving FIFO order."""
+        imm = self._imm
+        counter = self._counter
+        for fn in fns:
+            imm.append((next(counter), fn, (event,)))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -219,15 +258,29 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        imm = self._imm
+        heap = self._heap
+        heappop = heapq.heappop
+        steps = 0
         try:
-            steps = 0
-            while self._heap:
-                time, _seq, fn, args = self._heap[0]
-                if until is not None and time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._heap)
-                self._now = time
+            while imm or heap:
+                # Deque entries are due at the current time; a heap entry due
+                # now with a lower ticket was scheduled earlier and runs first.
+                if imm:
+                    if until is not None and self._now > until:
+                        self._now = until
+                        break
+                    if heap and heap[0][0] <= self._now and heap[0][1] < imm[0][0]:
+                        _t, _seq, fn, args = heappop(heap)
+                    else:
+                        _seq, fn, args = imm.popleft()
+                else:
+                    time, _seq, fn, args = heap[0]
+                    if until is not None and time > until:
+                        self._now = until
+                        break
+                    heappop(heap)
+                    self._now = time
                 fn(*args)
                 steps += 1
                 if steps > max_events:
@@ -237,6 +290,7 @@ class Simulator:
                 if until is not None and until > self._now:
                     self._now = until
         finally:
+            self.events_processed += steps
             self._running = False
         return self._now
 

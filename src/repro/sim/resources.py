@@ -105,6 +105,8 @@ class BandwidthPipe:
         self._busy_until = 0.0
         self.bytes_transferred = 0
         self.transfers = 0
+        #: Total occupancy (service time incl. per-transfer overhead), ns.
+        self.occupied_ns = 0.0
 
     def transfer(self, nbytes: int, extra_ns: float = 0.0) -> Event:
         """Schedule ``nbytes`` through the pipe; event fires at completion.
@@ -124,6 +126,7 @@ class BandwidthPipe:
         finish = done + self.latency_ns
         self.bytes_transferred += nbytes
         self.transfers += 1
+        self.occupied_ns += service
         ev = self.sim.event()
         self.sim.schedule(finish - self.sim.now, ev.succeed, nbytes)
         return ev
@@ -137,10 +140,15 @@ class BandwidthPipe:
         return self._busy_until
 
     def utilization(self, elapsed_ns: float) -> float:
-        """Fraction of ``elapsed_ns`` the pipe spent moving bytes."""
+        """Fraction of ``elapsed_ns`` the pipe was occupied.
+
+        Counts true occupancy — wire time plus per-transfer ``extra_ns``
+        overhead — so per-packet header processing no longer under-reports
+        link utilization.
+        """
         if elapsed_ns <= 0:
             return 0.0
-        return min(1.0, (self.bytes_transferred / self.rate) / elapsed_ns)
+        return min(1.0, self.occupied_ns / elapsed_ns)
 
 
 class CreditPool:

@@ -123,6 +123,16 @@ def test_string_schema():
     assert schema.column("s").kind == "char"
 
 
+def test_string_schema_honours_key_bytes():
+    schema = string_schema(64, key_bytes=16)
+    assert schema.column("id").kind == "char"
+    assert schema.column("id").width == 16
+    assert schema.row_width == 80
+    default = string_schema(64)
+    assert default.column("id").kind == "int64"
+    assert default.column("id").width == 8
+
+
 def test_schema_equality_and_hash():
     assert default_schema() == default_schema()
     assert hash(default_schema()) == hash(default_schema())

@@ -168,3 +168,62 @@ def test_late_callback_still_runs():
     ev.add_callback(lambda e: got.append(e.value))
     sim.run()
     assert got == ["v"]
+
+
+def test_all_of_propagates_child_failure():
+    sim = Simulator()
+
+    def parent():
+        slow = sim.timeout(5.0)
+        failing = sim.event()
+        sim.schedule(1.0, failing.fail, RuntimeError("child exploded"))
+        try:
+            yield sim.all_of([slow, failing])
+        except RuntimeError as exc:
+            return str(exc), sim.now
+        return "no error", sim.now
+
+    msg, now = sim.run_process(parent())
+    assert msg == "child exploded"
+    # The failure fires as soon as the failing child does, not at the end.
+    assert now == pytest.approx(1.0)
+
+
+def test_all_of_failure_of_failed_event():
+    sim = Simulator()
+
+    def parent():
+        ev = sim.event()
+        sim.schedule(2.0, ev.fail, ValueError("nope"))
+        try:
+            yield sim.all_of([ev, sim.timeout(10.0)])
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run_process(parent()) == "nope"
+
+
+def test_zero_delay_preserves_fifo_with_same_time_heap_entries():
+    """A timeout callback scheduled earlier at time T runs before a
+    zero-delay callback queued later at T (shared-ticket ordering)."""
+    sim = Simulator()
+    log = []
+    sim.schedule(5.0, log.append, "heap-first")
+
+    def trigger():
+        yield sim.timeout(5.0)  # scheduled after heap-first, fires at T=5
+        sim.schedule(0.0, log.append, "immediate")
+        log.append("inline")
+
+    sim.process(trigger())
+    sim.run()
+    assert log == ["heap-first", "inline", "immediate"]
+
+
+def test_events_processed_counts_callbacks():
+    sim = Simulator()
+    for _ in range(3):
+        sim.schedule(1.0, lambda: None)
+    sim.schedule(0.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4

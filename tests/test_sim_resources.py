@@ -154,6 +154,21 @@ def test_pipe_counts_bytes():
     assert pipe.utilization(100.0) == pytest.approx(1.0)
 
 
+def test_pipe_utilization_counts_extra_occupancy():
+    """Per-packet overhead occupies the pipe and must show in utilization."""
+    sim = Simulator()
+    pipe = BandwidthPipe(sim, rate=1.0)
+
+    def proc():
+        yield pipe.transfer(50, extra_ns=25.0)
+
+    sim.run_process(proc())
+    assert pipe.occupied_ns == pytest.approx(75.0)
+    # 50 B of wire time + 25 ns of header processing over a 100 ns window.
+    assert pipe.utilization(100.0) == pytest.approx(0.75)
+    assert pipe.utilization(50.0) == pytest.approx(1.0)  # clamped
+
+
 def test_pipe_rejects_bad_args():
     sim = Simulator()
     with pytest.raises(SimulationError):
