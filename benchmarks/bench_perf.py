@@ -52,6 +52,10 @@ BASELINE_WALL_S: dict[str, float] = {
     "fig7_smart": 0.0190,
     "fig8_selection": 0.0133,
     "fig12_multiclient": 0.2648,
+    # fig13 first appeared with the cluster layer (PR 2); its baseline is
+    # the first measurement on the reference machine, so its speedup
+    # starts at 1.0x and tracks subsequent PRs.
+    "fig13_scaleout": 0.1339,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -63,6 +67,7 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig7_smart": 284394.6567901261,
     "fig8_selection": 69528.13234568108,
     "fig12_multiclient": 198112.95407458395,
+    "fig13_scaleout": 52477.39851864427,
 }
 
 
@@ -207,6 +212,54 @@ def run_fig12_multiclient(table_kb: int, num_clients: int = 6):
     }
 
 
+def run_fig13_scaleout(table_kb: int, num_nodes: int = 4,
+                       num_clients: int = 6):
+    """Six clients scatter-gather DISTINCT over an N-node pool (fig 13).
+
+    Each client's table is chunk-partitioned across all nodes; the digest
+    covers the *merged* canonical result bytes, which the cluster tests
+    pin byte-identical to single-node execution.
+    """
+    from repro.core.api import ClusterClient
+    from repro.core.cluster import FarviewCluster
+
+    sim = Simulator()
+    cluster = FarviewCluster(sim, num_nodes, _bench_config())
+    clients, tables = [], []
+    nrows = table_kb * KB // 64
+    for i in range(num_clients):
+        client = ClusterClient(cluster)
+        client.open_connection()
+        schema, rows = distinct_workload(nrows, min(64, nrows), seed=i)
+        tables.append(client.create_table(f"T13_{i}", schema, rows))
+        clients.append(client)
+    query = select_distinct(["a"])
+    for client, table in zip(clients, tables):
+        client.far_view(table, query)  # deploy all shard pipelines first
+
+    results = {}
+
+    def run_one(client, table, tag):
+        result = yield from client.far_view_proc(table, query)
+        results[tag] = result
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    procs = [sim.process(run_one(c, t, i))
+             for i, (c, t) in enumerate(zip(clients, tables))]
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert all(p.triggered for p in procs)
+    digest = _digest(*(results[i].data for i in range(num_clients)))
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": digest,
+        "table_bytes": num_clients * nrows * 64,
+        "nodes": num_nodes,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -214,6 +267,7 @@ FULL = {
     "fig7_smart": lambda: run_fig7_smart(16_384),
     "fig8_selection": lambda: run_fig8_selection(1024),
     "fig12_multiclient": lambda: run_fig12_multiclient(1024),
+    "fig13_scaleout": lambda: run_fig13_scaleout(1024, num_nodes=4),
 }
 
 SMOKE = {
@@ -221,6 +275,7 @@ SMOKE = {
     "fig7_smart": lambda: run_fig7_smart(512),
     "fig8_selection": lambda: run_fig8_selection(64),
     "fig12_multiclient": lambda: run_fig12_multiclient(64),
+    "fig13_scaleout": lambda: run_fig13_scaleout(64, num_nodes=2),
 }
 
 

@@ -29,6 +29,7 @@ from .experiments import (
     fig10_regex,
     fig11_encryption,
     fig12_multiclient,
+    fig13_scaleout,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -58,6 +59,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
               lambda: _as_list(fig11_encryption.run())),
     "fig12": ("Figure 12: six concurrent clients",
               lambda: [fig12_multiclient.run()]),
+    "fig13": ("Figure 13 (extension): pool scale-out, sharded DISTINCT",
+              lambda: [fig13_scaleout.run()]),
 }
 
 #: Sub-panel ids resolve to their parent experiment.

@@ -1,9 +1,17 @@
-"""Farview core: node, client API, catalog, queries, pipeline compiler."""
+"""Farview core: node, cluster, client API, catalog, queries, compiler."""
 
-from .api import FarviewClient, QueryResult
+from .api import ClusterClient, ClusterQueryResult, FarviewClient, QueryResult
 from .catalog import Catalog
+from .cluster import (
+    FarviewCluster,
+    ScatterPlan,
+    ShardedTable,
+    TableShard,
+    plan_scatter,
+)
 from .node import Connection, ExecutionReport, FarviewNode
 from .elasticity import RegionLeaseManager
+from .partition import PartitionSpec, partition_indices, shard_assignment
 from .pipeline_compiler import (
     CompiledQuery,
     choose_smart_addressing,
@@ -22,9 +30,19 @@ from .sql import ParsedQuery, SqlSyntaxError, like_to_regex, parse_sql
 from .table import FTable
 
 __all__ = [
+    "ClusterClient",
+    "ClusterQueryResult",
     "FarviewClient",
     "QueryResult",
     "Catalog",
+    "FarviewCluster",
+    "ScatterPlan",
+    "ShardedTable",
+    "TableShard",
+    "plan_scatter",
+    "PartitionSpec",
+    "partition_indices",
+    "shard_assignment",
     "Connection",
     "ExecutionReport",
     "FarviewNode",

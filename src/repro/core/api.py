@@ -21,6 +21,35 @@ that drives the simulator to completion and returns ``(result, elapsed_ns)``
 — the paper's measurement endpoint is "until the final results are written
 to the memory of the client machine" (§6.2), which is exactly when these
 processes complete.
+
+:class:`ClusterClient` lifts the same verbs onto a sharded
+:class:`~repro.core.cluster.FarviewCluster` — the scatter-gather router the
+paper's pool deployment implies.  Single-node verbs map onto cluster verbs
+one to one:
+
+====================================  =======================================
+Single node (:class:`FarviewClient`)  Cluster (:class:`ClusterClient`)
+====================================  =======================================
+``open_connection()``                 ``open_connection()`` — one QP + region
+                                      per node of the pool
+``alloc_table_mem`` + ``table_write``  ``create_table(name, schema, rows,
+                                      partition)`` — partition, allocate and
+                                      scatter-write the per-node shards
+``free_table_mem(ft)``                ``drop_table(st)``
+``table_read(ft)``                    ``table_read(st)`` — scatter raw reads,
+                                      gather bytes in shard order
+``far_view(ft, query)``               ``far_view(st, query)`` — scatter the
+                                      rewritten shard fragment, gather +
+                                      merge (DISTINCT dedup, GROUP BY /
+                                      aggregate partial re-merge)
+``select`` / ``select_distinct`` /    same helpers, same signatures, against
+``group_by`` / ``sql``                the cluster catalog
+====================================  =======================================
+
+Cluster results come back as :class:`ClusterQueryResult`: merged rows in
+single-node output order (byte-identical under order-preserving ``chunk``
+partitioning — see :mod:`repro.core.cluster` for the exact contract),
+response time measured until the *last* shard's results land client-side.
 """
 
 from __future__ import annotations
@@ -36,7 +65,12 @@ from ..operators.aggregate import AggregateSpec
 from ..operators.crypto import AesCtr
 from ..operators.selection import Predicate
 from .catalog import Catalog
+from .cluster import (FarviewCluster, ScatterPlan, ShardedTable, TableShard,
+                      aggregate_output_schema, group_output_schema,
+                      merge_aggregate_rows, merge_distinct_rows,
+                      merge_group_rows, plan_scatter)
 from .node import Connection, ExecutionReport, FarviewNode
+from .partition import PartitionSpec, partition_indices
 from .pipeline_compiler import CompiledQuery, compile_query
 from .query import Query, RegexFilter
 from .table import FTable
@@ -271,3 +305,261 @@ class FarviewClient:
         parsed = parse_sql(statement)
         table = self.catalog.lookup(parsed.table)
         return self.far_view(table, parsed.query)
+
+
+@dataclass
+class ClusterQueryResult:
+    """Merged client-visible result of one scatter-gather execution.
+
+    ``shard_results`` are the per-shard :class:`QueryResult`\\ s in shard
+    order; ``rows()`` is the client-side merge of their post-processed
+    rows (dedup / partial-group re-merge already applied).  ``data`` is
+    the canonical byte image of the merged rows — under order-preserving
+    ``chunk`` partitioning it is byte-identical to a single node's result
+    for the same data (the cluster tests pin this with sha256).
+    """
+
+    schema: Schema
+    shard_results: list[QueryResult]
+    response_time_ns: float
+    merged: np.ndarray = field(repr=False)
+
+    def rows(self) -> np.ndarray:
+        return self.merged
+
+    @property
+    def data(self) -> bytes:
+        """Canonical merged result bytes (plaintext, single-node layout)."""
+        return self.schema.to_bytes(self.merged)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.merged)
+
+    @property
+    def bytes_shipped(self) -> int:
+        """Total result bytes shipped over all shard links (pre-merge)."""
+        return sum(r.report.bytes_shipped for r in self.shard_results)
+
+    @property
+    def bytes_scanned(self) -> int:
+        return sum(r.report.bytes_scanned for r in self.shard_results)
+
+
+class ClusterClient:
+    """Scatter-gather router: one query thread over a sharded pool.
+
+    Owns one :class:`FarviewClient` (QP + dynamic region) per node of a
+    :class:`~repro.core.cluster.FarviewCluster` and a cluster-level
+    :class:`~repro.core.catalog.Catalog` of
+    :class:`~repro.core.cluster.ShardedTable`\\ s.  Verbs mirror the
+    single-node client (see the module docstring table): queries are
+    rewritten by :func:`~repro.core.cluster.plan_scatter`, scattered to
+    the shards that own data, executed with true node-level parallelism,
+    and gathered client-side — DISTINCT dedup, GROUP BY / aggregate
+    partial re-merges included.  Response time runs until the *last*
+    shard's results land in client memory, matching the paper's
+    measurement endpoint (§6.2).
+    """
+
+    def __init__(self, cluster: FarviewCluster,
+                 buffer_capacity: int = 8 * 1024 * 1024):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.catalog = Catalog()
+        self._clients = [FarviewClient(node, buffer_capacity)
+                         for node in cluster.nodes]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cluster.num_nodes
+
+    def node_client(self, index: int) -> FarviewClient:
+        """The per-node client behind shard ``index``'s node."""
+        return self._clients[index]
+
+    # -- connection ----------------------------------------------------------
+    def open_connection(self) -> None:
+        """Open one QP + dynamic region on every node of the pool.
+
+        All-or-nothing: if any node cannot grant a region, the regions
+        already opened on earlier nodes are released before the error
+        propagates.
+        """
+        opened: list[FarviewClient] = []
+        try:
+            for client in self._clients:
+                client.open_connection()
+                opened.append(client)
+        except Exception:
+            for client in opened:
+                client.close_connection()
+            raise
+
+    def close_connection(self) -> None:
+        for client in self._clients:
+            client.close_connection()
+
+    # -- sharded table lifecycle ---------------------------------------------
+    def create_table(self, name: str, schema: Schema, rows: np.ndarray,
+                     partition: PartitionSpec | None = None) -> ShardedTable:
+        """Partition ``rows``, allocate and scatter-write the shards.
+
+        Nodes whose shard would be empty get no shard table; the returned
+        :class:`ShardedTable` is registered in the cluster catalog under
+        ``name`` and its shard tables are named ``{name}@{node}``.
+        """
+        if len(rows) == 0:
+            raise QueryError(
+                f"cannot shard empty table {name!r}; empty shards have no "
+                f"disaggregated memory to allocate")
+        if name in self.catalog:
+            # Fail before any shard is allocated or written — a duplicate
+            # name is detectable from catalog information alone.
+            from ..common.errors import CatalogError
+            raise CatalogError(f"table {name!r} already registered")
+        spec = partition if partition is not None else PartitionSpec()
+        indices = partition_indices(rows, schema, spec,
+                                    self.cluster.num_nodes)
+        shards: list[TableShard] = []
+        try:
+            for node_index, idx in enumerate(indices):
+                if len(idx) == 0:
+                    continue
+                shard_table = FTable(f"{name}@{node_index}", schema, len(idx))
+                client = self._clients[node_index]
+                client.alloc_table_mem(shard_table)
+                # Track the shard before the write so a mid-upload failure
+                # still rolls its allocation back.
+                shards.append(TableShard(node_index, shard_table))
+                client.table_write(shard_table, rows[idx])
+            sharded = ShardedTable(name, schema, len(rows), spec, shards)
+            self.catalog.register(sharded)
+        except Exception:
+            # All-or-nothing: free any shards already written so a failed
+            # create leaves no orphaned pool memory behind.  Deregister a
+            # per-node catalog name only if it maps to *this* shard (a
+            # duplicate-name create never got to register its shards).
+            for shard in shards:
+                client = self._clients[shard.node_index]
+                shard_name = shard.table.name
+                if (shard_name in client.catalog
+                        and client.catalog.lookup(shard_name) is shard.table):
+                    client.free_table_mem(shard.table)
+                else:
+                    client.node.free_table_mem(client.connection, shard.table)
+            raise
+        return sharded
+
+    def drop_table(self, sharded: ShardedTable) -> None:
+        """Free every shard's disaggregated memory and deregister."""
+        for shard in sharded.shards:
+            self._clients[shard.node_index].free_table_mem(shard.table)
+        self.catalog.deregister(sharded.name)
+
+    # -- verbs as processes --------------------------------------------------
+    def table_read_proc(self, sharded: ShardedTable):
+        """Process: scatter raw reads, gather bytes in shard order.
+
+        Under ``chunk`` partitioning the concatenation is the original
+        table image; other schemes return shard-order bytes.
+        """
+        procs = [
+            self.sim.process(
+                self._clients[s.node_index].table_read_proc(s.table),
+                name=f"cluster.read[{s.table.name}]")
+            for s in sharded.shards]
+        chunks = yield self.sim.all_of(procs)
+        return b"".join(chunks)
+
+    def far_view_proc(self, sharded: ShardedTable, query: Query):
+        """Process: scatter the shard fragment, gather + merge results."""
+        plan = plan_scatter(query)
+        start = self.sim.now
+        procs = [
+            self.sim.process(
+                self._clients[s.node_index].far_view_proc(
+                    s.table, plan.shard_query),
+                name=f"cluster.farview[{s.table.name}]")
+            for s in sharded.shards]
+        shard_results = yield self.sim.all_of(procs)
+        return self._gather(sharded, query, plan, list(shard_results),
+                            self.sim.now - start)
+
+    def _gather(self, sharded: ShardedTable, query: Query,
+                plan: ScatterPlan, shard_results: list[QueryResult],
+                elapsed_ns: float) -> ClusterQueryResult:
+        """Client-side merge step of the scatter-gather execution."""
+        parts = [r.rows() for r in shard_results]
+        stacked = np.concatenate(parts)
+        if plan.mode == "group":
+            assert query.group_by is not None
+            merged = merge_group_rows(stacked, shard_results[0].schema,
+                                      sharded.schema, list(query.group_by),
+                                      plan.shard_specs, plan.partial_plans)
+            schema = group_output_schema(
+                sharded.schema, list(query.group_by),
+                [p.spec for p in plan.partial_plans])
+        elif plan.mode == "aggregate":
+            merged = merge_aggregate_rows(stacked, sharded.schema,
+                                          plan.shard_specs,
+                                          plan.partial_plans)
+            schema = aggregate_output_schema(
+                sharded.schema, [p.spec for p in plan.partial_plans])
+        elif plan.mode == "distinct":
+            schema = shard_results[0].schema
+            merged = merge_distinct_rows(stacked, schema,
+                                         query.distinct_columns)
+        else:
+            schema = shard_results[0].schema
+            merged = stacked
+        return ClusterQueryResult(schema=schema, shard_results=shard_results,
+                                  response_time_ns=elapsed_ns, merged=merged)
+
+    # -- blocking conveniences -----------------------------------------------
+    def table_read(self, sharded: ShardedTable):
+        """Scatter raw reads; returns (bytes, elapsed_ns)."""
+        start = self.sim.now
+        data = self.sim.run_process(self.table_read_proc(sharded),
+                                    "cluster.table_read")
+        return data, self.sim.now - start
+
+    def far_view(self, sharded: ShardedTable, query: Query):
+        """Scatter-gather offloaded query; returns
+        (ClusterQueryResult, elapsed_ns)."""
+        start = self.sim.now
+        result = self.sim.run_process(self.far_view_proc(sharded, query),
+                                      "cluster.far_view")
+        return result, self.sim.now - start
+
+    # -- paper-style higher-level helpers ------------------------------------
+    def select(self, sharded: ShardedTable, columns: list[str] | None,
+               predicate: Predicate, vectorized: bool = False):
+        """``SELECT columns FROM sharded WHERE predicate``, pool-wide."""
+        query = Query(projection=tuple(columns) if columns else None,
+                      predicate=predicate, vectorized=vectorized,
+                      label="select")
+        return self.far_view(sharded, query)
+
+    def select_distinct(self, sharded: ShardedTable, columns: list[str]):
+        query = Query(projection=tuple(columns), distinct=True,
+                      label="distinct")
+        return self.far_view(sharded, query)
+
+    def group_by(self, sharded: ShardedTable, keys: list[str],
+                 aggregates: list[AggregateSpec]):
+        query = Query(group_by=tuple(keys), aggregates=tuple(aggregates),
+                      label="group_by")
+        return self.far_view(sharded, query)
+
+    def sql(self, statement: str):
+        """Parse and scatter one SQL statement against the cluster catalog.
+
+        The FROM table must have been created via :meth:`create_table`.
+        Returns ``(ClusterQueryResult, elapsed_ns)``.
+        """
+        from .sql import parse_sql
+
+        parsed = parse_sql(statement)
+        sharded = self.catalog.lookup(parsed.table)
+        return self.far_view(sharded, parsed.query)

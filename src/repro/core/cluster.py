@@ -1,0 +1,312 @@
+"""Sharded Farview pool: N memory nodes behind one scatter-gather plan.
+
+The paper's deployment model is a *pool* of disaggregated-memory nodes
+shared by many compute-side query threads (§1, §4.1); the experiments
+exercise one node.  This module adds the pool:
+
+* :class:`FarviewCluster` — owns N independent :class:`FarviewNode`\\ s on
+  one simulator.  Each node keeps its own MMU, 100 Gbps link, dynamic
+  regions and resource model, so shards execute with true spatial
+  parallelism (no shared bottleneck below the client).
+* :class:`TableShard` / :class:`ShardedTable` — one table split into
+  per-node :class:`~repro.core.table.FTable` fragments under a
+  :class:`~repro.core.partition.PartitionSpec`.  A ``ShardedTable``
+  quacks like an ``FTable`` for catalog purposes (``name`` /
+  ``size_bytes``), so the ordinary client :class:`~repro.core.catalog.
+  Catalog` can register it unchanged.
+* :func:`plan_scatter` — rewrites a :class:`~repro.core.query.Query` into
+  the fragment each shard executes plus the client-side merge mode.
+  Non-decomposable aggregates (``avg``) are rewritten into exact partials
+  (sum + count) via :func:`~repro.operators.aggregate.decompose_partials`.
+* the merge kernels — :func:`merge_distinct_rows`,
+  :func:`merge_group_rows`, :func:`merge_aggregate_rows` — which combine
+  per-shard results into the final answer.  Grouped merges bucket keys
+  with the same vectorized splitmix64 pass the on-chip cuckoo tables use
+  (:func:`~repro.operators.hashing.hash_key_batch`) and compare key bytes
+  exactly inside each bucket, so hash collisions can never corrupt a
+  merge.
+
+Order contract
+--------------
+With the order-preserving ``chunk`` partitioning, every merge emits rows
+in *global first-occurrence order* — exactly the order a single node
+produces — so DISTINCT and (overflow-free) GROUP BY results are
+byte-identical to single-node execution; the cluster tests pin this with
+sha256 digests.  ``hash``/``range`` partitioning keeps results exact as
+*sets* but interleaves shard order.  Floating-point ``sum``/``avg``
+partials merge associatively, which matches single-node bytes for integer
+columns (exact in float64) but may differ in the final ulp for float
+columns.
+
+The scatter-gather *router* that drives this module from the client side
+is :class:`~repro.core.api.ClusterClient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..common.config import FarviewConfig
+from ..common.errors import CatalogError, QueryError
+from ..common.records import Schema
+from ..operators.aggregate import (AggregateSpec, PARTIAL_MERGE, PartialPlan,
+                                   decompose_partials)
+from ..operators.hashing import hash_key_batch
+from ..sim.engine import Simulator
+from .node import FarviewNode
+from .partition import PartitionSpec
+from .query import Query
+from .table import FTable
+
+
+class FarviewCluster:
+    """A pool of independent Farview nodes sharing one simulation clock.
+
+    Nodes are homogeneous (same :class:`FarviewConfig`) and completely
+    independent below the client: separate DRAM channels, links and
+    dynamic-region pools.  Scale-out therefore comes from sharding tables
+    across nodes and scattering queries — the client-side router
+    (:class:`~repro.core.api.ClusterClient`) does both.
+    """
+
+    def __init__(self, sim: Simulator, num_nodes: int,
+                 config: FarviewConfig | None = None):
+        if num_nodes <= 0:
+            raise QueryError(f"cluster needs at least one node: {num_nodes}")
+        self.sim = sim
+        self.config = config if config is not None else FarviewConfig()
+        self.nodes: list[FarviewNode] = [
+            FarviewNode(sim, self.config) for _ in range(num_nodes)]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> FarviewNode:
+        return self.nodes[index]
+
+    @property
+    def free_regions(self) -> int:
+        """Dynamic regions currently free across the whole pool."""
+        return sum(node.free_regions for node in self.nodes)
+
+    @property
+    def queries_served(self) -> int:
+        return sum(node.queries_served for node in self.nodes)
+
+    def __repr__(self) -> str:
+        return (f"FarviewCluster({self.num_nodes} nodes, "
+                f"{self.free_regions} free regions)")
+
+
+@dataclass
+class TableShard:
+    """One node's fragment of a sharded table.
+
+    The global-row → shard mapping is recomputable from the table's
+    :class:`~repro.core.partition.PartitionSpec` (placement is
+    deterministic), so only the shard handle itself is kept here.
+    """
+
+    node_index: int
+    table: FTable
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+
+class ShardedTable:
+    """A table split across cluster nodes under one partition spec.
+
+    Holds per-shard :class:`FTable` handles plus the global row indices
+    each shard owns (ascending, so shard-local order mirrors the original
+    relative order).  Registered in the client catalog under the logical
+    table name; shard tables are named ``{name}@{node}``.
+    """
+
+    def __init__(self, name: str, schema: Schema, num_rows: int,
+                 partition: PartitionSpec, shards: Sequence[TableShard]):
+        if not shards:
+            raise CatalogError(
+                f"sharded table {name!r} needs at least one non-empty shard")
+        self.name = name
+        self.schema = schema
+        self.num_rows = num_rows
+        self.partition = partition
+        self.shards = list(shards)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(s.table.size_bytes for s in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return (f"ShardedTable({self.name!r}, {self.num_rows} rows over "
+                f"{self.num_shards} shards, {self.partition.describe()})")
+
+
+# -- scatter planning ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """How one query fans out to shards and folds back together.
+
+    ``mode`` selects the gather kernel: ``concat`` (stateless operators —
+    selection, projection, regex — just concatenate), ``distinct``
+    (first-wins dedup on the key columns), ``group`` (re-merge partial
+    groups), ``aggregate`` (merge one partial row per shard).
+    """
+
+    shard_query: Query
+    mode: str
+    shard_specs: tuple[AggregateSpec, ...] = ()
+    partial_plans: tuple[PartialPlan, ...] = ()
+
+
+def plan_scatter(query: Query) -> ScatterPlan:
+    """Rewrite ``query`` into its shard fragment + merge mode."""
+    if query.join is not None:
+        raise QueryError(
+            "distributed small-table joins need a build-side broadcast, "
+            "which this prototype does not implement; run the join against "
+            "a single node")
+    if query.group_by:
+        shard_specs, plans = decompose_partials(query.aggregates)
+        shard_query = replace(query, aggregates=tuple(shard_specs))
+        return ScatterPlan(shard_query, "group", tuple(shard_specs),
+                           tuple(plans))
+    if query.aggregates:
+        shard_specs, plans = decompose_partials(query.aggregates)
+        shard_query = replace(query, aggregates=tuple(shard_specs))
+        return ScatterPlan(shard_query, "aggregate", tuple(shard_specs),
+                           tuple(plans))
+    if query.distinct:
+        return ScatterPlan(query, "distinct")
+    return ScatterPlan(query, "concat")
+
+
+# -- merge kernels -------------------------------------------------------------
+
+def iter_key_groups(raw: bytes, width: int) -> list[tuple[bytes, list[int]]]:
+    """Group fixed-width keys by value, in first-occurrence order.
+
+    One vectorized :func:`hash_key_batch` pass buckets the keys; byte
+    comparison inside each bucket keeps the grouping exact under hash
+    collisions.  Returns ``(key_bytes, row_indices)`` pairs ordered by the
+    first occurrence of each key — the order both the DISTINCT and GROUP
+    BY operators emit, which the byte-identity contract depends on.
+    """
+    n = len(raw) // width
+    groups: list[tuple[bytes, list[int]]] = []
+    if n == 0:
+        return groups
+    hashes = hash_key_batch(raw, width).tolist()
+    buckets: dict[int, list[int]] = {}  # hash -> positions into groups
+    for i in range(n):
+        key = raw[i * width:(i + 1) * width]
+        positions = buckets.setdefault(hashes[i], [])
+        for pos in positions:
+            if groups[pos][0] == key:
+                groups[pos][1].append(i)
+                break
+        else:
+            positions.append(len(groups))
+            groups.append((key, [i]))
+    return groups
+
+
+def _key_image(rows: np.ndarray, schema: Schema,
+               key_columns: Sequence[str]) -> tuple[bytes, int]:
+    """Serialized key columns of ``rows`` (one fixed-width key per row)."""
+    key_schema = schema.project(key_columns)
+    keys = key_schema.empty(len(rows))
+    for name in key_columns:
+        keys[name] = rows[name]
+    return key_schema.to_bytes(keys), key_schema.row_width
+
+
+def merge_distinct_rows(rows: np.ndarray, schema: Schema,
+                        key_columns: Optional[Sequence[str]]) -> np.ndarray:
+    """First-wins dedup of concatenated shard DISTINCT results."""
+    if len(rows) == 0:
+        return rows
+    names = list(key_columns) if key_columns else list(schema.names)
+    raw, width = _key_image(rows, schema, names)
+    keep = [indices[0] for _, indices in iter_key_groups(raw, width)]
+    return rows[np.asarray(keep, dtype=np.int64)]
+
+
+def _merge_partial_columns(rows: np.ndarray, indices: list[int],
+                           shard_specs: Sequence[AggregateSpec]) -> dict:
+    """Fold one key's partial rows into exact merged partials per alias."""
+    merged: dict[str, object] = {}
+    for spec in shard_specs:
+        fold = PARTIAL_MERGE[spec.func]
+        value = rows[spec.alias][indices[0]].item()
+        for i in indices[1:]:
+            value = fold(value, rows[spec.alias][i].item())
+        merged[spec.alias] = value
+    return merged
+
+
+def merge_group_rows(rows: np.ndarray, shard_schema: Schema,
+                     table_schema: Schema, key_columns: Sequence[str],
+                     shard_specs: Sequence[AggregateSpec],
+                     partial_plans: Sequence[PartialPlan]) -> np.ndarray:
+    """Re-merge concatenated per-shard partial groups into final groups.
+
+    ``rows`` carry ``shard_schema`` (keys + partial columns); the result
+    carries the single-node output schema (keys + original aggregate
+    columns), with groups in first-occurrence order.
+    """
+    out_schema = group_output_schema(table_schema, key_columns,
+                                     [p.spec for p in partial_plans])
+    raw, width = _key_image(rows, shard_schema, key_columns)
+    groups = iter_key_groups(raw, width)
+    out = out_schema.empty(len(groups))
+    key_schema = shard_schema.project(key_columns)
+    for g, (key_bytes, indices) in enumerate(groups):
+        key_row = key_schema.from_bytes(key_bytes)
+        for name in key_columns:
+            out[name][g] = key_row[name][0]
+        merged = _merge_partial_columns(rows, indices, shard_specs)
+        for plan in partial_plans:
+            out[plan.spec.alias][g] = plan.finalize(merged)
+    return out
+
+
+def merge_aggregate_rows(rows: np.ndarray, table_schema: Schema,
+                         shard_specs: Sequence[AggregateSpec],
+                         partial_plans: Sequence[PartialPlan]) -> np.ndarray:
+    """Merge the one-partial-row-per-shard results of a standalone
+    aggregation into the single final row."""
+    out_schema = aggregate_output_schema(table_schema,
+                                         [p.spec for p in partial_plans])
+    if len(rows) == 0:
+        return out_schema.empty(0)
+    merged = _merge_partial_columns(rows, list(range(len(rows))), shard_specs)
+    out = out_schema.empty(1)
+    for plan in partial_plans:
+        out[plan.spec.alias][0] = plan.finalize(merged)
+    return out
+
+
+def group_output_schema(table_schema: Schema, key_columns: Sequence[str],
+                        specs: Sequence[AggregateSpec]) -> Schema:
+    """The single-node GROUP BY output schema (keys + aggregate columns),
+    mirroring :meth:`GroupByOperator._bind`."""
+    return Schema([table_schema.column(k) for k in key_columns]
+                  + [s.output_column(table_schema) for s in specs])
+
+
+def aggregate_output_schema(table_schema: Schema,
+                            specs: Sequence[AggregateSpec]) -> Schema:
+    """The single-node standalone-aggregation output schema."""
+    return Schema([s.output_column(table_schema) for s in specs])

@@ -5,57 +5,137 @@ module provides the mechanism: instead of failing when all dynamic regions
 are busy, tenants can *wait* for a region lease, and short-lived query
 threads can attach/detach without holding a region idle.
 
-:class:`RegionLeaseManager` wraps a node with a FIFO admission queue:
+:class:`RegionLeaseManager` wraps one node — or a whole
+:class:`~repro.core.cluster.FarviewCluster` — with a FIFO admission queue:
 
 * :meth:`acquire` — a process that resolves to an open connection as soon
-  as a region frees up (FIFO order, no starvation);
+  as a region frees up (FIFO order, no starvation).  With multiple nodes
+  it *balances*: each lease lands on the node with the most free dynamic
+  regions (ties broken toward the node that has granted fewest leases, so
+  a freshly added node drains the backlog first).
 * :meth:`release` — closes the connection and wakes the next waiter;
 * :meth:`with_lease` — convenience process: acquire, run a client
   function, release — the borrow pattern compute-side query threads use.
+
+Placement is greedy load balancing, not partition-aware routing: a leased
+:class:`~repro.core.api.FarviewClient` talks to exactly one node.  Query
+threads that need scatter-gather over a sharded table use
+:class:`~repro.core.api.ClusterClient` instead, which holds one region on
+*every* node for the duration of the connection.
+
+Accounting surfaces for the tests and experiments: ``leases_granted``
+(total), ``leases_per_node`` (live leases per node, the balance the tests
+assert on), ``max_queue_depth`` and ``queued``.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Sequence
 
-from ..common.errors import RegionUnavailableError
+from ..common.errors import QueryError, RegionUnavailableError
 from ..sim.engine import Event, Simulator
 from .api import FarviewClient
 from .node import FarviewNode
 
 
 class RegionLeaseManager:
-    """FIFO admission control over a node's dynamic regions."""
+    """FIFO admission control over the dynamic regions of a node pool.
 
-    def __init__(self, node: FarviewNode,
+    ``target`` may be a single :class:`FarviewNode`, a
+    :class:`~repro.core.cluster.FarviewCluster`, or any sequence of nodes
+    sharing one simulator.  The single-node behaviour (and the ``node``
+    attribute) is unchanged from the pre-cluster version.
+    """
+
+    def __init__(self, target,
                  buffer_capacity: int = 8 * 1024 * 1024):
-        self.node = node
-        self.sim: Simulator = node.sim
+        self.nodes: list[FarviewNode] = _resolve_nodes(target)
+        self.node = self.nodes[0]  # single-node compatibility alias
+        self.sim: Simulator = self.node.sim
         self.buffer_capacity = buffer_capacity
         self._waiters: deque[Event] = deque()
+        #: Waiters woken by a release but not yet resumed; newcomers must
+        #: not barge into this handoff window.
+        self._handoffs = 0
+        #: Live leases: client -> node index (only clients this manager
+        #: granted may be released through it).
+        self._live: dict[int, tuple[FarviewClient, int]] = {}
         self.leases_granted = 0
+        #: Live (currently held) leases per node — the balance metric.
+        self.leases_per_node: list[int] = [0] * len(self.nodes)
         self.max_queue_depth = 0
 
-    # -- lease lifecycle ---------------------------------------------------------
+    # -- placement ---------------------------------------------------------
+    def _pick_node(self) -> int | None:
+        """Index of the best node with a free region, or None if all busy.
+
+        Most free regions wins; ties go to the node holding the fewest
+        live leases, then the lowest index (deterministic placement).
+        """
+        best: int | None = None
+        for i, node in enumerate(self.nodes):
+            if node.free_regions <= 0:
+                continue
+            if best is None:
+                best = i
+                continue
+            key = (-node.free_regions, self.leases_per_node[i], i)
+            best_key = (-self.nodes[best].free_regions,
+                        self.leases_per_node[best], best)
+            if key < best_key:
+                best = i
+        return best
+
+    # -- lease lifecycle ---------------------------------------------------
     def acquire(self):
-        """Process: resolves to a connected :class:`FarviewClient`."""
+        """Process: resolves to a connected :class:`FarviewClient` on the
+        least-loaded node with a free region.
+
+        FIFO: a new arrival never barges past already-queued waiters —
+        it only tries the fast path when the queue is empty; a waiter
+        woken by a release keeps its turn even if others queued behind.
+        """
+        my_turn = not self._waiters and not self._handoffs
         while True:
-            try:
-                client = FarviewClient(self.node, self.buffer_capacity)
-                client.open_connection()
-                self.leases_granted += 1
-                return client
-            except RegionUnavailableError:
-                ticket = self.sim.event()
-                self._waiters.append(ticket)
-                self.max_queue_depth = max(self.max_queue_depth,
-                                           len(self._waiters))
-                yield ticket  # woken by a release
+            index = self._pick_node() if my_turn else None
+            if index is not None:
+                try:
+                    client = FarviewClient(self.nodes[index],
+                                           self.buffer_capacity)
+                    client.open_connection()
+                except RegionUnavailableError:
+                    # A region counted free but could not be acquired
+                    # (e.g. a draining state): wait like the all-busy
+                    # case rather than spinning on the same node.
+                    pass
+                else:
+                    self.leases_granted += 1
+                    self.leases_per_node[index] += 1
+                    self._live[id(client)] = (client, index)
+                    return client
+            ticket = self.sim.event()
+            self._waiters.append(ticket)
+            self.max_queue_depth = max(self.max_queue_depth,
+                                       len(self._waiters))
+            yield ticket  # woken by a release
+            self._handoffs -= 1
+            my_turn = True
 
     def release(self, client: FarviewClient) -> None:
-        """Return the lease; wakes the oldest waiter."""
+        """Return the lease; wakes the oldest waiter.
+
+        Only clients granted by :meth:`acquire` may be released here —
+        a foreign client would corrupt the per-node balance accounting.
+        """
+        entry = self._live.pop(id(client), None)
+        if entry is None:
+            raise QueryError("client was not leased from this manager's pool")
+        _, index = entry
         client.close_connection()
+        self.leases_per_node[index] -= 1
         if self._waiters:
+            self._handoffs += 1
             self._waiters.popleft().succeed()
 
     def with_lease(self, fn):
@@ -68,6 +148,27 @@ class RegionLeaseManager:
             self.release(client)
         return result
 
+    # -- introspection -----------------------------------------------------
     @property
     def queued(self) -> int:
         return len(self._waiters)
+
+    @property
+    def free_regions(self) -> int:
+        return sum(node.free_regions for node in self.nodes)
+
+
+def _resolve_nodes(target) -> list[FarviewNode]:
+    """Normalize a node / cluster / sequence-of-nodes into a node list."""
+    if isinstance(target, FarviewNode):
+        return [target]
+    nodes = list(getattr(target, "nodes", None)
+                 or (target if isinstance(target, Sequence) else ()))
+    if not nodes or not all(isinstance(n, FarviewNode) for n in nodes):
+        raise QueryError(
+            "RegionLeaseManager needs a FarviewNode, a FarviewCluster, or "
+            f"a non-empty sequence of nodes; got {target!r}")
+    sims = {id(n.sim) for n in nodes}
+    if len(sims) != 1:
+        raise QueryError("all pooled nodes must share one simulator")
+    return nodes

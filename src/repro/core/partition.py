@@ -1,0 +1,119 @@
+"""Table partitioning for the sharded Farview pool.
+
+The paper describes Farview as a *pool* of disaggregated-memory nodes
+serving many compute-side query threads (§1, §4.1).  This module decides
+which node owns which rows of a table.  Three schemes are provided, all
+deterministic so every client computes the same placement from catalog
+information alone:
+
+``chunk``
+    Contiguous, balanced row ranges: shard *s* of *N* holds rows
+    ``[s*n/N, (s+1)*n/N)``.  Because each shard preserves the original row
+    order and shards concatenate back in order, order-sensitive merges
+    (DISTINCT / GROUP BY first-occurrence order) reproduce single-node
+    results *byte-identically* — the property the scatter-gather router
+    and its tests rely on.
+
+``hash``
+    Rows are placed by a splitmix64 hash of a fixed-width key column
+    (:func:`~repro.operators.hashing.hash_key_batch`, the same mixer the
+    on-chip cuckoo tables use).  Co-locates equal keys, so per-key merges
+    never cross shards; row order across shards is interleaved.
+
+``range``
+    Equal-width value ranges over a numeric key column's [min, max] span,
+    computed at write time.  Keeps key locality for range predicates.
+
+:func:`shard_assignment` maps every row to a shard id;
+:func:`partition_indices` turns that into per-shard row-index arrays that
+preserve the original relative order within each shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..common.errors import QueryError
+from ..common.records import Schema
+from ..operators.hashing import hash_key_batch
+
+#: Valid values for :attr:`PartitionSpec.scheme`.
+SCHEMES = ("chunk", "hash", "range")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How a table is split across the nodes of a cluster.
+
+    ``scheme`` is one of :data:`SCHEMES`; ``key`` names the partitioning
+    column (required for ``hash`` and ``range``, meaningless for
+    ``chunk``).
+    """
+
+    scheme: str = "chunk"
+    key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise QueryError(
+                f"unknown partition scheme {self.scheme!r}; choose from "
+                f"{SCHEMES}")
+        if self.scheme in ("hash", "range") and not self.key:
+            raise QueryError(
+                f"{self.scheme} partitioning needs a key column")
+        if self.scheme == "chunk" and self.key is not None:
+            raise QueryError("chunk partitioning does not take a key column")
+
+    @property
+    def order_preserving(self) -> bool:
+        """True when concatenating shards in order reproduces the original
+        row order — the prerequisite for byte-identical distributed
+        DISTINCT / GROUP BY merges."""
+        return self.scheme == "chunk"
+
+    def describe(self) -> str:
+        return (self.scheme if self.key is None
+                else f"{self.scheme}({self.key})")
+
+
+def shard_assignment(rows: np.ndarray, schema: Schema, spec: PartitionSpec,
+                     num_shards: int) -> np.ndarray:
+    """Shard id (``int64`` in ``[0, num_shards)``) for every row."""
+    if num_shards <= 0:
+        raise QueryError(f"need at least one shard, got {num_shards}")
+    n = len(rows)
+    if spec.scheme == "chunk":
+        # Balanced contiguous ranges (shard sizes differ by at most one
+        # row; row i lands on shard i*num_shards//n).
+        return (np.arange(n, dtype=np.int64) * num_shards) // max(n, 1)
+    assert spec.key is not None
+    column = schema.column(spec.key)
+    if spec.scheme == "hash":
+        key_schema = schema.project([spec.key])
+        keys = key_schema.empty(n)
+        keys[spec.key] = rows[spec.key]
+        hashes = hash_key_batch(key_schema.to_bytes(keys), column.width)
+        return (hashes % np.uint64(num_shards)).astype(np.int64)
+    # range: equal-width bins over the observed [min, max] value span.
+    if column.kind == "char":
+        raise QueryError(
+            f"range partitioning needs a numeric key; {spec.key!r} is char")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    values = rows[spec.key].astype(np.float64)
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        return np.zeros(n, dtype=np.int64)
+    bins = ((values - lo) / (hi - lo) * num_shards).astype(np.int64)
+    return np.clip(bins, 0, num_shards - 1)
+
+
+def partition_indices(rows: np.ndarray, schema: Schema, spec: PartitionSpec,
+                      num_shards: int) -> list[np.ndarray]:
+    """Per-shard row indices (ascending, so shard-local order mirrors the
+    original relative order)."""
+    assignment = shard_assignment(rows, schema, spec, num_shards)
+    return [np.flatnonzero(assignment == s) for s in range(num_shards)]

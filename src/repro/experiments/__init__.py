@@ -11,6 +11,7 @@ fig9_grouping     Figure 9 — DISTINCT and GROUP BY + SUM
 fig10_regex       Figure 10 — regular-expression matching
 fig11_encryption  Figure 11 — decryption response time & throughput
 fig12_multiclient Figure 12 — six concurrent clients
+fig13_scaleout    Figure 13 (extension) — pool scale-out, sharded DISTINCT
 ================  =====================================================
 """
 
@@ -22,6 +23,7 @@ from . import (
     fig10_regex,
     fig11_encryption,
     fig12_multiclient,
+    fig13_scaleout,
     table1_resources,
 )
 from .common import Bench, ExperimentResult, make_bench, run_query_warm, upload_table
@@ -34,6 +36,7 @@ __all__ = [
     "fig10_regex",
     "fig11_encryption",
     "fig12_multiclient",
+    "fig13_scaleout",
     "table1_resources",
     "Bench",
     "ExperimentResult",

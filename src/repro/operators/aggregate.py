@@ -119,6 +119,87 @@ def batch_accumulate(acc: Accumulator, batch: np.ndarray,
             acc.maxs[i] = hi
 
 
+# -- distributed partial aggregation ------------------------------------------
+
+#: Alias prefix for synthesized shard-local partial columns; reserved so it
+#: can never collide with user aliases or group-key names.
+PARTIAL_PREFIX = "__fvpart_"
+
+#: How a shard-local partial column merges across shards, keyed by the
+#: *shard* aggregate function that produced it.  ``avg`` never appears
+#: here: :func:`decompose_partials` rewrites it into sum + count.
+PARTIAL_MERGE = {
+    "count": lambda a, b: a + b,
+    "sum": lambda a, b: a + b,
+    "min": min,
+    "max": max,
+}
+
+
+@dataclass(frozen=True)
+class PartialPlan:
+    """How one original aggregate is rebuilt from merged shard partials.
+
+    ``mode`` is ``"direct"`` (the merged column *is* the final value) or
+    ``"ratio"`` (final = sources[0] / sources[1], the avg = sum / count
+    decomposition); ``sources`` are aliases into the shard output schema.
+    """
+
+    spec: AggregateSpec
+    mode: str
+    sources: tuple[str, ...]
+
+    def finalize(self, merged: dict):
+        """Final value of this aggregate from the merged partial columns."""
+        if self.mode == "direct":
+            return merged[self.sources[0]]
+        numerator, count = (merged[s] for s in self.sources)
+        if count == 0:
+            raise OperatorError(f"{self.spec.alias}: empty group in merge")
+        return numerator / count
+
+
+def decompose_partials(
+        specs: list[AggregateSpec] | tuple[AggregateSpec, ...],
+) -> tuple[list[AggregateSpec], list[PartialPlan]]:
+    """Rewrite aggregates into shard-local partials that merge exactly.
+
+    ``count``, ``sum``, ``min`` and ``max`` are already decomposable (the
+    per-shard partial merges with :data:`PARTIAL_MERGE`); ``avg`` is not —
+    averages of averages are wrong under skew — so it is replaced by a
+    synthesized ``sum`` + ``count(*)`` pair and recomputed at merge time.
+
+    Returns ``(shard_specs, plans)``: the aggregate list the *shards*
+    execute, and one :class:`PartialPlan` per original spec describing how
+    the scatter-gather router rebuilds the final column.
+    """
+    shard_specs: list[AggregateSpec] = []
+    by_alias: dict[str, AggregateSpec] = {}
+
+    def ensure(spec: AggregateSpec) -> str:
+        existing = by_alias.get(spec.alias)
+        if existing is None:
+            by_alias[spec.alias] = spec
+            shard_specs.append(spec)
+        elif existing != spec:
+            raise QueryError(
+                f"aggregate alias {spec.alias!r} is ambiguous across shards")
+        return spec.alias
+
+    plans: list[PartialPlan] = []
+    for spec in specs:
+        if spec.func == "avg":
+            total = ensure(AggregateSpec(
+                "sum", spec.column, f"{PARTIAL_PREFIX}sum_{spec.column}"))
+            count = ensure(AggregateSpec(
+                "count", "*", f"{PARTIAL_PREFIX}count"))
+            plans.append(PartialPlan(spec, "ratio", (total, count)))
+        else:
+            ensure(spec)
+            plans.append(PartialPlan(spec, "direct", (spec.alias,)))
+    return shard_specs, plans
+
+
 class StandaloneAggregateOperator(RowOperator):
     """Whole-table aggregation without grouping: emits one row at flush."""
 

@@ -1,0 +1,389 @@
+"""Sharded cluster: partitioning, scatter-gather, and merge exactness.
+
+The load-bearing contract: under order-preserving chunk partitioning,
+cluster results are *byte-identical* (sha256) to single-node execution on
+the same data — pinned here for fig12's DISTINCT workload at N=2 and N=4
+and for GROUP BY with every supported aggregate.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CatalogError, QueryError
+from repro.core import (
+    ClusterClient,
+    FarviewClient,
+    FarviewCluster,
+    FarviewNode,
+    PartitionSpec,
+    partition_indices,
+    plan_scatter,
+    shard_assignment,
+)
+from repro.core.query import Query, select_distinct, select_star
+from repro.core.table import FTable
+from repro.experiments.common import EXPERIMENT_CONFIG
+from repro.operators.aggregate import (PARTIAL_PREFIX, AggregateSpec,
+                                       decompose_partials)
+from repro.sim.engine import Simulator
+from repro.workloads.generator import (distinct_workload, groupby_workload,
+                                       selection_workload)
+
+KB = 1024
+
+
+def single_node_result(schema, rows, query):
+    sim = Simulator()
+    node = FarviewNode(sim, EXPERIMENT_CONFIG)
+    client = FarviewClient(node)
+    client.open_connection()
+    table = FTable("T", schema, len(rows))
+    client.alloc_table_mem(table)
+    client.table_write(table, rows)
+    result, _ = client.far_view(table, query)
+    return result
+
+
+def cluster_result(schema, rows, query, num_nodes, partition=None):
+    sim = Simulator()
+    cluster = FarviewCluster(sim, num_nodes, EXPERIMENT_CONFIG)
+    client = ClusterClient(cluster)
+    client.open_connection()
+    sharded = client.create_table("T", schema, rows, partition)
+    result, _ = client.far_view(sharded, query)
+    return result
+
+
+def sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+# -- partitioning --------------------------------------------------------------
+
+def test_partition_spec_validation():
+    with pytest.raises(QueryError):
+        PartitionSpec("zigzag")
+    with pytest.raises(QueryError):
+        PartitionSpec("hash")          # needs a key
+    with pytest.raises(QueryError):
+        PartitionSpec("chunk", key="a")
+    assert PartitionSpec().order_preserving
+    assert not PartitionSpec("hash", key="a").order_preserving
+
+
+def test_chunk_assignment_is_balanced_and_contiguous():
+    schema, rows = distinct_workload(1000, 10)
+    ids = shard_assignment(rows, schema, PartitionSpec(), 4)
+    assert ids.min() == 0 and ids.max() == 3
+    assert np.all(np.diff(ids) >= 0)  # contiguous ranges
+    counts = np.bincount(ids, minlength=4)
+    assert counts.max() - counts.min() <= 1
+
+
+def test_hash_assignment_colocates_equal_keys():
+    schema, rows = distinct_workload(2048, 16)
+    ids = shard_assignment(rows, schema, PartitionSpec("hash", key="a"), 4)
+    for value in np.unique(rows["a"]):
+        assert len(set(ids[rows["a"] == value])) == 1
+
+
+def test_range_assignment_orders_by_value():
+    schema, rows = distinct_workload(2048, 64)
+    ids = shard_assignment(rows, schema, PartitionSpec("range", key="a"), 4)
+    # Every row in a lower shard has a key <= every row in a higher one.
+    for s in range(3):
+        if (ids == s).any() and (ids > s).any():
+            assert rows["a"][ids == s].max() <= rows["a"][ids > s].min()
+
+
+def test_range_partitioning_rejects_char_keys():
+    from repro.common.records import string_schema
+    schema = string_schema(16)
+    rows = schema.empty(4)
+    with pytest.raises(QueryError, match="numeric"):
+        shard_assignment(rows, schema, PartitionSpec("range", key="s"), 2)
+
+
+def test_partition_indices_cover_every_row_once():
+    schema, rows = distinct_workload(999, 7)
+    for spec in (PartitionSpec(), PartitionSpec("hash", key="a"),
+                 PartitionSpec("range", key="a")):
+        parts = partition_indices(rows, schema, spec, 3)
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(999))
+
+
+# -- partial-aggregate decomposition -------------------------------------------
+
+def test_decompose_passes_mergeable_specs_through():
+    specs = [AggregateSpec("sum", "b"), AggregateSpec("count", "*"),
+             AggregateSpec("min", "b"), AggregateSpec("max", "b")]
+    shard_specs, plans = decompose_partials(specs)
+    assert shard_specs == specs
+    assert all(p.mode == "direct" for p in plans)
+
+
+def test_decompose_rewrites_avg_into_sum_and_count():
+    shard_specs, plans = decompose_partials([AggregateSpec("avg", "b")])
+    funcs = {(s.func, s.column) for s in shard_specs}
+    assert funcs == {("sum", "b"), ("count", "*")}
+    assert all(s.alias.startswith(PARTIAL_PREFIX) for s in shard_specs)
+    assert plans[0].mode == "ratio"
+
+
+def test_decompose_shares_partials_between_avgs_and_keeps_originals():
+    specs = [AggregateSpec("avg", "b"), AggregateSpec("sum", "b"),
+             AggregateSpec("avg", "b", alias="b2")]
+    shard_specs, plans = decompose_partials(specs)
+    # One synthesized sum + one count shared by both avgs, plus user sum.
+    assert len(shard_specs) == 3
+    assert plans[0].sources == plans[2].sources
+
+
+# -- scatter planning ----------------------------------------------------------
+
+def test_plan_scatter_modes():
+    assert plan_scatter(select_distinct(["a"])).mode == "distinct"
+    assert plan_scatter(Query(group_by=("a",),
+                              aggregates=(AggregateSpec("sum", "b"),),
+                              label="g")).mode == "group"
+    assert plan_scatter(Query(aggregates=(AggregateSpec("count", "*"),),
+                              label="agg")).mode == "aggregate"
+    wl = selection_workload(64, 0.5)
+    assert plan_scatter(select_star(wl.predicate)).mode == "concat"
+
+
+def test_plan_scatter_rejects_joins():
+    from repro.core.query import JoinSpec
+    build = FTable("D", distinct_workload(8, 8)[0], 8)
+    query = Query(join=JoinSpec(build, "a", "a", ("b",)), label="j")
+    with pytest.raises(QueryError, match="broadcast"):
+        plan_scatter(query)
+
+
+# -- byte-identity: the acceptance criterion -----------------------------------
+
+@pytest.mark.parametrize("num_nodes", [2, 4])
+def test_fig12_distinct_workload_byte_identical(num_nodes):
+    """Cluster DISTINCT == single node, sha256, on fig12's workload."""
+    query = select_distinct(["a"])
+    for seed in range(3):  # three of fig12's six client tables
+        schema, rows = distinct_workload(64 * KB // 64, 64, seed=seed)
+        ref = single_node_result(schema, rows, query)
+        ref_bytes = ref.schema.to_bytes(ref.rows())
+        got = cluster_result(schema, rows, query, num_nodes)
+        assert sha(got.data) == sha(ref_bytes)
+
+
+@pytest.mark.parametrize("num_nodes", [2, 4])
+def test_group_by_all_aggregates_byte_identical(num_nodes):
+    """GROUP BY with sum/count/avg/min/max over int values: exact merge."""
+    schema, rows = groupby_workload(4096, 32, seed=11)
+    rows = rows.copy()
+    rows["c"] = np.arange(len(rows), dtype=np.int64) % 97  # exact int sums
+    query = Query(group_by=("a",),
+                  aggregates=(AggregateSpec("sum", "c"),
+                              AggregateSpec("count", "*"),
+                              AggregateSpec("avg", "c"),
+                              AggregateSpec("min", "c"),
+                              AggregateSpec("max", "c")),
+                  label="g")
+    ref = single_node_result(schema, rows, query)
+    got = cluster_result(schema, rows, query, num_nodes)
+    assert sha(got.data) == sha(ref.schema.to_bytes(ref.rows()))
+
+
+def test_selection_concat_byte_identical():
+    wl = selection_workload(4096, 0.5, seed=8)
+    query = select_star(wl.predicate)
+    ref = single_node_result(wl.schema, wl.rows, query)
+    got = cluster_result(wl.schema, wl.rows, query, 3)
+    assert sha(got.data) == sha(ref.schema.to_bytes(ref.rows()))
+
+
+def test_standalone_aggregate_merge_exact_under_skew():
+    schema, rows = groupby_workload(1000, 5, seed=2)
+    rows = rows.copy()
+    rows["c"] = np.arange(1000, dtype=np.int64)
+    query = Query(aggregates=(AggregateSpec("avg", "c"),
+                              AggregateSpec("sum", "c"),
+                              AggregateSpec("count", "*"),
+                              AggregateSpec("min", "c"),
+                              AggregateSpec("max", "c")),
+                  label="agg")
+    ref = single_node_result(schema, rows, query)
+    # range partitioning on "a" gives deliberately uneven shards.
+    got = cluster_result(schema, rows, query, 3,
+                         PartitionSpec("range", key="a"))
+    assert sha(got.data) == sha(ref.schema.to_bytes(ref.rows()))
+    assert got.rows()["avg_c"][0] == pytest.approx(999 / 2)
+
+
+def test_hash_partitioned_groupby_is_set_equal():
+    """Hash placement interleaves order but the group set is exact."""
+    schema, rows = groupby_workload(4096, 48, seed=4)
+    rows = rows.copy()
+    rows["c"] = np.arange(len(rows), dtype=np.int64) % 31
+    query = Query(group_by=("a",),
+                  aggregates=(AggregateSpec("sum", "c"),), label="g")
+    ref = single_node_result(schema, rows, query)
+    got = cluster_result(schema, rows, query, 4, PartitionSpec("hash", "a"))
+    assert (sorted(map(tuple, got.rows().tolist()))
+            == sorted(map(tuple, ref.rows().tolist())))
+
+
+# -- verbs ---------------------------------------------------------------------
+
+def test_table_read_chunk_roundtrips_original_image():
+    schema, rows = distinct_workload(2048, 16, seed=9)
+    sim = Simulator()
+    client = ClusterClient(FarviewCluster(sim, 4, EXPERIMENT_CONFIG))
+    client.open_connection()
+    sharded = client.create_table("R", schema, rows)
+    data, elapsed = client.table_read(sharded)
+    assert data == schema.to_bytes(rows)
+    assert elapsed > 0
+
+
+def test_cluster_sql_round_trip():
+    schema, rows = distinct_workload(1024, 8, seed=1)
+    sim = Simulator()
+    client = ClusterClient(FarviewCluster(sim, 2, EXPERIMENT_CONFIG))
+    client.open_connection()
+    client.create_table("demo", schema, rows)
+    result, _ = client.sql("SELECT DISTINCT a FROM demo")
+    assert result.num_rows == 8
+
+
+def test_create_table_skips_empty_shards_and_registers():
+    schema, rows = distinct_workload(3, 3, seed=0)
+    sim = Simulator()
+    client = ClusterClient(FarviewCluster(sim, 8, EXPERIMENT_CONFIG))
+    client.open_connection()
+    sharded = client.create_table("tiny", schema, rows)
+    assert sharded.num_shards <= 3  # 3 rows cannot fill 8 shards
+    assert "tiny" in client.catalog
+    client.drop_table(sharded)
+    assert "tiny" not in client.catalog
+
+
+def test_create_table_rejects_duplicate_name_before_writing():
+    """Duplicate names fail upfront, before any shard bytes move."""
+    schema, rows = distinct_workload(1024, 8, seed=0)
+    sim = Simulator()
+    cluster = FarviewCluster(sim, 2, EXPERIMENT_CONFIG)
+    client = ClusterClient(cluster)
+    client.open_connection()
+    client.create_table("dup", schema, rows)
+    written_before = [node.mmu.bytes_written for node in cluster.nodes]
+    with pytest.raises(CatalogError, match="already registered"):
+        client.create_table("dup", schema, rows)
+    assert [node.mmu.bytes_written for node in cluster.nodes] == written_before
+    # The surviving original is untouched and still fully droppable.
+    original = client.catalog.lookup("dup")
+    result, _ = client.far_view(original, select_distinct(["a"]))
+    assert result.num_rows == 8
+    client.drop_table(original)
+    assert "dup" not in client.catalog
+
+
+def test_create_table_failure_frees_partial_shards():
+    """A mid-scatter failure must roll back already-written shards."""
+    schema, rows = distinct_workload(1024, 8, seed=0)
+    sim = Simulator()
+    cluster = FarviewCluster(sim, 2, EXPERIMENT_CONFIG)
+    client = ClusterClient(cluster)
+    client.open_connection()
+
+    def exploding_write(table, data):
+        raise RuntimeError("link died mid-upload")
+
+    client.node_client(1).table_write = exploding_write
+    pages_before = [node.mmu.domain_pages(conn.domain)
+                    for node, conn in zip(
+                        cluster.nodes,
+                        [client.node_client(i).connection for i in range(2)])]
+    with pytest.raises(RuntimeError, match="mid-upload"):
+        client.create_table("doomed", schema, rows)
+    pages_after = [node.mmu.domain_pages(conn.domain)
+                   for node, conn in zip(
+                       cluster.nodes,
+                       [client.node_client(i).connection for i in range(2)])]
+    assert pages_after == pages_before  # node 0's shard was rolled back
+    assert "doomed" not in client.catalog
+    assert "doomed@0" not in client.node_client(0).catalog
+
+
+def test_open_connection_unwinds_on_full_node():
+    """Partial open must release the regions it already acquired."""
+    from repro.common.config import (FarviewConfig, MemoryConfig,
+                                     OperatorStackConfig)
+    config = FarviewConfig(
+        memory=MemoryConfig(channels=2, channel_capacity=8 * 1024 * 1024,
+                            page_size=64 * KB),
+        operator_stack=OperatorStackConfig(regions=1))
+    sim = Simulator()
+    cluster = FarviewCluster(sim, 2, config)
+    # Exhaust node 1's single region so the pool-wide open must fail.
+    blocker = FarviewClient(cluster.node(1))
+    blocker.open_connection()
+    client = ClusterClient(cluster)
+    from repro.common.errors import RegionUnavailableError
+    with pytest.raises(RegionUnavailableError):
+        client.open_connection()
+    assert cluster.node(0).free_regions == 1  # node 0's region was returned
+    blocker.close_connection()
+    client.open_connection()  # now the pool-wide open succeeds
+    client.close_connection()
+
+
+def test_create_table_rejects_empty_rows():
+    schema, rows = distinct_workload(0, 1)
+    sim = Simulator()
+    client = ClusterClient(FarviewCluster(sim, 2, EXPERIMENT_CONFIG))
+    client.open_connection()
+    with pytest.raises(QueryError, match="empty"):
+        client.create_table("nothing", schema, rows)
+
+
+def test_cluster_needs_at_least_one_node():
+    with pytest.raises(QueryError):
+        FarviewCluster(Simulator(), 0)
+
+
+def test_sharded_table_needs_shards():
+    from repro.core.cluster import ShardedTable
+    schema, _ = distinct_workload(1, 1)
+    with pytest.raises(CatalogError):
+        ShardedTable("x", schema, 0, PartitionSpec(), [])
+
+
+# -- scale-out behaviour -------------------------------------------------------
+
+def test_scatter_gather_response_time_improves_with_nodes():
+    schema, rows = distinct_workload(16 * KB, 64, seed=3)
+    query = select_distinct(["a"])
+    times = []
+    for num_nodes in (1, 2, 4):
+        sim = Simulator()
+        client = ClusterClient(FarviewCluster(sim, num_nodes,
+                                              EXPERIMENT_CONFIG))
+        client.open_connection()
+        sharded = client.create_table("T", schema, rows)
+        client.far_view(sharded, query)  # deploy (warm pipelines)
+        _, elapsed = client.far_view(sharded, query)
+        times.append(elapsed)
+    assert times[1] < times[0] * 0.65  # near-halving, allowing overheads
+    assert times[2] < times[1] * 0.65
+
+
+def test_shards_report_partial_bytes_and_merged_rows_are_final():
+    schema, rows = distinct_workload(4096, 64, seed=6)
+    result = cluster_result(schema, rows, select_distinct(["a"]), 4)
+    assert len(result.shard_results) == 4
+    # Every shard shipped some keys; the merge removed cross-shard dupes.
+    total_shard_rows = sum(len(r.rows()) for r in result.shard_results)
+    assert total_shard_rows >= result.num_rows
+    assert result.bytes_shipped >= result.num_rows * 8

@@ -1,8 +1,15 @@
-"""Region leasing / admission control (elasticity future work)."""
+"""Region leasing / admission control (elasticity future work).
+
+Covers the original single-node FIFO behaviour and the cluster extension:
+lease balancing across the nodes of a pool (most-free-regions placement,
+FIFO waiting when the whole pool is busy).
+"""
 
 import pytest
 
 from repro.common.config import FarviewConfig, MemoryConfig, OperatorStackConfig
+from repro.common.errors import QueryError
+from repro.core.cluster import FarviewCluster
 from repro.core.elasticity import RegionLeaseManager
 from repro.core.node import FarviewNode
 from repro.core.query import select_star
@@ -15,13 +22,21 @@ KB = 1024
 MB = 1024 * KB
 
 
-def make_node(regions=2):
-    sim = Simulator()
-    config = FarviewConfig(
+def small_config(regions=2):
+    return FarviewConfig(
         memory=MemoryConfig(channels=2, channel_capacity=8 * MB,
                             page_size=64 * KB),
         operator_stack=OperatorStackConfig(regions=regions))
-    return sim, FarviewNode(sim, config)
+
+
+def make_node(regions=2):
+    sim = Simulator()
+    return sim, FarviewNode(sim, small_config(regions))
+
+
+def make_cluster(num_nodes=2, regions=2):
+    sim = Simulator()
+    return sim, FarviewCluster(sim, num_nodes, small_config(regions))
 
 
 def test_acquire_within_capacity_is_immediate():
@@ -136,3 +151,156 @@ def test_leased_clients_run_real_queries():
     # With 2 regions and 5 tenants, some had to queue.
     assert manager.max_queue_depth >= 1
     assert node.free_regions == 2
+
+
+def test_new_arrival_cannot_barge_past_woken_waiter():
+    """A release hands the region to the oldest waiter even if a newcomer
+    calls acquire() inside the handoff window (before the waiter resumes)."""
+    sim, node = make_node(regions=1)
+    manager = RegionLeaseManager(node)
+    order = []
+
+    def waiter():
+        yield sim.timeout(1.0)
+        client = yield from manager.acquire()
+        order.append(("waiter", sim.now))
+        manager.release(client)
+
+    def main():
+        holder = yield from manager.acquire()
+        w = sim.process(waiter())
+        yield sim.timeout(5.0)  # the waiter is queued by now
+        manager.release(holder)
+        # Synchronously, before the woken waiter resumes: try to barge.
+        barger = yield from manager.acquire()
+        order.append(("barger", sim.now))
+        manager.release(barger)
+        yield w
+
+    sim.run_process(main())
+    assert [tag for tag, _ in order] == ["waiter", "barger"]
+
+
+# -- cluster lease balancing ---------------------------------------------------
+
+def test_cluster_leases_spread_across_nodes():
+    sim, cluster = make_cluster(num_nodes=3, regions=2)
+    manager = RegionLeaseManager(cluster)
+
+    def main():
+        clients = []
+        for _ in range(6):
+            clients.append((yield from manager.acquire()))
+        return clients
+
+    clients = sim.run_process(main())
+    # Greedy most-free placement fills the pool evenly: 2 leases per node.
+    assert manager.leases_per_node == [2, 2, 2]
+    nodes_used = {id(c.node) for c in clients}
+    assert len(nodes_used) == 3
+    for client in clients:
+        manager.release(client)
+    assert manager.leases_per_node == [0, 0, 0]
+    assert cluster.free_regions == 6
+
+
+def test_cluster_release_rebalances_next_lease():
+    sim, cluster = make_cluster(num_nodes=2, regions=2)
+    manager = RegionLeaseManager(cluster)
+
+    def main():
+        held = []
+        for _ in range(3):
+            held.append((yield from manager.acquire()))
+        # Node 0 holds 2 leases, node 1 holds 1: next grant lands on 1.
+        assert manager.leases_per_node == [2, 1]
+        fourth = yield from manager.acquire()
+        assert manager.leases_per_node == [2, 2]
+        # Free both leases of node 0; the next two land there again.
+        manager.release(held[0])
+        manager.release(held[2])
+        assert manager.leases_per_node == [0, 2]
+        fifth = yield from manager.acquire()
+        return fifth
+
+    fifth = sim.run_process(main())
+    assert fifth.node is cluster.node(0)
+
+
+def test_cluster_full_pool_waits_fifo_across_nodes():
+    sim, cluster = make_cluster(num_nodes=2, regions=1)
+    manager = RegionLeaseManager(cluster)
+    order = []
+
+    def holder(delay):
+        client = yield from manager.acquire()
+        order.append(("hold", sim.now))
+        yield sim.timeout(delay)
+        manager.release(client)
+
+    def waiter(tag, delay):
+        yield sim.timeout(delay)
+        client = yield from manager.acquire()
+        order.append((tag, sim.now))
+        manager.release(client)
+
+    def main():
+        procs = [sim.process(holder(100.0)), sim.process(holder(200.0)),
+                 sim.process(waiter("first", 1.0)),
+                 sim.process(waiter("second", 2.0))]
+        yield sim.all_of(procs)
+
+    sim.run_process(main())
+    tags = [tag for tag, _ in order]
+    assert tags[:2] == ["hold", "hold"]
+    assert tags[2:] == ["first", "second"]   # FIFO across the whole pool
+    assert order[2][1] >= 100.0              # woken by the first release
+    assert manager.max_queue_depth == 2
+
+
+def test_cluster_leased_queries_execute_on_their_node():
+    sim, cluster = make_cluster(num_nodes=2, regions=2)
+    manager = RegionLeaseManager(cluster)
+    wl = selection_workload(256, 0.5)
+    counts = []
+
+    def tenant(i):
+        def body(client):
+            table = FTable(f"L{i}", wl.schema, len(wl.rows))
+            client.alloc_table_mem(table)
+            yield from client.table_write_proc(table, wl.rows)
+            result = yield from client.far_view_proc(
+                table, select_star(wl.predicate))
+            return len(result.rows())
+        counts.append((yield from manager.with_lease(body)))
+
+    def main():
+        yield sim.all_of([sim.process(tenant(i)) for i in range(6)])
+
+    sim.run_process(main())
+    expected = int(wl.predicate.evaluate(wl.rows).sum())
+    assert counts == [expected] * 6
+    # Both nodes actually served queries.
+    assert all(node.queries_served > 0 for node in cluster.nodes)
+
+
+def test_manager_accepts_node_sequence_and_validates():
+    sim = Simulator()
+    nodes = [FarviewNode(sim, small_config()) for _ in range(2)]
+    manager = RegionLeaseManager(nodes)
+    assert manager.free_regions == 4
+    with pytest.raises(QueryError):
+        RegionLeaseManager([])
+    with pytest.raises(QueryError):
+        other = FarviewNode(Simulator(), small_config())
+        RegionLeaseManager([nodes[0], other])  # different simulators
+
+
+def test_release_of_foreign_client_is_rejected():
+    sim, cluster = make_cluster(num_nodes=2, regions=2)
+    manager = RegionLeaseManager(cluster)
+    from repro.core.api import FarviewClient
+    foreign = FarviewClient(FarviewNode(sim, small_config()))
+    foreign.open_connection()
+    with pytest.raises(QueryError, match="pool"):
+        manager.release(foreign)

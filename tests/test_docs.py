@@ -1,0 +1,49 @@
+"""User-facing docs stay in lock-step with the code.
+
+Mirrors the CI ``docs`` job locally: the docs exist, every file they
+reference resolves (``tools/check_docs.py``), and the CLI references that
+used to dangle (``cli.py`` -> EXPERIMENTS.md) now hold.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_user_facing_docs_exist():
+    for doc in ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"):
+        assert (REPO / doc).is_file(), f"{doc} missing"
+
+
+def test_all_doc_references_resolve(capsys):
+    check_docs = load_check_docs()
+    assert check_docs.main() == 0, capsys.readouterr().err
+
+
+def test_cli_experiments_reference_resolves():
+    """cli.py points readers at EXPERIMENTS.md; it must exist and cover
+    every experiment id the CLI exposes."""
+    import repro.cli as cli
+
+    assert "EXPERIMENTS.md" in (REPO / "src/repro/cli.py").read_text()
+    text = (REPO / "EXPERIMENTS.md").read_text()
+    for key in cli.EXPERIMENTS:
+        assert key in text, f"EXPERIMENTS.md does not document {key!r}"
+
+
+def test_readme_documents_tier1_and_bench_commands():
+    text = (REPO / "README.md").read_text()
+    assert "python -m pytest -x -q" in text
+    assert "benchmarks/bench_perf.py" in text
+    assert "python -m repro" in text
+    assert "ROADMAP.md" in text

@@ -9,6 +9,7 @@ from repro.experiments import (
     fig9_grouping,
     fig10_regex,
     fig12_multiclient,
+    fig13_scaleout,
     table1_resources,
 )
 
@@ -98,6 +99,17 @@ def test_fig12_fv_beats_contending_cpus():
     rcpu = result.series_named("RCPU")
     for size in (64 * KB, 256 * KB):
         assert fv.y_at(size) < lcpu.y_at(size) < rcpu.y_at(size)
+
+
+def test_fig13_throughput_scales_with_nodes():
+    result = fig13_scaleout.run(node_counts=(1, 2, 4), table_size=128 * KB)
+    pool = result.series_named("FV-pool")
+    ideal = result.series_named("ideal")
+    # Meaningful speedup at every doubling, but never above linear.
+    assert pool.y_at(2) > pool.y_at(1) * 1.5
+    assert pool.y_at(4) > pool.y_at(2) * 1.5
+    for n in (1, 2, 4):
+        assert pool.y_at(n) <= ideal.y_at(n) * 1.001
 
 
 def test_experiment_result_rendering():

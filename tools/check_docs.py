@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Docs smoke check: every file path referenced from the docs must exist.
+
+Scans README.md, EXPERIMENTS.md and docs/ARCHITECTURE.md for
+backtick-quoted repo paths (and table cells that look like paths) and
+fails if any referenced file or directory is missing — the guard against
+dangling references like the pre-PR-2 ``EXPERIMENTS.md`` pointer in
+``cli.py``. Illustrative output names (``out.csv`` …) are allowlisted.
+
+Usage::
+
+    python tools/check_docs.py          # exit 0 iff all references resolve
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOCS = ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md")
+
+#: Roots a doc reference may be relative to (ARCHITECTURE.md abbreviates
+#: module paths as "under src/repro/", per its own preamble).
+BASES = (".", "src", "src/repro")
+
+#: Names that appear in docs as *outputs* or placeholders, not repo files.
+IGNORE = {"out.csv", "results.csv"}
+
+#: Backtick-quoted tokens that look like file/dir paths:
+#: contain a slash and/or end in a known extension.
+_CANDIDATE = re.compile(
+    r"`([A-Za-z0-9_.\-/]+(?:\.(?:py|md|json|yml|yaml|toml|txt|csv)|/))`")
+
+
+def referenced_paths(text: str) -> set[str]:
+    found = set()
+    for match in _CANDIDATE.finditer(text):
+        token = match.group(1).rstrip("/")
+        if token in IGNORE or not token:
+            continue
+        # Globby references ("bench_fig*.py") check their parent dir.
+        if "*" in token:
+            token = str(Path(token).parent)
+            if token == ".":
+                continue
+        found.add(token)
+    return found
+
+
+def main() -> int:
+    missing: list[tuple[str, str]] = []
+    checked = 0
+    for doc in DOCS:
+        doc_path = REPO / doc
+        if not doc_path.exists():
+            missing.append((doc, "<the doc itself>"))
+            continue
+        for ref in sorted(referenced_paths(doc_path.read_text())):
+            checked += 1
+            if not any((REPO / base / ref).exists() for base in BASES):
+                missing.append((doc, ref))
+    if missing:
+        for doc, ref in missing:
+            print(f"MISSING: {doc} references {ref!r}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {checked} references across {len(DOCS)} docs resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
