@@ -56,6 +56,9 @@ BASELINE_WALL_S: dict[str, float] = {
     # the first measurement on the reference machine, so its speedup
     # starts at 1.0x and tracks subsequent PRs.
     "fig13_scaleout": 0.1339,
+    # fig14 first appeared with the placement planner (PR 3); same
+    # first-measurement convention.
+    "fig14_pushdown": 0.0357,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -68,6 +71,7 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig8_selection": 69528.13234568108,
     "fig12_multiclient": 198112.95407458395,
     "fig13_scaleout": 52477.39851864427,
+    "fig14_pushdown": 885469.9437036433,
 }
 
 
@@ -260,6 +264,66 @@ def run_fig13_scaleout(table_kb: int, num_nodes: int = 4,
     }
 
 
+def run_fig14_pushdown(table_kb: int):
+    """Cost-based placement: offload vs ship vs auto on one cold point.
+
+    One mid-sweep point of the fig14 scenario (64 B tuples, 50%
+    selectivity, cold small regions): each strategy gets its own node on
+    a shared simulator, and the measured phase runs the three placements
+    back to back.  The digest covers the canonical result bytes of all
+    three — the planner's exactness contract — and ``auto`` must land
+    within 10% of the better pure strategy.
+    """
+    from repro.core.api import canonical_result_bytes
+    from repro.core.cost_model import PlanStats
+    from repro.experiments.fig14_pushdown import scenario_config
+    from repro.operators.selection import Compare
+    from repro.workloads.generator import projection_workload
+
+    width = 64
+    num_tuples = table_kb * KB // width
+    schema, rows = projection_workload(num_tuples, width, seed=14)
+    cutoff = 2 ** 30  # ~50% of make_rows' uniform [0, 2^31) int column
+    query = Query(predicate=Compare("a", "<", cutoff), label="bench-fig14")
+    stats = PlanStats(selectivity=float((rows["a"] < cutoff).mean()))
+
+    sim = Simulator()
+    config = scenario_config()
+    clients, tables = [], []
+    for strategy in ("offload", "ship", "auto"):
+        node = FarviewNode(sim, config)
+        client = FarviewClient(node, buffer_capacity=table_kb * KB + 64 * KB)
+        client.open_connection()
+        table = FTable(f"T14_{strategy}", schema, num_tuples)
+        client.alloc_table_mem(table)
+        client.table_write(table, rows)
+        clients.append(client)
+        tables.append(table)
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    elapsed, digests = {}, []
+    for strategy, client, table in zip(("offload", "ship", "auto"),
+                                       clients, tables):
+        result, t_ns = client.far_view_planned(table, query,
+                                               placement=strategy,
+                                               stats=stats)
+        elapsed[strategy] = t_ns
+        digests.append(canonical_result_bytes(result))
+    wall = time.perf_counter() - t0
+    assert digests[1] == digests[0] and digests[2] == digests[0]
+    auto_within = (elapsed["auto"]
+                   <= 1.10 * min(elapsed["offload"], elapsed["ship"]))
+    assert auto_within, f"auto planner off the min: {elapsed}"
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(*digests),
+        "table_bytes": 3 * num_tuples * width,
+        "auto_within_10pct": auto_within,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -268,6 +332,7 @@ FULL = {
     "fig8_selection": lambda: run_fig8_selection(1024),
     "fig12_multiclient": lambda: run_fig12_multiclient(1024),
     "fig13_scaleout": lambda: run_fig13_scaleout(1024, num_nodes=4),
+    "fig14_pushdown": lambda: run_fig14_pushdown(1024),
 }
 
 SMOKE = {
@@ -276,6 +341,7 @@ SMOKE = {
     "fig8_selection": lambda: run_fig8_selection(64),
     "fig12_multiclient": lambda: run_fig12_multiclient(64),
     "fig13_scaleout": lambda: run_fig13_scaleout(64, num_nodes=2),
+    "fig14_pushdown": lambda: run_fig14_pushdown(64),
 }
 
 

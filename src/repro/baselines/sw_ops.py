@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..common.records import Schema
-from ..operators.aggregate import Accumulator, AggregateSpec
+from ..operators.aggregate import Accumulator, AggregateSpec, batch_accumulate
 from ..operators.crypto import AesCtr
 from ..operators.regex_engine import CompiledRegex
 from ..operators.selection import Predicate
@@ -108,6 +108,33 @@ def software_groupby(rows: np.ndarray, schema: Schema,
             out[spec.alias][i] = acc.result(spec, idx)
     return GroupByOutput(rows=out, num_groups=len(order),
                          map_resizes=table.resizes)
+
+
+def software_aggregate(rows: np.ndarray, schema: Schema,
+                       aggregates: list[AggregateSpec]) -> np.ndarray:
+    """Whole-table aggregation without grouping: one output row.
+
+    Byte-compatible with the offloaded
+    :class:`~repro.operators.aggregate.StandaloneAggregateOperator`
+    (same output schema, same accumulator arithmetic), so the hybrid
+    planner can run the final aggregation on the client.
+    """
+    value_columns = sorted({s.column for s in aggregates
+                            if not (s.func == "count" and s.column == "*")})
+    acc = Accumulator(len(value_columns))
+    # Same accumulation kernel as the offloaded operator (min/max stay in
+    # the column dtype, no per-value float round-trip), so large-integer
+    # extremes survive bit-exactly.
+    batch_accumulate(acc, rows, value_columns)
+    out_schema = Schema([s.output_column(schema) for s in aggregates])
+    if acc.count == 0:
+        return out_schema.empty(0)
+    out = out_schema.empty(1)
+    for spec in aggregates:
+        idx = (value_columns.index(spec.column)
+               if spec.column in value_columns else 0)
+        out[spec.alias][0] = acc.result(spec, idx)
+    return out
 
 
 def software_regex(rows: np.ndarray, column: str,

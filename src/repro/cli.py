@@ -30,6 +30,7 @@ from .experiments import (
     fig11_encryption,
     fig12_multiclient,
     fig13_scaleout,
+    fig14_pushdown,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -61,6 +62,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
               lambda: [fig12_multiclient.run()]),
     "fig13": ("Figure 13 (extension): pool scale-out, sharded DISTINCT",
               lambda: [fig13_scaleout.run()]),
+    "fig14": ("Figure 14 (extension): cost-based placement, offload vs "
+              "ship-to-compute",
+              lambda: _as_list(fig14_pushdown.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.
@@ -69,6 +73,7 @@ _PANELS = {
     "fig8a": "fig8", "fig8b": "fig8", "fig8c": "fig8",
     "fig9a": "fig9", "fig9b": "fig9", "fig9c": "fig9",
     "fig11a": "fig11", "fig11b": "fig11",
+    "fig14_w64": "fig14", "fig14_w256": "fig14", "fig14_w512": "fig14",
 }
 
 
@@ -143,8 +148,13 @@ def cmd_sql(args: argparse.Namespace) -> int:
     upload_table(bench, args.table, schema, rows)
     result, elapsed = bench.client.sql(args.statement)
     out = result.rows()
+    # HybridQueryResult carries shipped_bytes; QueryResult has the report.
+    shipped = (result.shipped_bytes if hasattr(result, "shipped_bytes")
+               else result.report.bytes_shipped)
     print(f"-- {len(out)} rows in {to_us(elapsed):.1f} us simulated "
-          f"({result.report.bytes_shipped} bytes shipped)")
+          f"({shipped} bytes shipped)")
+    if result.explain is not None:
+        print(result.explain.render())
     for row in out[:args.limit]:
         print(tuple(row))
     if len(out) > args.limit:

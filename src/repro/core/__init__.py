@@ -1,7 +1,22 @@
 """Farview core: node, cluster, client API, catalog, queries, compiler."""
 
-from .api import ClusterClient, ClusterQueryResult, FarviewClient, QueryResult
+from .api import (
+    ClusterClient,
+    ClusterQueryResult,
+    FarviewClient,
+    HybridQueryResult,
+    QueryResult,
+    canonical_result_bytes,
+)
 from .catalog import Catalog
+from .cost_model import PlacementCostModel, PlanStats, estimate_chain
+from .planner import (
+    ExplainPlan,
+    PlacementPlan,
+    build_fragment,
+    operator_chain,
+    plan_placement,
+)
 from .cluster import (
     FarviewCluster,
     ScatterPlan,
@@ -33,8 +48,18 @@ __all__ = [
     "ClusterClient",
     "ClusterQueryResult",
     "FarviewClient",
+    "HybridQueryResult",
     "QueryResult",
+    "canonical_result_bytes",
     "Catalog",
+    "PlacementCostModel",
+    "PlanStats",
+    "estimate_chain",
+    "ExplainPlan",
+    "PlacementPlan",
+    "build_fragment",
+    "operator_chain",
+    "plan_placement",
     "FarviewCluster",
     "ScatterPlan",
     "ShardedTable",

@@ -50,6 +50,17 @@ Cluster results come back as :class:`ClusterQueryResult`: merged rows in
 single-node output order (byte-identical under order-preserving ``chunk``
 partitioning — see :mod:`repro.core.cluster` for the exact contract),
 response time measured until the *last* shard's results land client-side.
+
+Beyond the paper's always-offload execution, both clients expose
+cost-based **operator placement**: ``select``/``sql`` accept
+``placement="auto" | "offload" | "ship"`` (default ``"offload"``, the
+unchanged legacy path), and :meth:`FarviewClient.far_view_planned` /
+:meth:`ClusterClient.far_view_planned` run any query under the
+:mod:`repro.core.planner` decision — offload a prefix of the operator
+chain, ship the reduced intermediate, finish with the software kernels of
+:mod:`repro.baselines.sw_ops` on the client.  Results are byte-identical
+across placements (:func:`canonical_result_bytes` normalizes the
+comparison) and carry an :class:`~repro.core.planner.ExplainPlan`.
 """
 
 from __future__ import annotations
@@ -59,12 +70,17 @@ from typing import Optional
 
 import numpy as np
 
+from ..baselines.cpu_model import CostBreakdown, CpuCostModel
+from ..baselines.sw_ops import software_decrypt
 from ..common.errors import ConnectionError_, QueryError
 from ..common.records import Schema
 from ..operators.aggregate import AggregateSpec
 from ..operators.crypto import AesCtr
 from ..operators.selection import Predicate
 from .catalog import Catalog
+from .cost_model import PlanStats
+from .planner import (ExplainPlan, PlacementPlan, plan_placement,
+                      run_client_steps)
 from .cluster import (FarviewCluster, ScatterPlan, ShardedTable, TableShard,
                       aggregate_output_schema, group_output_schema,
                       merge_aggregate_rows, merge_distinct_rows,
@@ -85,6 +101,7 @@ class QueryResult:
     report: ExecutionReport
     response_time_ns: float
     output_key: Optional[tuple[bytes, bytes]] = None  # (key, nonce) if encrypted
+    explain: Optional[ExplainPlan] = None  # set by the placement planner
     _client_dedup_applied: bool = field(default=False, repr=False)
 
     def raw_rows(self) -> np.ndarray:
@@ -154,17 +171,134 @@ def _merge_overflow_groups(rows: np.ndarray, schema: Schema,
     return np.concatenate([rows, extra])
 
 
+@dataclass
+class HybridQueryResult:
+    """Client-visible result of a planned (ship or hybrid) execution.
+
+    ``rows()`` are the final rows after the client-side software
+    remainder; ``data`` is their canonical byte image — byte-identical
+    to what full offload produces for the same query (the planner's
+    exactness contract, pinned by the placement property tests).
+    ``response_time_ns`` covers the simulated verb *plus* the modeled
+    client compute time (the simulator clock is advanced by the
+    :class:`~repro.baselines.cpu_model.CostBreakdown` total, matching
+    the paper's "until the final results are written to the memory of
+    the client machine" endpoint).
+    """
+
+    schema: Schema
+    merged: np.ndarray = field(repr=False)
+    response_time_ns: float = 0.0
+    explain: Optional[ExplainPlan] = None
+    #: The offloaded fragment's result, when a hybrid split ran one — a
+    #: :class:`QueryResult` (single node) or :class:`ClusterQueryResult`
+    #: (scatter-gather); ``None`` for pure ship executions.
+    fragment_result: Optional[object] = None
+    client_cost: Optional[CostBreakdown] = None
+    shipped_bytes: int = 0
+
+    def rows(self) -> np.ndarray:
+        return self.merged
+
+    @property
+    def data(self) -> bytes:
+        """Canonical result bytes (single-node offload layout)."""
+        return self.schema.to_bytes(self.merged)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.merged)
+
+
+def _client_compute(sim, ns: float):
+    """Process: occupy the simulated clock with client-side software."""
+    if ns > 0:
+        yield sim.timeout(ns)
+
+
+def _execute_planned(sim, plan: PlacementPlan, query: Query,
+                     cpu: CpuCostModel, *, read_raw, run_fragment,
+                     schema: Schema,
+                     decrypt_keys: Optional[tuple[bytes, bytes]]):
+    """Shared ship/hybrid execution body for both clients.
+
+    ``read_raw()`` returns the raw table bytes (single-node read or
+    scatter-gathered shard streams); ``run_fragment(fragment)`` returns
+    the offloaded fragment's result object.  The software remainder runs
+    through :func:`~repro.core.planner.run_client_steps`, its
+    :class:`CostBreakdown` time advances the simulator clock, and the
+    plan's explain is stamped with the actual response time.
+    """
+    start = sim.now
+    cost = CostBreakdown()
+    cost.add("setup", cpu.setup_ns())
+    client_steps = list(plan.client_steps)
+    if plan.fragment is None:
+        data = read_raw()
+        shipped = len(data)
+        cost.add("read", cpu.read_ns(shipped))
+        if client_steps and client_steps[0] == "decrypt":
+            if decrypt_keys is None:
+                raise QueryError(
+                    "cannot decrypt shipped bytes client-side: no table "
+                    "key available (encrypted tables are single-node "
+                    "only)")
+            key, nonce = decrypt_keys
+            data = software_decrypt(data, key, nonce)
+            cost.add("aes", cpu.aes_ns(len(data)))
+            client_steps = client_steps[1:]
+        rows = schema.from_bytes(data)
+        current = schema
+        fragment_result = None
+    else:
+        fragment_result = run_fragment(plan.fragment)
+        rows = fragment_result.rows()
+        current = fragment_result.schema
+        shipped = (fragment_result.report.bytes_shipped
+                   if hasattr(fragment_result, "report")
+                   else fragment_result.bytes_shipped)
+        cost.add("read", cpu.read_ns(shipped))
+    rows, current = run_client_steps(rows, current, client_steps,
+                                     query, cpu, cost)
+    cost.add("write", cpu.write_ns(len(rows) * current.row_width))
+    sim.run_process(_client_compute(sim, cost.total_ns), "client-compute")
+    elapsed = sim.now - start
+    plan.explain.actual_ns = elapsed
+    result = HybridQueryResult(
+        schema=current, merged=rows, response_time_ns=elapsed,
+        explain=plan.explain, fragment_result=fragment_result,
+        client_cost=cost, shipped_bytes=shipped)
+    return result, elapsed
+
+
+def canonical_result_bytes(result) -> bytes:
+    """The placement-invariant byte image of any query result.
+
+    ``QueryResult.data`` is the raw shipped stream (possibly encrypted,
+    possibly carrying overflow duplicates the client dedups);
+    ``HybridQueryResult.data`` is already canonical.  This helper
+    normalizes both to ``schema.to_bytes(rows())`` so results can be
+    compared across placements.
+    """
+    rows = result.rows()
+    return result.schema.to_bytes(rows)
+
+
 class FarviewClient:
     """A query thread on a compute node, connected to a Farview node."""
 
     def __init__(self, node: FarviewNode,
-                 buffer_capacity: int = 8 * 1024 * 1024):
+                 buffer_capacity: int = 8 * 1024 * 1024,
+                 cpu_model: CpuCostModel | None = None):
         self.node = node
         self.sim = node.sim
         self.catalog = Catalog()
         self._buffer_capacity = buffer_capacity
         self._conn: Connection | None = None
         self._compiled_cache: dict[str, CompiledQuery] = {}
+        #: Cost model of this compute node's CPU — prices the client-side
+        #: remainder of planned (ship/hybrid) executions.
+        self._cpu = cpu_model if cpu_model is not None else CpuCostModel()
 
     # -- connection -----------------------------------------------------------
     def open_connection(self) -> Connection:
@@ -270,14 +404,72 @@ class FarviewClient:
         """Offloaded query; returns (QueryResult, elapsed_ns)."""
         return self._run(self.far_view_proc(table, query), "far_view")
 
+    # -- cost-based placement (offload vs ship-to-compute) -----------------------------------
+    def plan(self, table: FTable, query: Query, placement: str = "auto",
+             stats: PlanStats | None = None,
+             lease_manager=None) -> PlacementPlan:
+        """Plan (but do not run) ``query``: where should each operator go?
+
+        The estimate accounts for the pipeline currently loaded in this
+        connection's dynamic region (a different signature pays the
+        partial-reconfiguration charge) and, if a ``lease_manager`` is
+        given, for the expected region-lease wait on a saturated pool.
+        """
+        region = self._require_conn().region
+        return plan_placement(query, table, self.node.config,
+                              placement=placement, stats=stats,
+                              cpu=self._cpu,
+                              loaded_signature=region.loaded_pipeline,
+                              lease_manager=lease_manager,
+                              buffer_capacity=self._buffer_capacity)
+
+    def far_view_planned(self, table: FTable, query: Query,
+                         placement: str = "auto",
+                         stats: PlanStats | None = None,
+                         lease_manager=None):
+        """Run ``query`` under cost-based placement.
+
+        ``placement="offload"`` is the legacy full-offload path (returns
+        a plain :class:`QueryResult`, byte- and timing-identical to
+        :meth:`far_view`); ``"ship"`` reads raw bytes and executes all
+        operators in client software; ``"auto"`` picks the cheapest
+        prefix split.  Ship/hybrid executions return a
+        :class:`HybridQueryResult`; all variants carry an
+        :class:`~repro.core.planner.ExplainPlan` with estimated and
+        actual response times.  Returns ``(result, elapsed_ns)``.
+        """
+        plan = self.plan(table, query, placement, stats, lease_manager)
+        if plan.full_offload:
+            result, elapsed = self.far_view(table, query)
+            plan.explain.actual_ns = elapsed
+            result.explain = plan.explain
+            return result, elapsed
+        return _execute_planned(
+            self.sim, plan, query, self._cpu,
+            read_raw=lambda: self.table_read(table)[0],
+            run_fragment=lambda fragment: self.far_view(table, fragment)[0],
+            schema=table.schema,
+            decrypt_keys=((table.key, table.nonce)
+                          if table.encrypted else None))
+
     # -- paper-style higher-level helpers (§4.2's `select`) ----------------------------------
     def select(self, table: FTable, columns: list[str] | None,
-               predicate: Predicate, vectorized: bool = False):
-        """``SELECT columns FROM table WHERE predicate``."""
+               predicate: Predicate, vectorized: bool = False,
+               placement: str = "offload",
+               stats: PlanStats | None = None):
+        """``SELECT columns FROM table WHERE predicate``.
+
+        ``placement`` routes through the cost-based planner:
+        ``"offload"`` (default, the paper's path), ``"ship"`` (raw read +
+        client software), or ``"auto"`` (cheapest split; pass ``stats``
+        for better estimates).
+        """
         query = Query(projection=tuple(columns) if columns else None,
                       predicate=predicate, vectorized=vectorized,
                       label="select")
-        return self.far_view(table, query)
+        if placement == "offload":
+            return self.far_view(table, query)
+        return self.far_view_planned(table, query, placement, stats)
 
     def select_distinct(self, table: FTable, columns: list[str]):
         query = Query(projection=tuple(columns), distinct=True,
@@ -294,17 +486,23 @@ class FarviewClient:
         query = Query(regex=RegexFilter(column, pattern), label="regex")
         return self.far_view(table, query)
 
-    def sql(self, statement: str):
-        """Parse and offload a SQL statement against the catalog.
+    def sql(self, statement: str, placement: str | None = None,
+            stats: PlanStats | None = None):
+        """Parse and execute a SQL statement against the catalog.
 
         The FROM table must have been registered via
-        :meth:`alloc_table_mem`.  Returns ``(QueryResult, elapsed_ns)``.
+        :meth:`alloc_table_mem`.  Placement precedence: the ``placement``
+        argument, then a ``/*+ placement(...) */`` hint in the statement,
+        then full offload.  Returns ``(result, elapsed_ns)``.
         """
         from .sql import parse_sql
 
         parsed = parse_sql(statement)
         table = self.catalog.lookup(parsed.table)
-        return self.far_view(table, parsed.query)
+        placement = placement or parsed.placement or "offload"
+        if placement == "offload":
+            return self.far_view(table, parsed.query)
+        return self.far_view_planned(table, parsed.query, placement, stats)
 
 
 @dataclass
@@ -323,6 +521,7 @@ class ClusterQueryResult:
     shard_results: list[QueryResult]
     response_time_ns: float
     merged: np.ndarray = field(repr=False)
+    explain: Optional[ExplainPlan] = None  # set by the placement planner
 
     def rows(self) -> np.ndarray:
         return self.merged
@@ -532,14 +731,75 @@ class ClusterClient:
                                       "cluster.far_view")
         return result, self.sim.now - start
 
+    # -- cost-based placement (offload vs ship-to-compute) -------------------
+    def plan(self, sharded: ShardedTable, query: Query,
+             placement: str = "auto", stats: PlanStats | None = None,
+             lease_manager=None) -> PlacementPlan:
+        """Plan ``query`` over the pool: offload, ship, or hybrid.
+
+        Estimates use pool-level cardinalities with per-shard streaming
+        parallelism; the region-residency check samples the first
+        shard's region (shards are deployed symmetrically).  An optional
+        ``lease_manager`` folds per-shard lease contention into the
+        offload side.
+        """
+        first = sharded.shards[0]
+        return plan_placement(
+            query, first.table, self.cluster.nodes[0].config,
+            placement=placement, stats=stats,
+            cpu=self._clients[first.node_index]._cpu,
+            loaded_signature=(self._clients[first.node_index]
+                              .connection.region.loaded_pipeline),
+            lease_manager=lease_manager,
+            shards=len(sharded.shards), total_rows=sharded.num_rows,
+            buffer_capacity=(self._clients[first.node_index]
+                             ._buffer_capacity))
+
+    def far_view_planned(self, sharded: ShardedTable, query: Query,
+                         placement: str = "auto",
+                         stats: PlanStats | None = None,
+                         lease_manager=None):
+        """Scatter-gather execution under cost-based placement.
+
+        Full offload is the legacy :meth:`far_view` path (byte- and
+        timing-identical).  Ship/hybrid gathers the raw or partially
+        reduced shard streams and runs the remainder in client software;
+        merged-row order matches single-node execution under
+        order-preserving ``chunk`` partitioning (the same contract as
+        :meth:`table_read`).  Returns ``(result, elapsed_ns)``.
+        """
+        plan = self.plan(sharded, query, placement, stats, lease_manager)
+        cpu = self._clients[sharded.shards[0].node_index]._cpu
+        if plan.full_offload:
+            result, elapsed = self.far_view(sharded, query)
+            plan.explain.actual_ns = elapsed
+            result.explain = plan.explain
+            return result, elapsed
+        # decrypt_keys=None: the cluster layer does not shard encrypted
+        # tables, so a client-side decrypt step fails loudly if reached.
+        return _execute_planned(
+            self.sim, plan, query, cpu,
+            read_raw=lambda: self.table_read(sharded)[0],
+            run_fragment=lambda fragment: self.far_view(sharded,
+                                                        fragment)[0],
+            schema=sharded.schema, decrypt_keys=None)
+
     # -- paper-style higher-level helpers ------------------------------------
     def select(self, sharded: ShardedTable, columns: list[str] | None,
-               predicate: Predicate, vectorized: bool = False):
-        """``SELECT columns FROM sharded WHERE predicate``, pool-wide."""
+               predicate: Predicate, vectorized: bool = False,
+               placement: str = "offload",
+               stats: PlanStats | None = None):
+        """``SELECT columns FROM sharded WHERE predicate``, pool-wide.
+
+        ``placement`` routes through the cost-based planner exactly as
+        on the single-node client.
+        """
         query = Query(projection=tuple(columns) if columns else None,
                       predicate=predicate, vectorized=vectorized,
                       label="select")
-        return self.far_view(sharded, query)
+        if placement == "offload":
+            return self.far_view(sharded, query)
+        return self.far_view_planned(sharded, query, placement, stats)
 
     def select_distinct(self, sharded: ShardedTable, columns: list[str]):
         query = Query(projection=tuple(columns), distinct=True,
@@ -552,14 +812,20 @@ class ClusterClient:
                       label="group_by")
         return self.far_view(sharded, query)
 
-    def sql(self, statement: str):
+    def sql(self, statement: str, placement: str | None = None,
+            stats: PlanStats | None = None):
         """Parse and scatter one SQL statement against the cluster catalog.
 
         The FROM table must have been created via :meth:`create_table`.
-        Returns ``(ClusterQueryResult, elapsed_ns)``.
+        Placement precedence matches the single-node client: argument,
+        then ``/*+ placement(...) */`` hint, then full offload.
+        Returns ``(result, elapsed_ns)``.
         """
         from .sql import parse_sql
 
         parsed = parse_sql(statement)
         sharded = self.catalog.lookup(parsed.table)
-        return self.far_view(sharded, parsed.query)
+        placement = placement or parsed.placement or "offload"
+        if placement == "offload":
+            return self.far_view(sharded, parsed.query)
+        return self.far_view_planned(sharded, parsed.query, placement, stats)

@@ -1,0 +1,245 @@
+"""Calibrated cost model for operator placement: offload vs ship-to-compute.
+
+The paper assumes "the query compiler in Farview" decides what to push
+into the memory node (§4.2) but never spells the decision out.  This
+module supplies the missing arithmetic: given a query's operator chain and
+a few cardinality statistics, it prices
+
+* the **offload** side — the Farview pipeline cost: request traversal,
+  region setup (partial reconfiguration when the region holds a different
+  bitstream), pipeline fill, table ingest at the compiled ingest rate
+  overlapped with network egress of the *reduced* result, and the
+  group-by flush tail — plus, on a shared pool, the expected wait for a
+  dynamic-region lease;
+* the **ship** side — streaming the raw table bytes to the compute node
+  over the same link and running the remaining operators in software,
+  priced with the LCPU :class:`~repro.baselines.cpu_model.CpuCostModel`
+  (DRAM scan, per-tuple predicate/hash/aggregate costs, result
+  materialization).
+
+Every constant traces back to :mod:`repro.common.calibration`; the model
+is deterministic, so the planner's decisions are unit-testable (the
+golden crossover tests pin them).  Accuracy target is "right side of the
+crossover", not ns-exactness — :class:`~repro.core.planner.ExplainPlan`
+reports estimated vs actual so drift is observable.
+
+Why shipping can win at all: with a *warm* region Farview dominates the
+CPU baselines everywhere (Figures 8-12), so for resident pipelines the
+planner simply offloads.  The contested regime is ad-hoc work — a cold
+region that must be partially reconfigured first, or a busy pool where
+the query would wait for a lease.  There the fixed offload penalty must
+be amortized against the egress reduction, and small tables, wide tuples
+or unselective queries tip the balance toward shipping raw bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..baselines.cpu_model import CpuCostModel
+from ..common import calibration as cal
+from ..common.config import FarviewConfig
+from ..common.errors import QueryError
+from ..common.records import Schema
+from .cluster import aggregate_output_schema, group_output_schema
+
+#: Estimated-unique-entry count above which the software hash map is
+#: priced with its growth/rehash surcharge (the map starts small and
+#: doubles; beyond ~1k resident entries the amortized resize cost shows).
+HASHMAP_GROWTH_THRESHOLD = 1024
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Cardinality statistics the planner uses for cost estimation.
+
+    Defaults are deliberately conservative mid-range guesses; callers
+    with real knowledge (experiments know their generated selectivity, a
+    real engine would keep table statistics) should pass better ones.
+    """
+
+    #: Fraction of tuples surviving the predicate (1.0 = keep all).
+    selectivity: float = 0.5
+    #: Fraction of tuples whose string column matches the regex.
+    regex_selectivity: float = 0.5
+    #: Unique fraction of the DISTINCT key (1.0 = all rows unique).
+    distinct_ratio: float = 0.1
+    #: Expected number of GROUP BY groups.
+    groups: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("selectivity", "regex_selectivity", "distinct_ratio"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise QueryError(f"{name} out of [0, 1]: {value}")
+        if self.groups < 1:
+            raise QueryError(f"groups must be >= 1: {self.groups}")
+
+
+@dataclass
+class CardinalityStep:
+    """Estimated shape of the stream after one operator."""
+
+    op: str
+    rows_in: float
+    rows_out: float
+    schema_out: Schema
+
+
+def estimate_chain(chain: Sequence[str], query, schema: Schema,
+                   num_rows: int, stats: PlanStats) -> list[CardinalityStep]:
+    """Propagate row-count and schema estimates through the operator chain.
+
+    ``chain`` is the ordered operator-name list from
+    :func:`repro.core.planner.operator_chain`; the returned steps line up
+    with it one to one.
+    """
+    steps: list[CardinalityStep] = []
+    rows = float(num_rows)
+    current = schema
+    for op in chain:
+        rows_in = rows
+        if op == "selection":
+            rows = rows * stats.selectivity
+        elif op == "regex":
+            rows = rows * stats.regex_selectivity
+        elif op == "projection":
+            current = schema.project(list(query.projection))
+        elif op == "distinct":
+            rows = min(rows, max(1.0, rows * stats.distinct_ratio))
+        elif op == "groupby":
+            current = group_output_schema(current, list(query.group_by),
+                                          list(query.aggregates))
+            rows = min(rows, float(stats.groups))
+        elif op == "aggregate":
+            current = aggregate_output_schema(current,
+                                              list(query.aggregates))
+            rows = 1.0
+        # "decrypt" keeps rows and schema unchanged.
+        steps.append(CardinalityStep(op, rows_in, rows, current))
+    return steps
+
+
+class PlacementCostModel:
+    """Prices offloaded fragments and client-side remainders, ns."""
+
+    def __init__(self, config: FarviewConfig,
+                 cpu: CpuCostModel | None = None):
+        self.config = config
+        self.cpu = cpu if cpu is not None else CpuCostModel()
+
+    # -- shared network terms ----------------------------------------------
+    @property
+    def _wire_rate(self) -> float:
+        """Result/raw-byte goodput of the FV link, bytes/ns."""
+        return self.config.network.goodput
+
+    def _request_ns(self) -> float:
+        """Round-trip fixed cost of one FV verb: request packet out,
+        FPGA request engine, first/last response latency."""
+        return (2 * self.config.network.one_way_latency_ns
+                + self.config.network.request_overhead_ns)
+
+    # -- offload side ------------------------------------------------------
+    def region_setup_ns(self, cold: bool) -> float:
+        """Partial-reconfiguration charge when the region holds a
+        different pipeline (§3.2: ms-scale, scaled by region size via the
+        config's ``reconfiguration_ns``)."""
+        return self.config.operator_stack.reconfiguration_ns if cold else 0.0
+
+    def offload_ns(self, *, bytes_in: float, bytes_out: float,
+                   ingest_rate: float, fill_cycles: int,
+                   flush_groups: float = 0.0, cold: bool = False,
+                   wait_ns: float = 0.0, shards: int = 1) -> float:
+        """Farview pipeline cost for one offloaded fragment.
+
+        Ingest and egress are deeply pipelined (§4.1), so the streaming
+        phase is the *max* of the two, not the sum.  With ``shards`` > 1
+        the table streams from independent nodes in parallel and the
+        gather completes with the last shard, so per-shard bytes bound
+        the streaming phase (the caller passes pool-level ``bytes_in`` /
+        ``bytes_out``).
+        """
+        stack = self.config.operator_stack
+        per_shard_in = bytes_in / max(1, shards)
+        per_shard_out = bytes_out / max(1, shards)
+        stream = max(per_shard_in / ingest_rate,
+                     per_shard_out / self._wire_rate)
+        flush = (flush_groups * cal.GROUPBY_FLUSH_CYCLES_PER_GROUP
+                 * stack.cycle_ns)
+        return (wait_ns + self.region_setup_ns(cold) + self._request_ns()
+                + fill_cycles * stack.cycle_ns + stream + flush)
+
+    # -- ship side ---------------------------------------------------------
+    def ship_bytes_ns(self, nbytes: float, shards: int = 1) -> float:
+        """Raw RDMA READ of ``nbytes`` into the client buffer.
+
+        Bounded by the slower of wire goodput and the node's aggregate
+        DRAM bandwidth; sharded tables stream shards in parallel over
+        independent links.
+        """
+        rate = min(self._wire_rate, self.config.memory.aggregate_bandwidth)
+        return self._request_ns() + (nbytes / max(1, shards)) / rate
+
+    def client_ops_ns(self, steps: Sequence[CardinalityStep],
+                      schema_in: Schema, bytes_in: float,
+                      query) -> float:
+        """Software execution of the remainder ``steps`` on the client.
+
+        LCPU-style accounting: one cold DRAM scan of the shipped bytes,
+        per-operator per-tuple costs, one materializing write of the
+        final result (intermediate operators stream through cache).
+        """
+        cpu = self.cpu
+        total = cpu.setup_ns() + cpu.read_ns(int(bytes_in))
+        current = schema_in
+        for step in steps:
+            rows_in = step.rows_in
+            if step.op == "decrypt":
+                total += cpu.aes_ns(int(bytes_in))
+            elif step.op == "regex":
+                width = current.column(query.regex.column).width
+                total += cpu.regex_ns(int(rows_in * width))
+            elif step.op == "selection":
+                total += cpu.select_ns(int(rows_in))
+            elif step.op == "projection":
+                total += cpu.select_ns(int(rows_in))
+            elif step.op == "distinct":
+                growing = step.rows_out > HASHMAP_GROWTH_THRESHOLD
+                total += cpu.hash_ns(int(rows_in), growing=growing)
+            elif step.op == "groupby":
+                growing = step.rows_out > HASHMAP_GROWTH_THRESHOLD
+                total += cpu.hash_ns(int(rows_in), growing=growing)
+                total += cpu.aggregate_update_ns(int(rows_in))
+            elif step.op == "aggregate":
+                total += cpu.aggregate_update_ns(int(rows_in))
+            current = step.schema_out
+        if steps:
+            out_bytes = steps[-1].rows_out * steps[-1].schema_out.row_width
+        else:
+            out_bytes = bytes_in
+        total += cpu.write_ns(int(out_bytes))
+        return total
+
+    # -- pool contention ---------------------------------------------------
+    def lease_wait_ns(self, lease_manager, est_service_ns: float) -> float:
+        """Expected wait for a dynamic-region lease on a shared pool.
+
+        A coarse FIFO-queue estimate: with free regions the wait is zero;
+        otherwise the queue ahead of us (plus our own slot) drains at one
+        ``est_service_ns`` per region across the pool.  ``lease_manager``
+        only needs ``queued`` and ``free_regions`` plus a ``nodes`` list —
+        the :class:`~repro.core.elasticity.RegionLeaseManager` surface.
+        """
+        if lease_manager is None:
+            return 0.0
+        free = getattr(lease_manager, "free_regions", 0)
+        if free > 0:
+            return 0.0
+        queued = getattr(lease_manager, "queued", 0)
+        nodes = getattr(lease_manager, "nodes", None) or []
+        total_regions = sum(
+            getattr(n, "regions").config.regions if hasattr(n, "regions")
+            else 0 for n in nodes) or 1
+        return (queued + 1) / total_regions * est_service_ns

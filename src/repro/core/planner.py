@@ -1,0 +1,386 @@
+"""Cost-based operator placement: offload, ship-to-compute, or hybrid.
+
+The paper's interface "is intended to be used by the query compiler in
+Farview" (§4.2); this module is the placement half of that compiler.  A
+:class:`~repro.core.query.Query` is an ordered operator chain
+
+    decrypt -> regex -> selection -> projection ->
+    distinct | group-by | aggregation
+
+and any *prefix* of that chain is a valid offloaded fragment: the node
+runs the prefix and ships the (reduced) intermediate, the client executes
+the remaining suffix in software (the same
+:mod:`repro.baselines.sw_ops` kernels the CPU baselines use, so results
+stay byte-exact).  The planner enumerates every prefix split — from
+"ship everything raw" (k = 0) to "offload everything" (k = N, today's
+default path) — prices each with
+:class:`~repro.core.cost_model.PlacementCostModel`, and picks the
+cheapest.
+
+Split-validity notes:
+
+* prefix splits always validate: the compiler's operator order puts
+  every producer before its consumers (e.g. a fragment containing
+  group-by also contains the projection it reads through);
+* encrypted tables force ``decrypt`` to be either offloaded first or
+  shipped as ciphertext and decrypted client-side (k = 0);
+* small-table joins and output encryption pin the query to full offload
+  (there is no software join kernel, and transport encryption is only
+  meaningful for node-produced results).
+
+The decision, the estimates it was based on, and the eventually measured
+time are exposed as an :class:`ExplainPlan` for observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.cpu_model import CostBreakdown, CpuCostModel
+from ..baselines.sw_ops import (
+    software_aggregate,
+    software_distinct,
+    software_groupby,
+    software_project,
+    software_regex,
+    software_select,
+)
+from ..common.config import FarviewConfig
+from ..common.errors import QueryError
+from ..common.records import Schema
+from .cluster import aggregate_output_schema, group_output_schema
+from .cost_model import CardinalityStep, PlacementCostModel, PlanStats, estimate_chain
+from .pipeline_compiler import compile_query
+from .query import Query
+from .table import FTable
+
+#: The three user-facing placement modes.
+PLACEMENTS = ("auto", "offload", "ship")
+
+
+def operator_chain(query: Query) -> list[str]:
+    """The query's operator chain in pipeline order (compiler order)."""
+    chain: list[str] = []
+    if query.decrypt_input:
+        chain.append("decrypt")
+    if query.regex is not None:
+        chain.append("regex")
+    if query.predicate is not None:
+        chain.append("selection")
+    if query.projection is not None:
+        chain.append("projection")
+    if query.distinct:
+        chain.append("distinct")
+    elif query.group_by:
+        chain.append("groupby")
+    elif query.aggregates:
+        chain.append("aggregate")
+    return chain
+
+
+def build_fragment(query: Query, chain: list[str], split: int) -> Optional[Query]:
+    """The offloaded prefix ``chain[:split]`` as a standalone Query.
+
+    ``split == len(chain)`` returns the original query (identity — the
+    legacy full-offload path must stay byte- and signature-identical);
+    ``split == 0`` returns ``None`` (nothing offloaded, raw read).
+    """
+    if split == len(chain):
+        return query
+    if split == 0:
+        return None
+    included = set(chain[:split])
+    projection = query.projection if "projection" in included else None
+    # Smart addressing only applies to projection-only fragments; an
+    # explicit hint survives exactly when the fragment still qualifies.
+    smart = query.smart_addressing if included == {"projection"} else None
+    return Query(
+        projection=projection,
+        predicate=query.predicate if "selection" in included else None,
+        regex=query.regex if "regex" in included else None,
+        distinct="distinct" in included,
+        distinct_columns=(query.distinct_columns
+                          if "distinct" in included else None),
+        group_by=query.group_by if "groupby" in included else None,
+        aggregates=(query.aggregates
+                    if ("groupby" in included or "aggregate" in included)
+                    else ()),
+        decrypt_input="decrypt" in included,
+        vectorized=query.vectorized and "selection" in included,
+        smart_addressing=smart,
+        label=query.label)
+
+
+@dataclass
+class Candidate:
+    """One priced split point."""
+
+    split: int
+    label: str                 # "offload" | "ship" | "hybrid@k"
+    total_ns: float
+    node_ns: float             # offloaded fragment (or raw read) time
+    client_ns: float           # software remainder time
+    cold: bool
+
+
+@dataclass
+class ExplainPlan:
+    """The planner's decision record: chosen placement per operator,
+    estimated cost of every candidate, and (once executed) actual ns."""
+
+    requested: str
+    chosen: str                         # "offload" | "ship" | "hybrid"
+    split: int
+    chain: list[str]
+    candidates: list[Candidate]
+    est_chosen_ns: float
+    est_offload_ns: float
+    est_ship_ns: float
+    stats: PlanStats
+    actual_ns: Optional[float] = None
+
+    @property
+    def placements(self) -> list[tuple[str, str]]:
+        """(operator, "offload"|"client") per chain entry."""
+        return [(op, "offload" if i < self.split else "client")
+                for i, op in enumerate(self.chain)]
+
+    def render(self) -> str:
+        lines = [f"Placement plan (requested={self.requested}): "
+                 f"{self.chosen}"]
+        for op, where in self.placements:
+            lines.append(f"  {op:<10} -> {where}")
+        if not self.chain:
+            lines.append("  (raw read: no offloadable operators)")
+        for cand in self.candidates:
+            marker = "*" if cand.split == self.split else " "
+            lines.append(
+                f" {marker} {cand.label:<10} est {cand.total_ns / 1000:9.1f} us"
+                f"  (node {cand.node_ns / 1000:.1f} + client "
+                f"{cand.client_ns / 1000:.1f}"
+                + (", cold region" if cand.cold else "") + ")")
+        line = f"  estimated: {self.est_chosen_ns / 1000:.1f} us"
+        if self.actual_ns is not None:
+            line += f", actual: {self.actual_ns / 1000:.1f} us"
+        lines.append(line)
+        return "\n".join(lines)
+
+
+@dataclass
+class PlacementPlan:
+    """Everything needed to execute one placed query."""
+
+    query: Query
+    chain: list[str]
+    split: int
+    fragment: Optional[Query]          # None => raw read (full ship)
+    client_steps: list[str]            # suffix executed in software
+    steps: list[CardinalityStep]       # full-chain cardinality estimates
+    explain: ExplainPlan
+
+    @property
+    def full_offload(self) -> bool:
+        return self.fragment is not None and not self.client_steps
+
+
+def _requires_full_offload(query: Query) -> Optional[str]:
+    """Why this query cannot be split/shipped, or None if it can."""
+    if query.join is not None:
+        return "small-table joins have no software kernel"
+    if query.encrypt_output is not None:
+        return "output encryption is produced by the node's pipeline"
+    return None
+
+
+def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
+                   placement: str = "auto",
+                   stats: PlanStats | None = None,
+                   cpu: CpuCostModel | None = None,
+                   loaded_signature: Optional[str] = None,
+                   lease_manager=None,
+                   shards: int = 1,
+                   total_rows: int | None = None,
+                   buffer_capacity: int | None = None) -> PlacementPlan:
+    """Choose where each operator of ``query`` runs.
+
+    ``table`` provides the schema and (for fragments) the compile
+    context; for a sharded table pass one shard's :class:`FTable` plus
+    pool-level ``total_rows`` and ``shards``.  ``loaded_signature`` is
+    the pipeline currently resident in the client's dynamic region —
+    fragments whose signature differs are priced with the partial-
+    reconfiguration charge.  ``lease_manager`` (optional) folds expected
+    region-lease wait into the offload side when the pool is saturated.
+
+    ``buffer_capacity`` (per-connection receive buffer, bytes) prunes
+    ship/hybrid candidates whose shipped intermediate would not fit the
+    client buffer — a raw read of a table larger than the buffer cannot
+    land.  Full offload is never pruned (its result-must-fit behaviour
+    is the legacy contract).  An *explicit* ``placement="ship"`` that
+    cannot fit raises instead of crashing mid-read.
+    """
+    if placement not in PLACEMENTS:
+        raise QueryError(
+            f"placement must be one of {PLACEMENTS}, got {placement!r}")
+    stats = stats if stats is not None else PlanStats()
+    cost_model = PlacementCostModel(config, cpu)
+    # Mirror the compiler's encrypted-table invariants up front: the ship
+    # path never compiles a fragment, and no placement can parse
+    # ciphertext (or decrypt a plaintext table).
+    if table.encrypted and not query.decrypt_input:
+        raise QueryError(
+            f"table {table.name!r} is encrypted; the query must set "
+            f"decrypt_input (no placement can parse ciphertext)")
+    if query.decrypt_input and not table.encrypted:
+        raise QueryError(
+            f"query asks to decrypt but table {table.name!r} is not "
+            f"encrypted")
+    chain = operator_chain(query)
+    schema = table.schema
+    nrows = total_rows if total_rows is not None else table.num_rows
+    bytes_in = nrows * schema.row_width
+    steps = estimate_chain(chain, query, schema, nrows, stats)
+
+    pinned = _requires_full_offload(query)
+    if placement == "ship" and pinned:
+        raise QueryError(f"cannot ship this query to the client: {pinned}")
+
+    if placement == "offload":
+        splits = [len(chain)]
+    elif placement == "ship":
+        splits = [0]
+    elif pinned or not chain:
+        splits = [len(chain)]
+    else:
+        splits = list(range(len(chain) + 1))
+
+    candidates: list[Candidate] = []
+    for k in splits:
+        # On an operator-less query split 0 == len(chain); an explicit
+        # "ship" still means a raw read, not the (empty) offload pipeline.
+        if k == 0 and not chain and placement == "ship":
+            fragment = None
+        else:
+            fragment = build_fragment(query, chain, k)
+        if fragment is None:
+            node_ns = cost_model.ship_bytes_ns(bytes_in, shards)
+            cold = False
+            inter_schema, inter_bytes = schema, float(bytes_in)
+        else:
+            compiled = compile_query(fragment, table, config)
+            if k == 0:
+                inter_schema, inter_bytes = schema, float(bytes_in)
+                rows_out = float(nrows)
+            else:
+                last = steps[k - 1]
+                inter_schema = last.schema_out
+                rows_out = last.rows_out
+                inter_bytes = rows_out * inter_schema.row_width
+            flush_groups = (steps[k - 1].rows_out
+                            if k > 0 and chain[k - 1] == "groupby" else 0.0)
+            cold = compiled.signature != loaded_signature
+            node_ns = cost_model.offload_ns(
+                bytes_in=bytes_in, bytes_out=inter_bytes,
+                ingest_rate=compiled.ingest_rate,
+                fill_cycles=compiled.pipeline.fill_latency_cycles,
+                flush_groups=flush_groups, cold=cold, shards=shards)
+            node_ns += cost_model.lease_wait_ns(lease_manager, node_ns)
+        client_ns = (cost_model.client_ops_ns(steps[k:], inter_schema,
+                                              inter_bytes, query)
+                     if k < len(chain) else 0.0)
+        label = ("ship" if fragment is None
+                 else "offload" if k == len(chain) else f"hybrid@{k}")
+        if (buffer_capacity is not None and label != "offload"
+                and inter_bytes / max(1, shards) > buffer_capacity):
+            # The shipped intermediate cannot land in the client buffer
+            # (exact for ship — raw table bytes — estimated for hybrid).
+            if placement == "ship":
+                raise QueryError(
+                    f"cannot ship {int(inter_bytes)} bytes: client buffer "
+                    f"holds {buffer_capacity}; raise buffer_capacity or "
+                    f"offload")
+            continue
+        candidates.append(Candidate(split=k, label=label,
+                                    total_ns=node_ns + client_ns,
+                                    node_ns=node_ns, client_ns=client_ns,
+                                    cold=cold))
+
+    best = min(candidates, key=lambda c: (c.total_ns, -c.split))
+    chosen = "hybrid" if best.label.startswith("hybrid") else best.label
+    if best.label == "ship":
+        best_fragment = None
+    else:
+        best_fragment = build_fragment(query, chain, best.split)
+    by_label = {c.label: c.total_ns for c in candidates}
+    explain = ExplainPlan(
+        requested=placement, chosen=chosen, split=best.split, chain=chain,
+        candidates=candidates, est_chosen_ns=best.total_ns,
+        est_offload_ns=by_label.get("offload", float("nan")),
+        est_ship_ns=by_label.get("ship", float("nan")), stats=stats)
+    return PlacementPlan(
+        query=query, chain=chain, split=best.split, fragment=best_fragment,
+        client_steps=chain[best.split:], steps=steps, explain=explain)
+
+
+# ---------------------------------------------------------------------------
+# Client-side remainder execution
+# ---------------------------------------------------------------------------
+
+def run_client_steps(rows: np.ndarray, schema: Schema, steps: list[str],
+                     query: Query, cpu: CpuCostModel,
+                     cost: CostBreakdown) -> tuple[np.ndarray, Schema]:
+    """Execute the software remainder over decoded rows.
+
+    Mirrors the node pipeline operator for operator (same
+    :mod:`~repro.baselines.sw_ops` kernels as the LCPU baseline, so the
+    output bytes match full offload exactly) and charges
+    :class:`~repro.baselines.cpu_model.CpuCostModel` time into ``cost``.
+    ``decrypt`` is a byte-level stage the caller must have applied before
+    decoding.
+    """
+    for step in steps:
+        if step == "decrypt":
+            raise QueryError(
+                "decrypt is a byte-level stage; apply software_decrypt "
+                "before decoding rows")
+        if step == "regex":
+            assert query.regex is not None
+            width = schema.column(query.regex.column).width
+            cost.add("re2", cpu.regex_ns(len(rows) * width))
+            rows = software_regex(rows, query.regex.column,
+                                  query.regex.pattern)
+        elif step == "selection":
+            assert query.predicate is not None
+            cost.add("predicate", cpu.select_ns(len(rows)))
+            rows = software_select(rows, query.predicate)
+        elif step == "projection":
+            assert query.projection is not None
+            cost.add("project", cpu.select_ns(len(rows)))
+            rows = software_project(rows, schema, list(query.projection))
+            schema = schema.project(list(query.projection))
+        elif step == "distinct":
+            keys = (list(query.distinct_columns) if query.distinct_columns
+                    else list(schema.names))
+            output = software_distinct(rows, schema, keys)
+            cost.add("hash", cpu.hash_ns(len(rows),
+                                         growing=output.map_resizes > 0))
+            rows = output.rows
+        elif step == "groupby":
+            assert query.group_by is not None
+            output = software_groupby(rows, schema, list(query.group_by),
+                                      list(query.aggregates))
+            cost.add("hash", cpu.hash_ns(len(rows),
+                                         growing=output.map_resizes > 0))
+            cost.add("aggregate", cpu.aggregate_update_ns(len(rows)))
+            rows = output.rows
+            schema = group_output_schema(schema, list(query.group_by),
+                                         list(query.aggregates))
+        elif step == "aggregate":
+            cost.add("aggregate", cpu.aggregate_update_ns(len(rows)))
+            rows = software_aggregate(rows, schema, list(query.aggregates))
+            schema = aggregate_output_schema(schema, list(query.aggregates))
+        else:
+            raise QueryError(f"unknown client step {step!r}")
+    return rows, schema

@@ -8,8 +8,9 @@ for the SQL fragment Farview can offload, producing
 
 Supported grammar (case-insensitive keywords)::
 
-    query     := SELECT [DISTINCT] select_list FROM ident
+    query     := [hint] SELECT [DISTINCT] select_list FROM ident
                  [WHERE disjunction] [GROUP BY column_list] [';']
+    hint      := '/*+' PLACEMENT '(' (AUTO|OFFLOAD|SHIP) ')' '*/'
     select_list := '*' | select_item (',' select_item)*
     select_item := aggregate | column
     aggregate := (COUNT '(' '*' ')' | (SUM|MIN|MAX|AVG) '(' column ')')
@@ -36,6 +37,13 @@ Examples from the paper::
 
 Table-qualified columns (``S.a``) are accepted and resolved against the
 single FROM table.
+
+An optional optimizer-style hint before the SELECT pins the operator
+*placement* decided by :mod:`repro.core.planner` — ``offload`` (the
+default Farview path), ``ship`` (raw read + client software), or ``auto``
+(cost-based)::
+
+    /*+ placement(auto) */ SELECT * FROM S WHERE S.a < 17;
 """
 
 from __future__ import annotations
@@ -152,14 +160,33 @@ def like_to_regex(pattern: str) -> str:
 
 @dataclass(frozen=True)
 class ParsedQuery:
-    """A parsed statement: the table name plus the offloadable Query."""
+    """A parsed statement: the table name plus the offloadable Query.
+
+    ``placement`` carries the optional ``/*+ placement(...) */`` hint
+    (``None`` when the statement leaves the decision to the caller).
+    """
 
     table: str
     query: Query
+    placement: str | None = None
+
+
+#: Optimizer-style placement hint, accepted before the SELECT keyword.
+_HINT_RE = _stdlib_re.compile(
+    r"^\s*/\*\+\s*placement\s*\(\s*(auto|offload|ship)\s*\)\s*\*/",
+    _stdlib_re.IGNORECASE)
+
+
+def _strip_placement_hint(sql: str) -> tuple[str, str | None]:
+    match = _HINT_RE.match(sql)
+    if match is None:
+        return sql, None
+    return sql[match.end():], match.group(1).lower()
 
 
 class _Parser:
     def __init__(self, sql: str):
+        sql, self.placement = _strip_placement_hint(sql)
         self.sql = sql
         self.tokens = _tokenize(sql)
         self.index = 0
@@ -227,7 +254,8 @@ class _Parser:
                 f"{token.text!r}")
         query = self._build_query(star, columns, aggregates, distinct,
                                   predicate, regex, group_by)
-        return ParsedQuery(table=table_token.text.split(".")[-1], query=query)
+        return ParsedQuery(table=table_token.text.split(".")[-1], query=query,
+                           placement=self.placement)
 
     def _select_list(self):
         star = False

@@ -12,6 +12,7 @@ fig10_regex       Figure 10 — regular-expression matching
 fig11_encryption  Figure 11 — decryption response time & throughput
 fig12_multiclient Figure 12 — six concurrent clients
 fig13_scaleout    Figure 13 (extension) — pool scale-out, sharded DISTINCT
+fig14_pushdown    Figure 14 (extension) — cost-based offload vs ship placement
 ================  =====================================================
 """
 
@@ -24,6 +25,7 @@ from . import (
     fig11_encryption,
     fig12_multiclient,
     fig13_scaleout,
+    fig14_pushdown,
     table1_resources,
 )
 from .common import Bench, ExperimentResult, make_bench, run_query_warm, upload_table
@@ -37,6 +39,7 @@ __all__ = [
     "fig11_encryption",
     "fig12_multiclient",
     "fig13_scaleout",
+    "fig14_pushdown",
     "table1_resources",
     "Bench",
     "ExperimentResult",

@@ -1,0 +1,477 @@
+"""Cost-based placement planner: golden crossovers, exactness, explain.
+
+Three layers of guarantees:
+
+* **Golden crossover pins** — the analytic cost model is deterministic,
+  so the offload/ship decision at fixed inputs is pinned exactly for
+  selection and DISTINCT (the fig14 scenario: cold small regions).
+* **Exactness property** — whatever the planner picks, result bytes are
+  sha256-identical to full offload (hypothesis-driven over query shape,
+  selectivity, widths and placements; integer columns, where the
+  contract is bit-exact).
+* **Observability** — ExplainPlan carries every candidate, the chosen
+  per-operator placement, and estimated vs actual ns within sanity
+  bounds; lease contention and warm regions flip decisions the way the
+  docs promise.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import calibration as cal
+from repro.common.config import (FarviewConfig, MemoryConfig,
+                                 OperatorStackConfig)
+from repro.common.units import MB
+from repro.core.api import FarviewClient, canonical_result_bytes
+from repro.core.cost_model import PlanStats
+from repro.core.node import FarviewNode
+from repro.core.planner import build_fragment, operator_chain, plan_placement
+from repro.core.query import Query, select_distinct, select_star
+from repro.core.table import FTable
+from repro.operators.aggregate import AggregateSpec
+from repro.operators.selection import Compare
+from repro.sim.engine import Simulator
+from repro.workloads.generator import (distinct_workload, projection_workload,
+                                       selection_workload)
+
+#: The fig14 ad-hoc scenario: small selection-only regions (6% of a full
+#: region swap), experiment-sized memory.
+SCENARIO = FarviewConfig(
+    memory=MemoryConfig(channels=2, channel_capacity=64 * MB),
+    operator_stack=OperatorStackConfig(
+        reconfiguration_ns=cal.reconfiguration_latency_ns(0.06)))
+
+
+def _table(schema, nrows, name="S"):
+    return FTable(name, schema, nrows)
+
+
+def _plan_selection(selectivity: float, width: int, table_mb: float = 1.0):
+    nrows = int(table_mb * MB) // width
+    schema, _ = projection_workload(8, width)  # schema only; rows unused
+    query = Query(predicate=Compare("a", "<", 1), label="golden")
+    return plan_placement(query, _table(schema, nrows), SCENARIO,
+                          placement="auto",
+                          stats=PlanStats(selectivity=selectivity))
+
+
+class TestGoldenCrossovers:
+    """Pinned decisions of the deterministic cost model (fig14 scenario)."""
+
+    def test_selection_crossover_64B(self):
+        # 64 B tuples, 1 MB, cold region: ship wins the selective half,
+        # offload wins once egress reduction stops paying for the
+        # reconfiguration; the crossover sits between 0.50 and 0.75.
+        decisions = {sel: _plan_selection(sel, 64).explain.chosen
+                     for sel in (0.02, 0.1, 0.25, 0.5, 0.75, 1.0)}
+        assert decisions == {0.02: "ship", 0.1: "ship", 0.25: "ship",
+                             0.5: "ship", 0.75: "offload", 1.0: "offload"}
+
+    def test_selection_crossover_moves_with_width(self):
+        # Wider tuples -> fewer tuples -> cheaper client software -> the
+        # ship region extends to higher selectivities.
+        assert _plan_selection(0.75, 64).explain.chosen == "offload"
+        assert _plan_selection(0.75, 512).explain.chosen == "ship"
+
+    def test_selection_tiny_table_ships(self):
+        # A 64 kB table cannot amortize the reconfiguration at all.
+        for sel in (0.02, 0.5, 1.0):
+            plan = _plan_selection(sel, 64, table_mb=1 / 16)
+            assert plan.explain.chosen == "ship", sel
+
+    def test_distinct_crossover_512B(self):
+        # DISTINCT over 512 B tuples, 1 MB, cold region: the unique
+        # fraction drives shipped bytes; crossover between 0.50 and 0.75.
+        wide_schema, _ = projection_workload(8, 512)
+        query = Query(projection=tuple(wide_schema.names),
+                      distinct=True, label="golden-distinct")
+        decisions = {}
+        for ratio in (0.02, 0.1, 0.25, 0.5, 0.75, 1.0):
+            plan = plan_placement(
+                query, _table(wide_schema, MB // 512), SCENARIO,
+                placement="auto", stats=PlanStats(distinct_ratio=ratio))
+            decisions[ratio] = plan.explain.chosen
+        assert decisions == {0.02: "ship", 0.1: "ship", 0.25: "ship",
+                             0.5: "ship", 0.75: "offload", 1.0: "offload"}
+
+    def test_distinct_narrow_tuples_offload(self):
+        # 64 B tuples: per-tuple client hashing dominates; offload wins
+        # even at the selective end despite the cold region.
+        schema, _ = distinct_workload(8, 8)
+        query = select_distinct(["a"])
+        for ratio in (0.02, 0.5, 1.0):
+            plan = plan_placement(
+                query, _table(schema, MB // schema.row_width), SCENARIO,
+                placement="auto", stats=PlanStats(distinct_ratio=ratio))
+            assert plan.explain.chosen == "offload", ratio
+
+    def test_warm_region_always_offloads(self):
+        # With the query's pipeline already resident there is no setup
+        # charge and Farview wins everywhere (Figures 8-12).
+        for sel in (0.02, 0.5, 1.0):
+            nrows = MB // 64
+            schema, _ = projection_workload(8, 64)
+            query = Query(predicate=Compare("a", "<", 1), label="golden")
+            plan = plan_placement(query, _table(schema, nrows), SCENARIO,
+                                  placement="auto",
+                                  stats=PlanStats(selectivity=sel),
+                                  loaded_signature=query.signature)
+            assert plan.explain.chosen == "offload", sel
+
+
+class TestChainAndFragments:
+    def test_operator_chain_order(self):
+        query = Query(projection=("a",), predicate=Compare("a", "<", 1),
+                      distinct=True, label="t")
+        assert operator_chain(query) == ["selection", "projection",
+                                         "distinct"]
+
+    def test_full_split_is_identity(self):
+        query = select_star(Compare("a", "<", 1))
+        chain = operator_chain(query)
+        assert build_fragment(query, chain, len(chain)) is query
+        assert build_fragment(query, chain, 0) is None
+
+    def test_prefix_fragments_validate(self):
+        query = Query(projection=("a", "b"),
+                      predicate=Compare("a", "<", 1),
+                      group_by=("a",),
+                      aggregates=(AggregateSpec("sum", "b"),),
+                      label="t")
+        chain = operator_chain(query)
+        schema, _ = projection_workload(8, 64)
+        for k in range(len(chain) + 1):
+            fragment = build_fragment(query, chain, k)
+            if fragment is not None:
+                fragment.validate(schema)  # no QueryError
+
+    def test_join_pins_full_offload(self):
+        from repro.core.query import JoinSpec
+
+        schema, _ = projection_workload(8, 64)
+        build = _table(schema, 8, name="dim")
+        query = Query(join=JoinSpec(build, "a", "a", ("b",)), label="t")
+        plan = plan_placement(query, _table(schema, 1024), SCENARIO,
+                              placement="auto")
+        assert plan.full_offload
+        with pytest.raises(Exception):
+            plan_placement(query, _table(schema, 1024), SCENARIO,
+                           placement="ship")
+
+
+class TestLeaseContention:
+    class _BusyManager:
+        """A saturated single-node pool: no free regions, deep queue."""
+        free_regions = 0
+        queued = 50
+
+        def __init__(self, nodes):
+            self.nodes = nodes
+
+    def test_contention_flips_warm_offload_to_ship(self):
+        nrows = MB // 64
+        schema, _ = projection_workload(8, 64)
+        query = Query(predicate=Compare("a", "<", 1), label="t")
+        sim = Simulator()
+        node = FarviewNode(sim, SCENARIO)
+        warm = plan_placement(query, _table(schema, nrows), SCENARIO,
+                              placement="auto",
+                              stats=PlanStats(selectivity=0.5),
+                              loaded_signature=query.signature)
+        assert warm.explain.chosen == "offload"
+        contended = plan_placement(
+            query, _table(schema, nrows), SCENARIO, placement="auto",
+            stats=PlanStats(selectivity=0.5),
+            loaded_signature=query.signature,
+            lease_manager=self._BusyManager([node]))
+        assert contended.explain.chosen == "ship"
+
+
+# ---------------------------------------------------------------------------
+# Execution: exactness and explain
+# ---------------------------------------------------------------------------
+
+def _bench(buffer_capacity=2 * MB):
+    sim = Simulator()
+    node = FarviewNode(sim, SCENARIO)
+    client = FarviewClient(node, buffer_capacity=buffer_capacity)
+    client.open_connection()
+    return client
+
+
+def _digest(result) -> str:
+    return hashlib.sha256(canonical_result_bytes(result)).hexdigest()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    selectivity=st.sampled_from([0.0, 0.1, 0.5, 0.9, 1.0]),
+    nrows=st.sampled_from([1, 7, 64, 257]),
+    shape=st.sampled_from(["select", "select_proj", "distinct",
+                           "groupby", "aggregate"]),
+    placement=st.sampled_from(["auto", "ship"]),
+)
+def test_placement_never_changes_bytes(selectivity, nrows, shape, placement):
+    """Property: auto/ship results are sha256-identical to full offload.
+
+    Group-by sums stay bit-exact even over the float column because the
+    hardware operator and the software kernel accumulate per-row in the
+    same stream order; the standalone-aggregate shape sticks to
+    order-insensitive functions (min/max/count), since its offloaded
+    block accumulates per-batch.
+    """
+    wl = selection_workload(nrows, selectivity, seed=nrows)
+    if shape == "select":
+        query = Query(predicate=wl.predicate, label="p")
+    elif shape == "select_proj":
+        query = Query(projection=("a", "b"), predicate=None, label="p")
+    elif shape == "distinct":
+        query = Query(projection=("a",), distinct=True, label="p")
+    elif shape == "groupby":
+        query = Query(group_by=("a",),
+                      aggregates=(AggregateSpec("sum", "b"),
+                                  AggregateSpec("count", "*")),
+                      label="p")
+    else:
+        query = Query(aggregates=(AggregateSpec("min", "a"),
+                                  AggregateSpec("max", "b"),
+                                  AggregateSpec("count", "*")),
+                      label="p")
+    rows = wl.rows
+    digests = {}
+    for mode in ("offload", placement):
+        client = _bench()
+        table = FTable("S", wl.schema, nrows)
+        client.alloc_table_mem(table)
+        client.table_write(table, rows)
+        result, _ = client.far_view_planned(table, query, placement=mode,
+                                            stats=PlanStats(
+                                                selectivity=selectivity))
+        digests[mode] = _digest(result)
+    assert digests[placement] == digests["offload"]
+
+
+def test_groupby_hybrid_split_matches_offload():
+    """Force the mid-chain split (selection offloaded, group-by on the
+    client) and pin byte-equality plus the hybrid explain shape."""
+    wl = selection_workload(512, 0.5, seed=3)
+    query = Query(predicate=wl.predicate, group_by=("a",),
+                  aggregates=(AggregateSpec("sum", "b"),), label="h")
+
+    client = _bench()
+    table = FTable("S", wl.schema, 512)
+    client.alloc_table_mem(table)
+    client.table_write(table, wl.rows)
+    offload_result, _ = client.far_view_planned(table, query,
+                                                placement="offload")
+
+    client2 = _bench()
+    table2 = FTable("S", wl.schema, 512)
+    client2.alloc_table_mem(table2)
+    client2.table_write(table2, wl.rows)
+    plan = client2.plan(table2, query)
+    fragment = build_fragment(query, plan.chain, 1)  # selection only
+    from repro.baselines.cpu_model import CostBreakdown, CpuCostModel
+    from repro.core.planner import run_client_steps
+
+    frag_result, _ = client2.far_view(table2, fragment)
+    cost = CostBreakdown()
+    rows, schema = run_client_steps(frag_result.rows(), frag_result.schema,
+                                    ["groupby"], query, CpuCostModel(),
+                                    cost)
+    assert schema.to_bytes(rows) == canonical_result_bytes(offload_result)
+    assert cost.total_ns > 0
+
+
+def test_explain_plan_estimates_and_actuals():
+    wl = selection_workload(4096, 0.5, seed=5)
+    client = _bench()
+    table = FTable("S", wl.schema, 4096)
+    client.alloc_table_mem(table)
+    client.table_write(table, wl.rows)
+    result, elapsed = client.far_view_planned(
+        table, Query(predicate=wl.predicate, label="e"), placement="auto",
+        stats=PlanStats(selectivity=wl.actual_selectivity))
+    explain = result.explain
+    assert explain is not None
+    assert explain.actual_ns == pytest.approx(elapsed)
+    assert {c.label for c in explain.candidates} >= {"offload", "ship"}
+    assert explain.placements  # one entry per chain operator
+    # The estimate must be in the right ballpark of the measurement
+    # (the model aims at picking the right side, not ns-exactness).
+    assert explain.est_chosen_ns == pytest.approx(elapsed, rel=0.35)
+    rendered = explain.render()
+    assert "Placement plan" in rendered and "actual" in rendered
+
+
+def test_sql_placement_hint_routes_through_planner():
+    from repro.workloads.generator import make_rows
+
+    client = _bench()
+    schema, _ = projection_workload(8, 64)
+    rows = make_rows(schema, 1024, seed=9)
+    table = FTable("demo", schema, 1024)
+    client.alloc_table_mem(table)
+    client.table_write(table, rows)
+    result, _ = client.sql(
+        "/*+ placement(ship) */ SELECT * FROM demo WHERE a < 100")
+    assert result.explain is not None
+    assert result.explain.requested == "ship"
+    offload_result, _ = client.sql("SELECT * FROM demo WHERE a < 100")
+    assert offload_result.explain is None  # legacy path untouched
+    assert canonical_result_bytes(result) == canonical_result_bytes(
+        offload_result)
+
+
+def test_cluster_placement_matches_offload():
+    from repro.core.api import ClusterClient
+    from repro.core.cluster import FarviewCluster
+
+    wl = selection_workload(1024, 0.5, seed=11)
+    digests = {}
+    for mode in ("offload", "ship", "auto"):
+        sim = Simulator()
+        cluster = FarviewCluster(sim, 4, SCENARIO)
+        client = ClusterClient(cluster)
+        client.open_connection()
+        sharded = client.create_table("S", wl.schema, wl.rows)
+        result, _ = client.far_view_planned(
+            sharded, Query(predicate=wl.predicate, label="c"),
+            placement=mode, stats=PlanStats(selectivity=0.5))
+        digests[mode] = hashlib.sha256(
+            canonical_result_bytes(result)).hexdigest()
+        if mode != "offload":
+            assert result.explain.requested == mode
+    assert digests["ship"] == digests["offload"]
+    assert digests["auto"] == digests["offload"]
+
+
+def test_ship_on_bare_scan_is_a_raw_read():
+    """placement="ship" with no offloadable operators must read raw
+    bytes, not run the (empty) offload pipeline."""
+    from repro.workloads.generator import make_rows
+
+    schema, _ = projection_workload(8, 64)
+    rows = make_rows(schema, 256, seed=17)
+    client = _bench()
+    table = FTable("S", schema, 256)
+    client.alloc_table_mem(table)
+    client.table_write(table, rows)
+    result, _ = client.far_view_planned(table, Query(label="scan"),
+                                        placement="ship")
+    assert result.explain.chosen == "ship"
+    assert result.fragment_result is None
+    assert canonical_result_bytes(result) == schema.to_bytes(rows)
+    # auto/offload on the same bare scan keep the legacy offload path.
+    offload_result, _ = client.far_view_planned(table, Query(label="scan"),
+                                                placement="auto")
+    assert offload_result.explain.chosen == "offload"
+    assert canonical_result_bytes(offload_result) == schema.to_bytes(rows)
+
+
+def test_software_aggregate_large_int_extremes_bit_exact():
+    """min/max over int64 values beyond float53 precision must survive a
+    ship execution bit-exactly (the hardware block never rounds them)."""
+    from repro.common.records import Column, Schema as RSchema
+
+    schema = RSchema([Column("a", "int64", 8), Column("b", "int64", 8)])
+    rows = schema.empty(3)
+    rows["a"] = [2 ** 60 + 1, 5, -7]
+    rows["b"] = [1, 2, 3]
+    query = Query(aggregates=(AggregateSpec("max", "a"),
+                              AggregateSpec("count", "*")), label="big")
+    digests = {}
+    for mode in ("offload", "ship"):
+        client = _bench()
+        table = FTable("S", schema, 3)
+        client.alloc_table_mem(table)
+        client.table_write(table, rows)
+        result, _ = client.far_view_planned(table, query, placement=mode)
+        digests[mode] = _digest(result)
+        assert result.rows()["max_a"][0] == 2 ** 60 + 1
+    assert digests["ship"] == digests["offload"]
+
+
+def test_cluster_hybrid_keeps_fragment_result():
+    """A forced cluster ship/hybrid carries its observability payload."""
+    from repro.core.api import ClusterClient
+    from repro.core.cluster import FarviewCluster
+
+    wl = selection_workload(512, 0.5, seed=19)
+    sim = Simulator()
+    cluster = FarviewCluster(sim, 2, SCENARIO)
+    client = ClusterClient(cluster)
+    client.open_connection()
+    sharded = client.create_table("S", wl.schema, wl.rows)
+    result, _ = client.far_view_planned(
+        sharded, Query(predicate=wl.predicate, label="c"),
+        placement="ship")
+    assert result.shipped_bytes == 512 * wl.schema.row_width
+    assert result.client_cost is not None
+
+
+def test_ship_pruned_when_table_exceeds_client_buffer():
+    """A raw read larger than the receive buffer cannot land: auto must
+    prune the ship candidate, explicit ship must raise up front."""
+    from repro.common.errors import QueryError
+
+    schema, _ = projection_workload(8, 64)
+    nrows = MB // 64  # 1 MB table
+    query = Query(predicate=Compare("a", "<", 1), label="big")
+    small_buffer = 256 * 1024
+    plan = plan_placement(query, _table(schema, nrows), SCENARIO,
+                          placement="auto",
+                          stats=PlanStats(selectivity=0.1),
+                          buffer_capacity=small_buffer)
+    assert plan.explain.chosen == "offload"  # ship would win but cannot fit
+    assert all(c.label != "ship" for c in plan.explain.candidates)
+    with pytest.raises(QueryError):
+        plan_placement(query, _table(schema, nrows), SCENARIO,
+                       placement="ship", buffer_capacity=small_buffer)
+    # With a big enough buffer the ship candidate returns.
+    plan = plan_placement(query, _table(schema, nrows), SCENARIO,
+                          placement="auto",
+                          stats=PlanStats(selectivity=0.1),
+                          buffer_capacity=2 * MB)
+    assert plan.explain.chosen == "ship"
+
+
+def test_ship_on_encrypted_table_requires_decrypt_input():
+    """Ship must enforce the compiler's encrypted-table invariant —
+    never silently parse ciphertext as rows."""
+    from repro.common.errors import QueryError
+    from repro.operators.encryption_op import encrypt_table_image
+
+    key, nonce = bytes(range(16)), bytes(range(12))
+    wl = selection_workload(128, 0.5, seed=23)
+    client = _bench()
+    table = FTable("E", wl.schema, 128, encrypted=True, key=key, nonce=nonce)
+    client.alloc_table_mem(table)
+    client.table_write(
+        table, encrypt_table_image(wl.schema.to_bytes(wl.rows), key, nonce))
+    query = Query(predicate=wl.predicate, label="bad")  # no decrypt_input
+    with pytest.raises(QueryError):
+        client.far_view_planned(table, query, placement="ship")
+
+
+def test_encrypted_table_ship_decrypts_client_side():
+    from repro.operators.encryption_op import encrypt_table_image
+
+    key, nonce = bytes(range(16)), bytes(range(12))
+    wl = selection_workload(256, 0.5, seed=13)
+    digests = {}
+    for mode in ("offload", "ship"):
+        client = _bench()
+        table = FTable("S", wl.schema, 256, encrypted=True,
+                       key=key, nonce=nonce)
+        client.alloc_table_mem(table)
+        image = encrypt_table_image(wl.schema.to_bytes(wl.rows), key, nonce)
+        client.table_write(table, image)
+        query = Query(predicate=wl.predicate, decrypt_input=True, label="s")
+        result, _ = client.far_view_planned(table, query, placement=mode)
+        digests[mode] = _digest(result)
+    assert digests["ship"] == digests["offload"]

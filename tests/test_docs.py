@@ -21,13 +21,85 @@ def load_check_docs():
 
 
 def test_user_facing_docs_exist():
-    for doc in ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"):
+    for doc in ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
+                "docs/OPERATORS.md"):
         assert (REPO / doc).is_file(), f"{doc} missing"
 
 
 def test_all_doc_references_resolve(capsys):
     check_docs = load_check_docs()
     assert check_docs.main() == 0, capsys.readouterr().err
+
+
+def test_intra_doc_anchor_links_resolve():
+    check_docs = load_check_docs()
+    assert check_docs.check_anchors() == []
+
+
+def test_anchor_checker_slugging_matches_github():
+    check_docs = load_check_docs()
+    assert check_docs.github_slug("operators/regex_op.py") == \
+        "operatorsregex_oppy"
+    assert check_docs.github_slug("Shared timing terms") == \
+        "shared-timing-terms"
+    assert check_docs.github_slug("The cluster layer (PR 2)") == \
+        "the-cluster-layer-pr-2"
+
+
+def test_anchor_checker_sees_operators_links():
+    """OPERATORS.md really exercises the anchor checker (it links its own
+    sections), and the link parser extracts (path, anchor) pairs."""
+    check_docs = load_check_docs()
+    text = (REPO / "docs/OPERATORS.md").read_text()
+    links = check_docs.anchor_links(text)
+    assert ("", "operatorsselectionpy") in links
+    assert ("", "shared-timing-terms") in links
+
+
+def test_anchor_matching_is_case_sensitive():
+    """GitHub anchors are lowercase and fragment matching is
+    case-sensitive; the checker must not paper over mixed-case links."""
+    check_docs = load_check_docs()
+    slugs = check_docs.heading_slugs("## Shared timing terms")
+    assert "shared-timing-terms" in slugs
+    assert "Shared-Timing-Terms" not in slugs
+
+
+def test_heading_scan_ignores_fenced_code_blocks():
+    """Shell comments inside ``` fences must not register as headings."""
+    check_docs = load_check_docs()
+    text = "# Real heading\n```sh\n# run the sweep\npython x\n```\n## After\n"
+    slugs = check_docs.heading_slugs(text)
+    assert slugs == {"real-heading", "after"}
+
+
+def test_cross_doc_anchor_targets_normalize():
+    """Upward-relative targets like ../README.md map onto the checked
+    docs instead of silently escaping anchor validation."""
+    import posixpath
+
+    check_docs = load_check_docs()
+    target = posixpath.normpath(
+        (Path("docs/OPERATORS.md").parent / "../README.md").as_posix())
+    assert target == "README.md"
+    assert target in check_docs.DOCS
+
+
+def test_every_operator_module_documented():
+    check_docs = load_check_docs()
+    assert check_docs.operators_missing_sections() == []
+
+
+def test_operator_coverage_check_would_catch_new_module():
+    """Sanity: the coverage check keys off real module names."""
+    check_docs = load_check_docs()
+    modules = sorted(p.name for p
+                     in (REPO / "src/repro/operators").glob("*.py")
+                     if not p.name.startswith("_"))
+    assert "selection.py" in modules and len(modules) >= 16
+    text = (REPO / "docs/OPERATORS.md").read_text()
+    for module in modules:
+        assert module in text
 
 
 def test_cli_experiments_reference_resolves():

@@ -10,6 +10,7 @@ from repro.experiments import (
     fig10_regex,
     fig12_multiclient,
     fig13_scaleout,
+    fig14_pushdown,
     table1_resources,
 )
 
@@ -110,6 +111,21 @@ def test_fig13_throughput_scales_with_nodes():
     assert pool.y_at(4) > pool.y_at(2) * 1.5
     for n in (1, 2, 4):
         assert pool.y_at(n) <= ideal.y_at(n) * 1.001
+
+
+def test_fig14_crossover_and_auto_tracking():
+    """One 64 B panel at two sweep ends: ship wins the selective end,
+    offload the unselective end, and auto sits on the winner (the runner
+    itself asserts the 10% tracking bound at every point)."""
+    (panel,) = fig14_pushdown.run(tuple_widths=(64,),
+                                  selectivities=(0.25, 1.0))
+    off = panel.series_named("FV-off")
+    ship = panel.series_named("FV-ship")
+    auto = panel.series_named("FV-auto")
+    assert ship.y_at(0.25) < off.y_at(0.25)   # reconfiguration dominates
+    assert off.y_at(1.0) < ship.y_at(1.0)     # materialization dominates
+    for x in (0.25, 1.0):
+        assert auto.y_at(x) <= min(off.y_at(x), ship.y_at(x)) * 1.10
 
 
 def test_experiment_result_rendering():

@@ -1,26 +1,35 @@
 #!/usr/bin/env python
-"""Docs smoke check: every file path referenced from the docs must exist.
+"""Docs smoke check: references, intra-doc anchors, operator coverage.
 
-Scans README.md, EXPERIMENTS.md and docs/ARCHITECTURE.md for
-backtick-quoted repo paths (and table cells that look like paths) and
-fails if any referenced file or directory is missing — the guard against
-dangling references like the pre-PR-2 ``EXPERIMENTS.md`` pointer in
-``cli.py``. Illustrative output names (``out.csv`` …) are allowlisted.
+Three guards, all run by ``main``:
+
+1. **File references** — every backtick-quoted repo path in the docs must
+   exist (the guard against dangling references like the pre-PR-2
+   ``EXPERIMENTS.md`` pointer in ``cli.py``). Illustrative output names
+   (``out.csv`` …) are allowlisted.
+2. **Anchor links** — every markdown ``[text](#anchor)`` (and
+   ``[text](path#anchor)``) must resolve to a heading in the target doc,
+   using GitHub's slugging rules.
+3. **Operator coverage** — every module under ``src/repro/operators/``
+   must have its own section heading in ``docs/OPERATORS.md`` (the
+   operator reference may not rot as operators are added).
 
 Usage::
 
-    python tools/check_docs.py          # exit 0 iff all references resolve
+    python tools/check_docs.py          # exit 0 iff all checks pass
 """
 
 from __future__ import annotations
 
+import posixpath
 import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-DOCS = ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md")
+DOCS = ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
+        "docs/OPERATORS.md")
 
 #: Roots a doc reference may be relative to (ARCHITECTURE.md abbreviates
 #: module paths as "under src/repro/", per its own preamble).
@@ -33,6 +42,20 @@ IGNORE = {"out.csv", "results.csv"}
 #: contain a slash and/or end in a known extension.
 _CANDIDATE = re.compile(
     r"`([A-Za-z0-9_.\-/]+(?:\.(?:py|md|json|yml|yaml|toml|txt|csv)|/))`")
+
+#: Markdown headings (ATX style), for anchor resolution.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+#: Fenced code blocks — stripped before heading scans so '#'-prefixed
+#: shell comments inside snippets cannot register as phantom headings.
+_FENCE = re.compile(r"^```.*?^```[^\n]*$", re.MULTILINE | re.DOTALL)
+
+
+def strip_code_blocks(text: str) -> str:
+    return _FENCE.sub("", text)
+
+#: Markdown links whose target contains an anchor: [text](#a), [text](p#a).
+_ANCHOR_LINK = re.compile(r"\[[^\]]+\]\(([^)\s#]*)#([^)\s]+)\)")
 
 
 def referenced_paths(text: str) -> set[str]:
@@ -50,6 +73,82 @@ def referenced_paths(text: str) -> set[str]:
     return found
 
 
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug: lowercase, drop anything that is
+    not a word character / space / hyphen, spaces become hyphens."""
+    text = heading.strip().lower()
+    # Strip inline markdown formatting markers. Literal underscores are
+    # kept — GitHub only drops them when they delimit emphasis, and the
+    # docs here use underscores solely in module names.
+    text = re.sub(r"[`*]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(text: str) -> set[str]:
+    slugs: set[str] = set()
+    for match in _HEADING.finditer(strip_code_blocks(text)):
+        slug = github_slug(match.group(1))
+        # GitHub de-duplicates repeats as slug-1, slug-2, ...; the docs
+        # here keep headings unique, so the base slug suffices.
+        slugs.add(slug)
+    return slugs
+
+
+def anchor_links(text: str) -> list[tuple[str, str]]:
+    """All (target_path, anchor) pairs; target_path '' means same doc."""
+    return [(m.group(1), m.group(2)) for m in _ANCHOR_LINK.finditer(text)]
+
+
+def check_anchors() -> list[tuple[str, str]]:
+    """Return (doc, broken-link-description) pairs."""
+    texts = {doc: (REPO / doc).read_text()
+             for doc in DOCS if (REPO / doc).exists()}
+    slugs = {doc: heading_slugs(text) for doc, text in texts.items()}
+    broken: list[tuple[str, str]] = []
+    for doc, text in texts.items():
+        # Strip fences for link extraction too: example links inside
+        # code blocks are illustrative, not navigable anchors.
+        for target, anchor in anchor_links(strip_code_blocks(text)):
+            if re.match(r"^[a-z][a-z0-9+.\-]*:", target, re.IGNORECASE):
+                continue  # external URL (https://...#fragment)
+            if target:
+                # Resolve a cross-doc link relative to this doc's folder;
+                # normalize so "../README.md" maps onto the DOCS key.
+                target_path = posixpath.normpath(
+                    (Path(doc).parent / target).as_posix())
+                if target_path not in texts:
+                    if not (REPO / target_path).exists():
+                        broken.append((doc, f"{target}#{anchor} "
+                                            f"(missing target doc)"))
+                    continue  # a non-doc file cannot be anchor-checked
+                target_slugs = slugs[target_path]
+            else:
+                target_slugs = slugs[doc]
+            # Case-sensitive on purpose: GitHub renders lowercase anchors
+            # and fragment matching is case-sensitive, so a mixed-case
+            # link is broken even when the heading text matches.
+            if anchor not in target_slugs:
+                broken.append((doc, f"{target}#{anchor}"))
+    return broken
+
+
+def operators_missing_sections() -> list[str]:
+    """Operator modules without their own heading in docs/OPERATORS.md."""
+    doc_path = REPO / "docs/OPERATORS.md"
+    if not doc_path.exists():
+        return ["<docs/OPERATORS.md itself>"]
+    text = strip_code_blocks(doc_path.read_text())
+    headings = [match.group(1) for match in _HEADING.finditer(text)]
+    missing = []
+    for module in sorted((REPO / "src/repro/operators").glob("*.py")):
+        if module.name.startswith("_"):
+            continue  # __init__ re-exports; it is not an operator
+        if not any(module.name in heading for heading in headings):
+            missing.append(module.name)
+    return missing
+
+
 def main() -> int:
     missing: list[tuple[str, str]] = []
     checked = 0
@@ -62,11 +161,16 @@ def main() -> int:
             checked += 1
             if not any((REPO / base / ref).exists() for base in BASES):
                 missing.append((doc, ref))
+    for doc, link in check_anchors():
+        missing.append((doc, f"broken anchor {link}"))
+    for module in operators_missing_sections():
+        missing.append(("docs/OPERATORS.md", f"no section for {module}"))
     if missing:
         for doc, ref in missing:
             print(f"MISSING: {doc} references {ref!r}", file=sys.stderr)
         return 1
-    print(f"docs ok: {checked} references across {len(DOCS)} docs resolve")
+    print(f"docs ok: {checked} references across {len(DOCS)} docs resolve; "
+          f"anchors and operator sections complete")
     return 0
 
 
