@@ -59,6 +59,9 @@ BASELINE_WALL_S: dict[str, float] = {
     # fig14 first appeared with the placement planner (PR 3); same
     # first-measurement convention.
     "fig14_pushdown": 0.0357,
+    # fig15 first appeared with the versioned write path (PR 4); same
+    # first-measurement convention.
+    "fig15_updates": 0.1115,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -72,6 +75,40 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig12_multiclient": 198112.95407458395,
     "fig13_scaleout": 52477.39851864427,
     "fig14_pushdown": 885469.9437036433,
+    "fig15_updates": 506161.7501241565,
+}
+
+#: Pinned expectations for the ``--check`` gate: the SMOKE-size runs are
+#: fully deterministic (simulated time and result bytes depend only on
+#: the simulation, not the host), so CI can verify them exactly without
+#: re-measuring wall-clock baselines.  A PR that changes these values is
+#: changing timing semantics or result bytes and must update them — and
+#: say why in CHANGES.md — rather than silently rewriting BENCH_perf.json.
+SMOKE_BASELINE_SIM_NS: dict[str, float] = {
+    "fig6_read": 25920.45234567894,
+    "fig7_smart": 12552.718024689239,
+    "fig8_selection": 8186.692345677875,
+    "fig12_multiclient": 16068.509629659355,
+    "fig13_scaleout": 10000.361481495202,
+    "fig14_pushdown": 318579.70370370464,
+    "fig15_updates": 41392.16197529016,
+}
+
+SMOKE_BASELINE_SHA256: dict[str, str] = {
+    "fig6_read":
+        "a20d5fce424d457a18592f07ac2e3ae1ebf10af4c465981152e226ec12ed21a9",
+    "fig7_smart":
+        "f6a94c52ab212d3a64f09207835b52e5c950e07f562bc723482fc2a5a213958a",
+    "fig8_selection":
+        "e54bcfa39cba834b73d641c9af77660a38da69baed143c132dee11f64dab5153",
+    "fig12_multiclient":
+        "07aed9be89c39c48d19dc136da04f84a2a4363f0fea2dc65c8b9ee45c107d4b3",
+    "fig13_scaleout":
+        "07aed9be89c39c48d19dc136da04f84a2a4363f0fea2dc65c8b9ee45c107d4b3",
+    "fig14_pushdown":
+        "20e45b49a25a4712126e76a1722921ae4424772cea5969b1644b9c4f7393bc0d",
+    "fig15_updates":
+        "5d47718a640b4ca9f901fab0aa143c9a3bd4714bf5fb6ab11783c2ac98d1d721",
 }
 
 
@@ -324,6 +361,78 @@ def run_fig14_pushdown(table_kb: int):
     }
 
 
+def run_fig15_updates(table_kb: int):
+    """Versioned write path: scan-under-update + compaction (fig 15).
+
+    One versioned table accumulates four update deltas; the measured
+    phase runs a warm delta-merge scan, a scan with a writer committing
+    concurrently (snapshot isolation asserted against a quiesced replay
+    at the pinned epoch), the compaction pass, and a post-compaction
+    scan.  The digest covers all four result images — the chain scan and
+    the post-compaction scan must be byte-identical.
+    """
+    import numpy as np
+
+    from repro.common.records import default_schema
+    from repro.operators.selection import And, Compare
+    from repro.workloads.generator import make_rows
+
+    sim = Simulator()
+    node = FarviewNode(sim, _bench_config())
+    client = FarviewClient(node)
+    client.open_connection()
+    schema = default_schema()
+    nrows = table_kb * KB // schema.row_width
+    rows = make_rows(schema, nrows, seed=15)
+    rows["a"] = np.arange(nrows)
+    vt = client.create_versioned_table("T15", schema, rows)
+    query = Query(predicate=Compare("a", "<", nrows // 2), label="bench-15")
+    per_batch = nrows // 8
+    for b in range(4):
+        client.update_where(
+            vt, And(Compare("a", ">=", b * per_batch),
+                    Compare("a", "<", (b + 1) * per_batch)),
+            {"c": 9000 + b})
+    client.scan_versioned(vt, query)  # deploy (reconfiguration excluded)
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    chain_result, _ = client.scan_versioned(vt, query)
+
+    under_update = {}
+
+    def reader():
+        under_update["epoch"] = vt.epoch
+        result = yield from client.scan_versioned_proc(vt, query, vt.epoch)
+        under_update["result"] = result
+
+    def writer():
+        yield from client.update_where_proc(
+            vt, Compare("a", "<", nrows // 4), {"d": 777})
+
+    procs = [sim.process(reader()), sim.process(writer())]
+    sim.run()
+    assert all(p.triggered for p in procs)
+    replay, _ = client.scan_versioned(vt, query,
+                                      as_of=under_update["epoch"])
+    assert replay.data == under_update["result"].data, \
+        "scan under update diverged from its pinned epoch"
+    client.compact(vt)
+    compacted_result, _ = client.scan_versioned(vt, query)
+    wall = time.perf_counter() - t0
+    # The concurrent writer committed between the chain scan and the
+    # compaction, so the post-compaction scan reflects the newer epoch;
+    # the snapshot guarantee is chain scan == pinned-epoch replay.
+    assert chain_result.data == replay.data
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(chain_result.data, under_update["result"].data,
+                          replay.data, compacted_result.data),
+        "table_bytes": nrows * schema.row_width,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -333,6 +442,7 @@ FULL = {
     "fig12_multiclient": lambda: run_fig12_multiclient(1024),
     "fig13_scaleout": lambda: run_fig13_scaleout(1024, num_nodes=4),
     "fig14_pushdown": lambda: run_fig14_pushdown(1024),
+    "fig15_updates": lambda: run_fig15_updates(1024),
 }
 
 SMOKE = {
@@ -342,6 +452,7 @@ SMOKE = {
     "fig12_multiclient": lambda: run_fig12_multiclient(64),
     "fig13_scaleout": lambda: run_fig13_scaleout(64, num_nodes=2),
     "fig14_pushdown": lambda: run_fig14_pushdown(64),
+    "fig15_updates": lambda: run_fig15_updates(64),
 }
 
 
@@ -377,10 +488,85 @@ def run_suite(workloads, repeat: int, compare_baseline: bool = True) -> dict:
     return out
 
 
+def run_check(json_path: Path) -> int:
+    """CI gate: verify the guards *without* rewriting any baseline.
+
+    1. Re-runs every SMOKE workload and compares its (deterministic)
+       ``sim_ns`` and ``sha256`` against the pinned
+       ``SMOKE_BASELINE_*`` tables.
+    2. Cross-checks the committed ``BENCH_perf.json`` against
+       ``BASELINE_SIM_NS``: every workload present, every stored
+       ``sim_ns`` equal to its baseline, no stored
+       ``sim_ns_matches_baseline: false``.
+
+    Exits non-zero on any mismatch, so a PR cannot silently rewrite the
+    timing/byte-exactness baselines — an intentional change must edit
+    the pinned tables (and explain itself in CHANGES.md).
+    """
+    failures: list[str] = []
+
+    def rel_mismatch(got: float, ref: float) -> bool:
+        return abs(got - ref) > 1e-6 * max(abs(ref), 1.0)
+
+    for name, fn in SMOKE.items():
+        sample = fn()
+        ref_sim = SMOKE_BASELINE_SIM_NS.get(name)
+        ref_sha = SMOKE_BASELINE_SHA256.get(name)
+        sim_ok = ref_sim is not None and not rel_mismatch(sample["sim_ns"],
+                                                          ref_sim)
+        sha_ok = sample["sha256"] == ref_sha
+        print(f"{name:>20}: sim_ns {'ok' if sim_ok else 'MISMATCH'}  "
+              f"sha256 {'ok' if sha_ok else 'MISMATCH'}")
+        if ref_sim is None or ref_sha is None:
+            failures.append(f"{name}: no pinned smoke baseline")
+            continue
+        if not sim_ok:
+            failures.append(
+                f"{name}: smoke sim_ns {sample['sim_ns']!r} != pinned "
+                f"{ref_sim!r}")
+        if not sha_ok:
+            failures.append(
+                f"{name}: smoke sha256 {sample['sha256']} != pinned "
+                f"{ref_sha}")
+
+    if not json_path.exists():
+        failures.append(f"{json_path} is missing")
+    else:
+        workloads = json.loads(json_path.read_text()).get("workloads", {})
+        for name in FULL:
+            if name not in workloads:
+                failures.append(f"{json_path.name}: workload {name} missing")
+        for name, record in workloads.items():
+            ref = BASELINE_SIM_NS.get(name)
+            if ref is None:
+                failures.append(
+                    f"{json_path.name}: {name} has no BASELINE_SIM_NS entry")
+            elif rel_mismatch(record.get("sim_ns", float("nan")), ref):
+                failures.append(
+                    f"{json_path.name}: {name} sim_ns "
+                    f"{record.get('sim_ns')!r} != baseline {ref!r}")
+            if record.get("sim_ns_matches_baseline") is False:
+                failures.append(
+                    f"{json_path.name}: {name} recorded "
+                    f"sim_ns_matches_baseline=false")
+
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        return 1
+    print(f"check ok: {len(SMOKE)} smoke workloads + {json_path.name} "
+          f"match the pinned baselines")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes, one repetition, no JSON output")
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: verify smoke sim_ns/sha256 and the "
+                             "committed BENCH_perf.json against the pinned "
+                             "baselines; never writes anything")
     def positive_int(text: str) -> int:
         value = int(text)
         if value < 1:
@@ -395,6 +581,9 @@ def main() -> int:
                         / "BENCH_perf.json",
                         help="output path for the JSON report")
     args = parser.parse_args()
+
+    if args.check:
+        return run_check(args.json)
 
     workloads = SMOKE if args.smoke else FULL
     repeat = 1 if args.smoke else args.repeat

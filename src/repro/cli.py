@@ -31,6 +31,7 @@ from .experiments import (
     fig12_multiclient,
     fig13_scaleout,
     fig14_pushdown,
+    fig15_updates,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -65,6 +66,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
     "fig14": ("Figure 14 (extension): cost-based placement, offload vs "
               "ship-to-compute",
               lambda: _as_list(fig14_pushdown.run())),
+    "fig15": ("Figure 15 (extension): versioned write path, "
+              "scan-under-update and compaction",
+              lambda: _as_list(fig15_updates.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.
@@ -74,6 +78,7 @@ _PANELS = {
     "fig9a": "fig9", "fig9b": "fig9", "fig9c": "fig9",
     "fig11a": "fig11", "fig11b": "fig11",
     "fig14_w64": "fig14", "fig14_w256": "fig14", "fig14_w512": "fig14",
+    "fig15a": "fig15", "fig15b": "fig15",
 }
 
 
@@ -138,15 +143,23 @@ def cmd_sql(args: argparse.Namespace) -> int:
 
     from .common.records import default_schema
     from .common.units import to_us
-    from .experiments.common import make_bench, upload_table
+    from .experiments.common import make_bench
     from .workloads.generator import make_rows
 
     bench = make_bench()
     schema = default_schema()
     rows = make_rows(schema, args.rows)
     rows["c"] = np.arange(args.rows) % 16
-    upload_table(bench, args.table, schema, rows)
+    # A *versioned* demo table, so INSERT / UPDATE / DELETE statements
+    # work alongside SELECTs (each write commits a delta + epoch bump).
+    table = bench.client.create_versioned_table(args.table, schema, rows)
     result, elapsed = bench.client.sql(args.statement)
+    if isinstance(result, (int, np.integer)):
+        # A write statement: the result is the new committed epoch.
+        print(f"-- committed epoch {result} in {to_us(elapsed):.1f} us "
+              f"simulated ({table.num_rows} rows visible, "
+              f"{table.num_deltas} delta segment(s))")
+        return 0
     out = result.rows()
     # HybridQueryResult carries shipped_bytes; QueryResult has the report.
     shipped = (result.shipped_bytes if hasattr(result, "shipped_bytes")

@@ -41,8 +41,18 @@ from .query import (
     select_distinct,
     select_star,
 )
-from .sql import ParsedQuery, SqlSyntaxError, like_to_regex, parse_sql
+from .sql import (ParsedQuery, ParsedWrite, SqlSyntaxError, like_to_regex,
+                  parse_sql)
 from .table import FTable
+from .versioning import (
+    DeltaSegment,
+    VersionedShard,
+    VersionedShardedTable,
+    VersionedTable,
+    VersionView,
+    delta_schema,
+    rows_from_literals,
+)
 
 __all__ = [
     "ClusterClient",
@@ -83,8 +93,16 @@ __all__ = [
     "select_distinct",
     "select_star",
     "ParsedQuery",
+    "ParsedWrite",
     "SqlSyntaxError",
     "like_to_regex",
     "parse_sql",
     "FTable",
+    "DeltaSegment",
+    "VersionedShard",
+    "VersionedShardedTable",
+    "VersionedTable",
+    "VersionView",
+    "delta_schema",
+    "rows_from_literals",
 ]

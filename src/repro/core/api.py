@@ -61,11 +61,33 @@ chain, ship the reduced intermediate, finish with the software kernels of
 :mod:`repro.baselines.sw_ops` on the client.  Results are byte-identical
 across placements (:func:`canonical_result_bytes` normalizes the
 comparison) and carry an :class:`~repro.core.planner.ExplainPlan`.
+
+Tables created with ``create_versioned_table`` are **mutable** through
+the versioned write path (:mod:`repro.core.versioning`); the write verbs
+exist on both clients with the same shapes as the read verbs:
+
+====================================  =======================================
+Verb                                  Effect
+====================================  =======================================
+``create_versioned_table(n, s, r)``   base segment + version chain, epoch 0
+``insert(vt, rows)``                  append an insert delta, epoch + 1
+``update_where(vt, pred, sets)``      offloaded read-modify-write delta
+``delete_where(vt, pred)``            offloaded delete delta
+``snapshot(vt)``                      the current committed epoch
+``far_view(vt, q)`` / ``select`` /    snapshot scan pinned at the epoch it
+``sql`` / ``scan_versioned(as_of=e)`` starts under (delta-merge ingest)
+``compact(vt)``                       fold the chain into a fresh base
+``drop_table(t)``                     free a plain table or a whole chain
+====================================  =======================================
+
+Cluster writes commit through a two-phase epoch broadcast (prepare on
+every shard, then one atomic commit step), so cluster-wide snapshot
+reads merge sha256-identical to single-node execution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -78,7 +100,7 @@ from ..operators.aggregate import AggregateSpec
 from ..operators.crypto import AesCtr
 from ..operators.selection import Predicate
 from .catalog import Catalog
-from .cost_model import PlanStats
+from .cost_model import PlanStats, delta_merge_cost_ns
 from .planner import (ExplainPlan, PlacementPlan, plan_placement,
                       run_client_steps)
 from .cluster import (FarviewCluster, ScatterPlan, ShardedTable, TableShard,
@@ -90,6 +112,9 @@ from .partition import PartitionSpec, partition_indices
 from .pipeline_compiler import CompiledQuery, compile_query
 from .query import Query, RegexFilter
 from .table import FTable
+from .versioning import (ROWID_COLUMN, VersionedShard, VersionedShardedTable,
+                         VersionedTable, VersionView, delta_schema,
+                         require_versionable, rows_from_literals)
 
 
 @dataclass
@@ -271,6 +296,25 @@ def _execute_planned(sim, plan: PlacementPlan, query: Query,
     return result, elapsed
 
 
+def _dispatch_sql_write(client, table, parsed, required_type):
+    """Shared INSERT/UPDATE/DELETE dispatch for both clients.
+
+    ``required_type`` is the client's versioned-table class; anything
+    else in the catalog under that name cannot take writes.
+    """
+    if not isinstance(table, required_type):
+        raise QueryError(
+            f"table {parsed.table!r} is not versioned; write statements "
+            f"need a table created with create_versioned_table")
+    if parsed.kind == "insert":
+        rows = rows_from_literals(table.schema, parsed.values)
+        return client.insert(table, rows)
+    if parsed.kind == "update":
+        return client.update_where(table, parsed.predicate,
+                                   dict(parsed.assignments))
+    return client.delete_where(table, parsed.predicate)
+
+
 def canonical_result_bytes(result) -> bytes:
     """The placement-invariant byte image of any query result.
 
@@ -332,6 +376,25 @@ class FarviewClient:
         self.node.free_table_mem(self._require_conn(), table)
         self.catalog.deregister(table.name)
 
+    def drop_table(self, table: FTable | VersionedTable | str) -> None:
+        """Free a table's disaggregated memory and deregister it.
+
+        The single-node counterpart of :meth:`ClusterClient.drop_table`:
+        accepts a plain :class:`FTable`, a :class:`VersionedTable`
+        (every live, retired and delta segment is freed), or a catalog
+        name — no reaching into ``catalog.deregister`` or allocator
+        internals required.
+        """
+        if isinstance(table, str):
+            table = self.catalog.lookup(table)
+        if isinstance(table, VersionedTable):
+            conn = self._require_conn()
+            for segment in table.drain_segments():
+                self.node.free_table_mem(conn, segment)
+            self.catalog.deregister(table.name)
+            return
+        self.free_table_mem(table)
+
     # -- verbs as processes ----------------------------------------------------------
     def table_write_proc(self, table: FTable, rows: np.ndarray | bytes):
         """Process: upload ``rows`` (array or raw image) to the buffer pool."""
@@ -354,6 +417,9 @@ class FarviewClient:
 
     def far_view_proc(self, table: FTable, query: Query):
         """Process: the Farview verb; returns a :class:`QueryResult`."""
+        if isinstance(table, VersionedTable):
+            result = yield from self.scan_versioned_proc(table, query)
+            return result
         conn = self._require_conn()
         compiled = self._compile(table, query)
         conn.qp.buffer.reset()
@@ -401,8 +467,324 @@ class FarviewClient:
                          "table_read")
 
     def far_view(self, table: FTable, query: Query):
-        """Offloaded query; returns (QueryResult, elapsed_ns)."""
+        """Offloaded query; returns (QueryResult, elapsed_ns).
+
+        Accepts a :class:`VersionedTable` too: the scan then runs over
+        the MVCC view pinned at the current epoch (see
+        :meth:`scan_versioned`).
+        """
+        if isinstance(table, VersionedTable):
+            return self.scan_versioned(table, query)
         return self._run(self.far_view_proc(table, query), "far_view")
+
+    # -- versioned write path (MVCC snapshots + delta segments) -------------------------------
+    def create_versioned_table(self, name: str, schema: Schema,
+                               rows: np.ndarray) -> VersionedTable:
+        """Allocate + upload ``rows`` as the base segment of a version
+        chain; registers the :class:`VersionedTable` under ``name``.
+
+        Writes then go through :meth:`insert` / :meth:`update_where` /
+        :meth:`delete_where`, each committing a copy-on-write delta
+        segment and advancing the table's epoch.
+        """
+        require_versionable(schema)
+        if len(rows) == 0:
+            raise QueryError(
+                f"versioned table {name!r} needs a non-empty base segment")
+        if name in self.catalog:
+            from ..common.errors import CatalogError
+            raise CatalogError(f"table {name!r} already registered")
+        conn = self._require_conn()
+        base = FTable(f"{name}#b0", schema, len(rows))
+        self.node.alloc_table_mem(conn, base)
+        self.table_write(base, rows)
+        vt = VersionedTable(name, schema, base,
+                            np.arange(len(rows), dtype=np.uint64))
+        self.catalog.register(vt)
+        return vt
+
+    def snapshot(self, table: VersionedTable) -> int:
+        """The current committed epoch — pass to ``as_of`` for a
+        repeatable snapshot read."""
+        return table.epoch
+
+    # prepare/commit split: the cluster router prepares on every shard
+    # before committing any (two-phase epoch broadcast); the single-node
+    # verbs below are prepare + immediate commit.
+    def _prepare_insert_proc(self, vt: VersionedTable, rows: np.ndarray):
+        conn = self._require_conn()
+        rows = np.asarray(rows, dtype=vt.schema.dtype)
+        if len(rows) == 0:
+            return ("insert", None, 0, 0)
+        ids = vt.allocate_rowids(len(rows))
+        dschema = delta_schema(vt.schema)
+        drows = dschema.empty(len(rows))
+        drows[ROWID_COLUMN] = ids
+        for column in vt.schema.names:
+            drows[column] = rows[column]
+        segment = FTable(vt.next_segment_name(), dschema, len(rows))
+        self.node.alloc_table_mem(conn, segment)
+        yield from self.node.serve_write(conn, segment,
+                                         dschema.to_bytes(drows))
+        return ("insert", segment, len(rows), len(rows))
+
+    def _prepare_update_proc(self, vt: VersionedTable,
+                             predicate: Predicate | None,
+                             assignments: dict):
+        conn = self._require_conn()
+        token = vt.pin(vt.epoch)
+        try:
+            prepared = yield from self.node.serve_update_delta(
+                conn, vt.view_at(vt.epoch), predicate, assignments,
+                vt.next_segment_name())
+        finally:
+            self._release_pin(vt, token)
+        if prepared is None:
+            return ("update", None, 0, 0)
+        segment, rowids = prepared
+        return ("update", segment, len(rowids), 0)
+
+    def _prepare_delete_proc(self, vt: VersionedTable,
+                             predicate: Predicate | None):
+        conn = self._require_conn()
+        token = vt.pin(vt.epoch)
+        try:
+            prepared = yield from self.node.serve_delete_delta(
+                conn, vt.view_at(vt.epoch), predicate,
+                vt.next_segment_name())
+        finally:
+            self._release_pin(vt, token)
+        if prepared is None:
+            return ("delete", None, 0, 0)
+        segment, rowids = prepared
+        return ("delete", segment, len(rowids), -len(rowids))
+
+    @staticmethod
+    def _commit_prepared(vt: VersionedTable, prepared) -> int:
+        kind, segment, num_rows, visible_change = prepared
+        return vt.commit_delta(kind, segment, num_rows, visible_change)
+
+    def insert_proc(self, vt: VersionedTable, rows: np.ndarray):
+        """Process: append ``rows`` as an insert delta; returns the new
+        epoch."""
+        prepared = yield from self._prepare_insert_proc(vt, rows)
+        return self._commit_prepared(vt, prepared)
+
+    def update_where_proc(self, vt: VersionedTable,
+                          predicate: Predicate | None, assignments: dict):
+        """Process: offloaded read-modify-write.  The node evaluates
+        ``predicate`` over the visible rows and writes an update delta
+        with the ``column -> literal`` assignments applied; no table
+        bytes cross the wire.  Returns the new epoch."""
+        prepared = yield from self._prepare_update_proc(vt, predicate,
+                                                        assignments)
+        return self._commit_prepared(vt, prepared)
+
+    def delete_where_proc(self, vt: VersionedTable,
+                          predicate: Predicate | None):
+        """Process: offloaded predicate delete; returns the new epoch."""
+        prepared = yield from self._prepare_delete_proc(vt, predicate)
+        return self._commit_prepared(vt, prepared)
+
+    def compact_proc(self, vt: VersionedTable):
+        """Process: fold the delta chain into a fresh base segment.
+
+        A background maintenance pass: contents and epoch are unchanged,
+        but subsequent scans ingest one segment instead of base + K
+        deltas.  Superseded segments are freed immediately unless an
+        in-flight pinned scan still reads them — then they are retired
+        and freed when the last such scan ends.  Returns the epoch.
+        """
+        conn = self._require_conn()
+        token = vt.pin(vt.epoch)
+        try:
+            new_base, ids = yield from self.node.serve_compact(
+                conn, vt.view_at(vt.epoch),
+                f"{vt.name}#b{vt.compactions + 1}")
+        finally:
+            self._release_pin(vt, token)
+        for segment in vt.retire_for_compaction(new_base, ids):
+            self.node.free_table_mem(conn, segment)
+        return vt.epoch
+
+    def _release_pin(self, vt: VersionedTable, token: int) -> None:
+        conn = self._require_conn()
+        for segment in vt.unpin(token):
+            self.node.free_table_mem(conn, segment)
+
+    def scan_versioned_proc(self, vt: VersionedTable, query: Query,
+                            as_of: int | None = None):
+        """Process: offloaded scan over the snapshot pinned at start.
+
+        The epoch is resolved and pinned before any simulated time
+        passes, so writers committing — and compactions retiring
+        segments — mid-scan cannot change the bytes this scan returns.
+        """
+        conn = self._require_conn()
+        epoch = vt.epoch if as_of is None else as_of
+        token = vt.pin(epoch)
+        try:
+            view = vt.view_at(epoch)
+            compiled = compile_query(self._versioned_query(query),
+                                     view.base, self.node.config)
+            conn.qp.buffer.reset()
+            start = self.sim.now
+            report = yield from self.node.serve_farview_versioned(
+                conn, view, compiled)
+            self._attach_group_meta(compiled, report)
+            data = conn.qp.buffer.read(0, report.bytes_shipped)
+            return QueryResult(
+                data=data, schema=compiled.output_schema, report=report,
+                response_time_ns=self.sim.now - start,
+                output_key=query.encrypt_output)
+        finally:
+            self._release_pin(vt, token)
+
+    @staticmethod
+    def _versioned_query(query: Query) -> Query:
+        """Delta-merge ingest needs the full row stream (like joins), so
+        smart addressing is not applicable to versioned scans."""
+        if query.smart_addressing:
+            raise QueryError(
+                "smart addressing is incompatible with versioned scans: "
+                "the delta-merge ingest consumes the full row stream")
+        if query.smart_addressing is None:
+            return replace(query, smart_addressing=False)
+        return query
+
+    def read_version_proc(self, vt: VersionedTable, as_of: int | None = None):
+        """Process: raw RDMA reads of every segment + client-side merge.
+
+        Returns ``(visible_rows, rowids, bytes_shipped)`` — the ship-side
+        building block of versioned placement, and the oracle the
+        snapshot-isolation tests re-execute."""
+        epoch = vt.epoch if as_of is None else as_of
+        token = vt.pin(epoch)
+        try:
+            view = vt.view_at(epoch)
+            images: dict[str, bytes] = {}
+            shipped = 0
+            for segment in view.segment_tables:
+                data = yield from self.table_read_proc(segment)
+                images[segment.name] = data
+                shipped += len(data)
+            rows, ids = view.materialize(lambda t: images[t.name])
+            return rows, ids, shipped
+        finally:
+            self._release_pin(vt, token)
+
+    # -- versioned blocking conveniences ------------------------------------------------------
+    def insert(self, vt: VersionedTable, rows: np.ndarray):
+        """Append rows; returns (new_epoch, elapsed_ns)."""
+        return self._run(self.insert_proc(vt, rows), "insert")
+
+    def update_where(self, vt: VersionedTable,
+                     predicate: Predicate | None, assignments: dict):
+        """Offloaded UPDATE ... SET ... WHERE; returns
+        (new_epoch, elapsed_ns)."""
+        return self._run(self.update_where_proc(vt, predicate, assignments),
+                         "update_where")
+
+    def delete_where(self, vt: VersionedTable,
+                     predicate: Predicate | None):
+        """Offloaded DELETE ... WHERE; returns (new_epoch, elapsed_ns)."""
+        return self._run(self.delete_where_proc(vt, predicate),
+                         "delete_where")
+
+    def compact(self, vt: VersionedTable):
+        """Fold the delta chain; returns (epoch, elapsed_ns)."""
+        return self._run(self.compact_proc(vt), "compact")
+
+    def read_version(self, vt: VersionedTable, as_of: int | None = None):
+        """Visible byte image at an epoch; returns (bytes, elapsed_ns)."""
+        (rows, _ids, _shipped), elapsed = self._run(
+            self.read_version_proc(vt, as_of), "read_version")
+        return vt.schema.to_bytes(rows), elapsed
+
+    def scan_versioned(self, vt: VersionedTable, query: Query,
+                       as_of: int | None = None, placement: str = "offload",
+                       stats: PlanStats | None = None,
+                       lease_manager=None):
+        """Snapshot scan, optionally under cost-based placement.
+
+        ``placement="offload"`` runs the delta-merge ingest on the node
+        (the default, a plain :class:`QueryResult`); ``"ship"`` reads the
+        raw segments and merges + executes client-side; ``"auto"`` picks
+        the cheapest prefix split with delta-aware costing (the
+        ship/offload crossover shifts with the delta fraction).
+        Returns ``(result, elapsed_ns)``.
+        """
+        epoch = vt.epoch if as_of is None else as_of
+        if placement == "offload":
+            return self._run(self.scan_versioned_proc(vt, query, epoch),
+                             "scan_versioned")
+        plan = self.plan_versioned(vt, query, epoch, placement, stats,
+                                   lease_manager)
+        if plan.full_offload:
+            result, elapsed = self._run(
+                self.scan_versioned_proc(vt, query, epoch), "scan_versioned")
+            plan.explain.actual_ns = elapsed
+            result.explain = plan.explain
+            return result, elapsed
+        return self._scan_versioned_planned(vt, query, epoch, plan)
+
+    def plan_versioned(self, vt: VersionedTable, query: Query,
+                       epoch: int | None = None, placement: str = "auto",
+                       stats: PlanStats | None = None,
+                       lease_manager=None) -> PlacementPlan:
+        """Plan a versioned scan: base + K delta segments on the ingest
+        side, raw segment reads + software merge on the ship side."""
+        epoch = vt.epoch if epoch is None else epoch
+        view = vt.view_at(epoch)
+        region = self._require_conn().region
+        return plan_placement(
+            self._versioned_query(query), view.base, self.node.config,
+            placement=placement, stats=stats, cpu=self._cpu,
+            loaded_signature=region.loaded_pipeline,
+            lease_manager=lease_manager,
+            total_rows=vt.visible_rows_at(epoch),
+            buffer_capacity=self._buffer_capacity,
+            scan_bytes=float(view.scan_bytes),
+            delta_rows=float(view.delta_rows))
+
+    def _scan_versioned_planned(self, vt: VersionedTable, query: Query,
+                                epoch: int, plan: PlacementPlan):
+        """Ship/hybrid execution of a versioned scan (cf.
+        :func:`_execute_planned`, plus the client-side delta merge)."""
+        sim, cpu = self.sim, self._cpu
+        view = vt.view_at(epoch)
+        start = sim.now
+        cost = CostBreakdown()
+        cost.add("setup", cpu.setup_ns())
+        if plan.fragment is None:
+            rows, _ids, shipped = sim.run_process(
+                self.read_version_proc(vt, epoch), "read_version")
+            cost.add("read", cpu.read_ns(shipped))
+            cost.add("merge", delta_merge_cost_ns(
+                cpu, vt.visible_rows_at(epoch), view.delta_rows))
+            current = vt.schema
+            fragment_result = None
+        else:
+            fragment_result, _ = self._run(
+                self.scan_versioned_proc(vt, plan.fragment, epoch),
+                "scan_versioned")
+            rows = fragment_result.rows()
+            current = fragment_result.schema
+            shipped = fragment_result.report.bytes_shipped
+            cost.add("read", cpu.read_ns(shipped))
+        rows, current = run_client_steps(rows, current,
+                                         list(plan.client_steps), query,
+                                         cpu, cost)
+        cost.add("write", cpu.write_ns(len(rows) * current.row_width))
+        sim.run_process(_client_compute(sim, cost.total_ns),
+                        "client-compute")
+        elapsed = sim.now - start
+        plan.explain.actual_ns = elapsed
+        result = HybridQueryResult(
+            schema=current, merged=rows, response_time_ns=elapsed,
+            explain=plan.explain, fragment_result=fragment_result,
+            client_cost=cost, shipped_bytes=shipped)
+        return result, elapsed
 
     # -- cost-based placement (offload vs ship-to-compute) -----------------------------------
     def plan(self, table: FTable, query: Query, placement: str = "auto",
@@ -438,6 +820,10 @@ class FarviewClient:
         :class:`~repro.core.planner.ExplainPlan` with estimated and
         actual response times.  Returns ``(result, elapsed_ns)``.
         """
+        if isinstance(table, VersionedTable):
+            return self.scan_versioned(table, query, placement=placement,
+                                       stats=stats,
+                                       lease_manager=lease_manager)
         plan = self.plan(table, query, placement, stats, lease_manager)
         if plan.full_offload:
             result, elapsed = self.far_view(table, query)
@@ -490,19 +876,28 @@ class FarviewClient:
             stats: PlanStats | None = None):
         """Parse and execute a SQL statement against the catalog.
 
-        The FROM table must have been registered via
-        :meth:`alloc_table_mem`.  Placement precedence: the ``placement``
-        argument, then a ``/*+ placement(...) */`` hint in the statement,
-        then full offload.  Returns ``(result, elapsed_ns)``.
+        SELECTs run against any registered table (versioned scans pin
+        the current epoch); ``INSERT INTO ... VALUES``, ``UPDATE ... SET
+        ... WHERE`` and ``DELETE FROM ... WHERE`` commit write batches
+        against a versioned table and return ``(new_epoch, elapsed_ns)``.
+        Placement precedence for reads: the ``placement`` argument, then
+        a ``/*+ placement(...) */`` hint, then full offload.  Returns
+        ``(result, elapsed_ns)``.
         """
-        from .sql import parse_sql
+        from .sql import ParsedWrite, parse_sql
 
         parsed = parse_sql(statement)
         table = self.catalog.lookup(parsed.table)
+        if isinstance(parsed, ParsedWrite):
+            return self._execute_write(table, parsed)
         placement = placement or parsed.placement or "offload"
         if placement == "offload":
             return self.far_view(table, parsed.query)
         return self.far_view_planned(table, parsed.query, placement, stats)
+
+    def _execute_write(self, table, parsed):
+        """Dispatch a parsed INSERT/UPDATE/DELETE to the write verbs."""
+        return _dispatch_sql_write(self, table, parsed, VersionedTable)
 
 
 @dataclass
@@ -650,11 +1045,210 @@ class ClusterClient:
             raise
         return sharded
 
-    def drop_table(self, sharded: ShardedTable) -> None:
-        """Free every shard's disaggregated memory and deregister."""
+    def drop_table(self,
+                   sharded: ShardedTable | VersionedShardedTable) -> None:
+        """Free every shard's disaggregated memory and deregister.
+
+        Reuses the single-node :meth:`FarviewClient.drop_table` per
+        shard, so plain and versioned shard tables (whole chains) are
+        handled uniformly.
+        """
         for shard in sharded.shards:
-            self._clients[shard.node_index].free_table_mem(shard.table)
+            self._clients[shard.node_index].drop_table(shard.table)
         self.catalog.deregister(sharded.name)
+
+    # -- versioned write path (two-phase epoch broadcast) --------------------
+    def create_versioned_table(self, name: str, schema: Schema,
+                               rows: np.ndarray,
+                               partition: PartitionSpec | None = None
+                               ) -> VersionedShardedTable:
+        """Chunk-partition ``rows`` into per-node version chains.
+
+        Only order-preserving ``chunk`` partitioning is supported (the
+        global visible row order is shard-concatenation order, which is
+        what keeps scatter-gather merges byte-identical to single-node
+        execution); inserts append to the last shard for the same
+        reason.
+        """
+        spec = partition if partition is not None else PartitionSpec()
+        if not spec.order_preserving:
+            raise QueryError(
+                f"versioned cluster tables require 'chunk' partitioning, "
+                f"got {spec.scheme!r}")
+        if len(rows) == 0:
+            raise QueryError(
+                f"cannot shard empty versioned table {name!r}")
+        if name in self.catalog:
+            from ..common.errors import CatalogError
+            raise CatalogError(f"table {name!r} already registered")
+        indices = partition_indices(rows, schema, spec,
+                                    self.cluster.num_nodes)
+        shards: list[VersionedShard] = []
+        try:
+            for node_index, idx in enumerate(indices):
+                if len(idx) == 0:
+                    continue
+                vt = self._clients[node_index].create_versioned_table(
+                    f"{name}@{node_index}", schema, rows[idx])
+                shards.append(VersionedShard(node_index, vt))
+            sharded = VersionedShardedTable(name, schema, spec, shards)
+            self.catalog.register(sharded)
+        except Exception:
+            for shard in shards:
+                self._clients[shard.node_index].drop_table(shard.table)
+            raise
+        return sharded
+
+    def snapshot(self, sharded: VersionedShardedTable) -> int:
+        """The cluster-wide committed epoch (every shard agrees on it)."""
+        sharded.check_epochs()
+        return sharded.epoch
+
+    def _commit_all(self, sharded: VersionedShardedTable,
+                    prepared_by_shard: list) -> int:
+        """Phase 2 of the epoch broadcast: commit every shard's prepared
+        batch (no-op bumps included) and advance the cluster epoch.
+
+        Contains no simulation yields, so between phase 1 and this call
+        every reader still snapshots the old epoch on *all* shards, and
+        after it every reader sees the new epoch on all shards — there
+        is no interleaving in which a scatter-gather scan observes a
+        half-committed write.
+        """
+        for shard, prepared in zip(sharded.shards, prepared_by_shard):
+            kind, segment, num_rows, visible_change = prepared
+            shard.table.commit_delta(kind, segment, num_rows,
+                                     visible_change)
+        sharded.epoch += 1
+        sharded.check_epochs()
+        return sharded.epoch
+
+    def insert_proc(self, sharded: VersionedShardedTable, rows: np.ndarray):
+        """Process: append ``rows`` cluster-wide (tail shard), two-phase."""
+        rows = np.asarray(rows, dtype=sharded.schema.dtype)
+        last = sharded.last_shard
+        prepared = yield from self._clients[last.node_index] \
+            ._prepare_insert_proc(last.table, rows)
+        by_shard = [prepared if shard is last else ("insert", None, 0, 0)
+                    for shard in sharded.shards]
+        return self._commit_all(sharded, by_shard)
+
+    def update_where_proc(self, sharded: VersionedShardedTable,
+                          predicate: Predicate | None, assignments: dict):
+        """Process: scatter the offloaded read-modify-write, then commit
+        every shard's epoch at once (two-phase broadcast)."""
+        procs = [
+            self.sim.process(
+                self._clients[s.node_index]._prepare_update_proc(
+                    s.table, predicate, assignments),
+                name=f"cluster.update[{s.table.name}]")
+            for s in sharded.shards]
+        prepared = yield self.sim.all_of(procs)
+        return self._commit_all(sharded, list(prepared))
+
+    def delete_where_proc(self, sharded: VersionedShardedTable,
+                          predicate: Predicate | None):
+        """Process: scatter the offloaded delete, then commit all shards."""
+        procs = [
+            self.sim.process(
+                self._clients[s.node_index]._prepare_delete_proc(
+                    s.table, predicate),
+                name=f"cluster.delete[{s.table.name}]")
+            for s in sharded.shards]
+        prepared = yield self.sim.all_of(procs)
+        return self._commit_all(sharded, list(prepared))
+
+    def compact_proc(self, sharded: VersionedShardedTable):
+        """Process: fold every shard's delta chain (epoch unchanged)."""
+        procs = [
+            self.sim.process(
+                self._clients[s.node_index].compact_proc(s.table),
+                name=f"cluster.compact[{s.table.name}]")
+            for s in sharded.shards
+            if s.table.num_deltas > 0 and s.table.num_rows > 0]
+        if procs:
+            yield self.sim.all_of(procs)
+        return sharded.epoch
+
+    def scan_versioned_proc(self, sharded: VersionedShardedTable,
+                            query: Query, as_of: int | None = None):
+        """Process: scatter-gather snapshot scan.
+
+        The cluster epoch is resolved once up front and every shard scan
+        pins it locally (shard epochs always equal the cluster epoch),
+        so the merged result is a consistent cluster-wide snapshot even
+        with writers committing mid-scatter.
+        """
+        epoch = sharded.epoch if as_of is None else as_of
+        plan = plan_scatter(query)
+        start = self.sim.now
+        procs = [
+            self.sim.process(
+                self._clients[s.node_index].scan_versioned_proc(
+                    s.table, plan.shard_query, epoch),
+                name=f"cluster.vscan[{s.table.name}]")
+            for s in sharded.shards]
+        shard_results = yield self.sim.all_of(procs)
+        return self._gather(sharded, query, plan, list(shard_results),
+                            self.sim.now - start)
+
+    def read_version_proc(self, sharded: VersionedShardedTable,
+                          as_of: int | None = None):
+        """Process: raw scatter reads + per-shard merges, shard order."""
+        epoch = sharded.epoch if as_of is None else as_of
+        procs = [
+            self.sim.process(
+                self._clients[s.node_index].read_version_proc(s.table,
+                                                              epoch),
+                name=f"cluster.vread[{s.table.name}]")
+            for s in sharded.shards]
+        parts = yield self.sim.all_of(procs)
+        merged = np.concatenate([rows for rows, _ids, _n in parts])
+        return merged
+
+    # -- versioned blocking conveniences --------------------------------------
+    def insert(self, sharded: VersionedShardedTable, rows: np.ndarray):
+        """Append rows cluster-wide; returns (new_epoch, elapsed_ns)."""
+        return self._run_timed(self.insert_proc(sharded, rows),
+                               "cluster.insert")
+
+    def update_where(self, sharded: VersionedShardedTable,
+                     predicate: Predicate | None, assignments: dict):
+        """Cluster-wide UPDATE; returns (new_epoch, elapsed_ns)."""
+        return self._run_timed(
+            self.update_where_proc(sharded, predicate, assignments),
+            "cluster.update_where")
+
+    def delete_where(self, sharded: VersionedShardedTable,
+                     predicate: Predicate | None):
+        """Cluster-wide DELETE; returns (new_epoch, elapsed_ns)."""
+        return self._run_timed(self.delete_where_proc(sharded, predicate),
+                               "cluster.delete_where")
+
+    def compact(self, sharded: VersionedShardedTable):
+        """Compact every shard; returns (epoch, elapsed_ns)."""
+        return self._run_timed(self.compact_proc(sharded),
+                               "cluster.compact")
+
+    def scan_versioned(self, sharded: VersionedShardedTable, query: Query,
+                       as_of: int | None = None):
+        """Scatter-gather snapshot scan; returns
+        (ClusterQueryResult, elapsed_ns)."""
+        return self._run_timed(
+            self.scan_versioned_proc(sharded, query, as_of),
+            "cluster.scan_versioned")
+
+    def read_version(self, sharded: VersionedShardedTable,
+                     as_of: int | None = None):
+        """Cluster-wide visible byte image; returns (bytes, elapsed_ns)."""
+        merged, elapsed = self._run_timed(
+            self.read_version_proc(sharded, as_of), "cluster.read_version")
+        return sharded.schema.to_bytes(merged), elapsed
+
+    def _run_timed(self, proc, name: str):
+        start = self.sim.now
+        result = self.sim.run_process(proc, name)
+        return result, self.sim.now - start
 
     # -- verbs as processes --------------------------------------------------
     def table_read_proc(self, sharded: ShardedTable):
@@ -673,6 +1267,9 @@ class ClusterClient:
 
     def far_view_proc(self, sharded: ShardedTable, query: Query):
         """Process: scatter the shard fragment, gather + merge results."""
+        if isinstance(sharded, VersionedShardedTable):
+            result = yield from self.scan_versioned_proc(sharded, query)
+            return result
         plan = plan_scatter(query)
         start = self.sim.now
         procs = [
@@ -768,6 +1365,13 @@ class ClusterClient:
         order-preserving ``chunk`` partitioning (the same contract as
         :meth:`table_read`).  Returns ``(result, elapsed_ns)``.
         """
+        if isinstance(sharded, VersionedShardedTable):
+            if placement not in ("offload", "auto"):
+                raise QueryError(
+                    "versioned cluster scans run offloaded only (per-"
+                    "shard ship/hybrid placement is a single-node "
+                    "feature); use placement='offload'")
+            return self.far_view(sharded, query)
         plan = self.plan(sharded, query, placement, stats, lease_manager)
         cpu = self._clients[sharded.shards[0].node_index]._cpu
         if plan.full_offload:
@@ -818,13 +1422,18 @@ class ClusterClient:
 
         The FROM table must have been created via :meth:`create_table`.
         Placement precedence matches the single-node client: argument,
-        then ``/*+ placement(...) */`` hint, then full offload.
+        then ``/*+ placement(...) */`` hint, then full offload.  Write
+        statements (INSERT / UPDATE / DELETE) commit through the
+        two-phase epoch broadcast and return ``(new_epoch, elapsed_ns)``.
         Returns ``(result, elapsed_ns)``.
         """
-        from .sql import parse_sql
+        from .sql import ParsedWrite, parse_sql
 
         parsed = parse_sql(statement)
         sharded = self.catalog.lookup(parsed.table)
+        if isinstance(parsed, ParsedWrite):
+            return _dispatch_sql_write(self, sharded, parsed,
+                                       VersionedShardedTable)
         placement = placement or parsed.placement or "offload"
         if placement == "offload":
             return self.far_view(sharded, parsed.query)

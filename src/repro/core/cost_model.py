@@ -121,6 +121,24 @@ def estimate_chain(chain: Sequence[str], query, schema: Schema,
     return steps
 
 
+def delta_merge_cost_ns(cpu: CpuCostModel, base_rows: float,
+                        delta_rows: float) -> float:
+    """Client-side software cost of merging a version chain.
+
+    Shipping a versioned table raw means shipping base + delta segments
+    and reconstructing the visible rows on the compute node: build a
+    row-id hash over the delta rows, then probe it once per base row.
+    Priced with the same LCPU terms as the other software kernels, and
+    charged identically by the planner (estimate) and the ship execution
+    path (actual), so explain accuracy is preserved.
+    """
+    if delta_rows <= 0:
+        return 0.0
+    growing = delta_rows > HASHMAP_GROWTH_THRESHOLD
+    return (cpu.hash_ns(int(delta_rows), growing=growing)
+            + cpu.select_ns(int(base_rows)))
+
+
 class PlacementCostModel:
     """Prices offloaded fragments and client-side remainders, ns."""
 

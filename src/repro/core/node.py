@@ -22,6 +22,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..common import calibration as cal
 from ..common.config import FarviewConfig
 from ..common.errors import ConnectionError_, OperatorError
@@ -36,6 +38,8 @@ from ..sim.engine import Simulator
 from ..sim.resources import BandwidthPipe, Store
 from .pipeline_compiler import CompiledQuery
 from .table import FTable
+from .versioning import (ROWID_COLUMN, VersionView, delete_schema,
+                         delta_schema, encode_value)
 
 #: Default client receive-buffer capacity (results of one query).
 DEFAULT_CLIENT_BUFFER = 8 * 1024 * 1024
@@ -324,6 +328,191 @@ class FarviewNode:
             if piece:
                 yield from sender.send(piece)
             out_cursor = out_end
+
+    # -- versioned verbs (delta-aware scans and offloaded writes) ---------------------------
+    def serve_farview_versioned(self, conn: Connection, view: VersionView,
+                                compiled: CompiledQuery):
+        """Process: run the pipeline over the MVCC view's *visible* rows.
+
+        Delta-aware merge ingest: the delta segments are prefetched into
+        the merge unit first (timed DRAM reads, like the join build
+        side), then the base segment streams through the ingest pipe
+        while the merge unit substitutes updated row images, drops
+        deleted rows and appends inserts at line rate — the pipeline
+        downstream sees exactly the rows visible at ``view.epoch``.
+        ``bytes_scanned`` therefore covers base + every delta segment.
+        """
+        conn.require_open()
+        base_vaddr = view.base.require_allocated()
+        report = ExecutionReport(signature=compiled.signature,
+                                 ingest_mode=compiled.ingest_mode)
+
+        yield from deliver_request(self.sim, self.link, conn.qp)
+        yield from self._request_front_end()
+
+        if conn.region.loaded_pipeline != compiled.signature:
+            report.reconfigured = True
+            yield self.sim.process(
+                conn.region.load_pipeline(compiled.signature))
+            self.resources.deploy(conn.region.index,
+                                  compiled.resource_operators)
+
+        stack = self.config.operator_stack
+        yield self.sim.timeout(
+            compiled.pipeline.fill_latency_cycles * stack.cycle_ns)
+
+        # Prefetch the delta chain into the merge unit (timed reads).
+        images: dict[str, bytes] = {}
+        for delta in view.deltas:
+            seg = delta.table
+            data = yield self.mmu.read(conn.domain, seg.require_allocated(),
+                                       seg.size_bytes)
+            images[seg.name] = data
+            report.bytes_scanned += seg.size_bytes
+
+        # Functional merge: the visible row image at the pinned epoch.
+        base_len = view.base.size_bytes
+        images[view.base.name] = self.mmu.peek(conn.domain, base_vaddr,
+                                               base_len)
+        rows, _ids = view.materialize(lambda t: images[t.name])
+        visible_image = view.schema.to_bytes(rows)
+        visible_len = len(visible_image)
+
+        streamer = ResponseStreamer(self.sim, self.link, conn.qp,
+                                    self.config.network)
+        sender = Sender(streamer)
+        ingest = BandwidthPipe(self.sim, compiled.ingest_rate,
+                               name=f"region{conn.region.index}.ingest")
+        progress = {"streamed": 0, "fed": 0}
+
+        def sink(chunk: bytes):
+            # Base bytes pace the ingest; the merge unit emits the
+            # corresponding share of the visible stream at line rate.
+            yield ingest.transfer(len(chunk))
+            report.bytes_scanned += len(chunk)
+            progress["streamed"] += len(chunk)
+            end = visible_len * progress["streamed"] // base_len
+            piece = compiled.pipeline.process_chunk(
+                visible_image[progress["fed"]:end])
+            progress["fed"] = end
+            if piece:
+                yield from sender.send(piece)
+
+        yield from self._stream_memory(conn, base_vaddr, base_len, sink)
+        assert progress["fed"] == visible_len
+
+        tail = compiled.pipeline.flush()
+        flush_ns = compiled.pipeline.flush_cycles() * stack.cycle_ns
+        if flush_ns > 0:
+            yield self.sim.timeout(flush_ns)
+        if tail:
+            yield from sender.send(tail)
+        total = yield from sender.finish()
+
+        self._collect_overflow(compiled, report)
+        report.bytes_shipped = total
+        row_ops = compiled.pipeline.row_ops
+        report.rows_in = row_ops[0].rows_in if row_ops else len(rows)
+        report.rows_out = row_ops[-1].rows_out if row_ops else len(rows)
+        self.queries_served += 1
+        return report
+
+    def _read_view_images(self, conn: Connection, view: VersionView,
+                          report: ExecutionReport | None = None):
+        """Process: timed DRAM reads of every segment of ``view``."""
+        images: dict[str, bytes] = {}
+        for seg in view.segment_tables:
+            data = yield self.mmu.read(conn.domain, seg.require_allocated(),
+                                       seg.size_bytes)
+            images[seg.name] = data
+            if report is not None:
+                report.bytes_scanned += seg.size_bytes
+        return images
+
+    def serve_update_delta(self, conn: Connection, view: VersionView,
+                           predicate, assignments: dict,
+                           segment_name: str):
+        """Process: offloaded read-modify-write (prepare phase).
+
+        The node scans the version chain locally (timed DRAM reads — no
+        network egress of table bytes: the computation was shipped, not
+        the data), evaluates ``predicate`` over the visible rows, applies
+        the ``column -> literal`` assignments to the matches, and writes
+        the resulting update-delta image into freshly allocated pool
+        memory.  Returns ``(segment_table, matched_rowids)`` or ``None``
+        when nothing matched (the commit is then a pure epoch bump).
+        """
+        conn.require_open()
+        schema = view.schema
+        coerced = {name: encode_value(schema.column(name), value)
+                   for name, value in assignments.items()}
+        if not coerced:
+            raise OperatorError("update needs at least one SET assignment")
+        images = yield from self._read_view_images(conn, view)
+        rows, ids = view.materialize(lambda t: images[t.name])
+        mask = (predicate.evaluate(rows) if predicate is not None
+                else np.ones(len(rows), dtype=bool))
+        if not mask.any():
+            return None
+        matched = rows[mask].copy()
+        for name, value in coerced.items():
+            matched[name] = value
+        dschema = delta_schema(schema)
+        drows = dschema.empty(len(matched))
+        drows[ROWID_COLUMN] = ids[mask]
+        for name in schema.names:
+            drows[name] = matched[name]
+        segment = FTable(segment_name, dschema, len(matched))
+        self.alloc_table_mem(conn, segment)
+        yield self.mmu.write(conn.domain, segment.vaddr,
+                             dschema.to_bytes(drows))
+        return segment, ids[mask]
+
+    def serve_delete_delta(self, conn: Connection, view: VersionView,
+                           predicate, segment_name: str):
+        """Process: offloaded predicate delete (prepare phase).
+
+        Same node-local scan as :meth:`serve_update_delta`; the delta
+        image carries only the matched row ids.
+        """
+        conn.require_open()
+        images = yield from self._read_view_images(conn, view)
+        rows, ids = view.materialize(lambda t: images[t.name])
+        mask = (predicate.evaluate(rows) if predicate is not None
+                else np.ones(len(rows), dtype=bool))
+        if not mask.any():
+            return None
+        dschema = delete_schema()
+        drows = dschema.empty(int(mask.sum()))
+        drows[ROWID_COLUMN] = ids[mask]
+        segment = FTable(segment_name, dschema, len(drows))
+        self.alloc_table_mem(conn, segment)
+        yield self.mmu.write(conn.domain, segment.vaddr,
+                             dschema.to_bytes(drows))
+        return segment, ids[mask]
+
+    def serve_compact(self, conn: Connection, view: VersionView,
+                      base_name: str):
+        """Process: fold the chain into a fresh base segment.
+
+        Node-local background pass: timed reads of base + deltas, one
+        timed write of the visible image.  Old segments are *not* freed
+        here — the client retires them through the pin barrier so
+        concurrent pinned scans keep their snapshot.
+        """
+        conn.require_open()
+        images = yield from self._read_view_images(conn, view)
+        rows, ids = view.materialize(lambda t: images[t.name])
+        if len(rows) == 0:
+            raise OperatorError(
+                f"cannot compact {view.name!r}: no visible rows at epoch "
+                f"{view.epoch} (a zero-byte base segment cannot be "
+                f"allocated)")
+        new_base = FTable(base_name, view.schema, len(rows))
+        self.alloc_table_mem(conn, new_base)
+        yield self.mmu.write(conn.domain, new_base.vaddr,
+                             view.schema.to_bytes(rows))
+        return new_base, ids
 
     @staticmethod
     def _collect_overflow(compiled: CompiledQuery,

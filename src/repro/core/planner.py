@@ -52,7 +52,8 @@ from ..common.config import FarviewConfig
 from ..common.errors import QueryError
 from ..common.records import Schema
 from .cluster import aggregate_output_schema, group_output_schema
-from .cost_model import CardinalityStep, PlacementCostModel, PlanStats, estimate_chain
+from .cost_model import (CardinalityStep, PlacementCostModel, PlanStats,
+                         delta_merge_cost_ns, estimate_chain)
 from .pipeline_compiler import compile_query
 from .query import Query
 from .table import FTable
@@ -203,7 +204,9 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                    lease_manager=None,
                    shards: int = 1,
                    total_rows: int | None = None,
-                   buffer_capacity: int | None = None) -> PlacementPlan:
+                   buffer_capacity: int | None = None,
+                   scan_bytes: float | None = None,
+                   delta_rows: float = 0.0) -> PlacementPlan:
     """Choose where each operator of ``query`` runs.
 
     ``table`` provides the schema and (for fragments) the compile
@@ -220,6 +223,13 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
     land.  Full offload is never pruned (its result-must-fit behaviour
     is the legacy contract).  An *explicit* ``placement="ship"`` that
     cannot fit raises instead of crashing mid-read.
+
+    Versioned tables pass ``scan_bytes`` (base + K delta segments — what
+    the node's delta-merge ingest must stream, and what a ship raw read
+    must transfer) and ``delta_rows``; the ship side is additionally
+    charged the client-side software merge
+    (:func:`~repro.core.cost_model.delta_merge_cost_ns`), so the
+    ship/offload crossover shifts with the delta fraction.
     """
     if placement not in PLACEMENTS:
         raise QueryError(
@@ -241,6 +251,7 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
     schema = table.schema
     nrows = total_rows if total_rows is not None else table.num_rows
     bytes_in = nrows * schema.row_width
+    scan_total = float(scan_bytes) if scan_bytes is not None else float(bytes_in)
     steps = estimate_chain(chain, query, schema, nrows, stats)
 
     pinned = _requires_full_offload(query)
@@ -265,9 +276,9 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
         else:
             fragment = build_fragment(query, chain, k)
         if fragment is None:
-            node_ns = cost_model.ship_bytes_ns(bytes_in, shards)
+            node_ns = cost_model.ship_bytes_ns(scan_total, shards)
             cold = False
-            inter_schema, inter_bytes = schema, float(bytes_in)
+            inter_schema, inter_bytes = schema, scan_total
         else:
             compiled = compile_query(fragment, table, config)
             if k == 0:
@@ -282,7 +293,7 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                             if k > 0 and chain[k - 1] == "groupby" else 0.0)
             cold = compiled.signature != loaded_signature
             node_ns = cost_model.offload_ns(
-                bytes_in=bytes_in, bytes_out=inter_bytes,
+                bytes_in=scan_total, bytes_out=inter_bytes,
                 ingest_rate=compiled.ingest_rate,
                 fill_cycles=compiled.pipeline.fill_latency_cycles,
                 flush_groups=flush_groups, cold=cold, shards=shards)
@@ -290,6 +301,11 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
         client_ns = (cost_model.client_ops_ns(steps[k:], inter_schema,
                                               inter_bytes, query)
                      if k < len(chain) else 0.0)
+        if fragment is None:
+            # Shipping a version chain raw: the client also pays the
+            # software merge before the remaining operators can run.
+            client_ns += delta_merge_cost_ns(cost_model.cpu, nrows,
+                                             delta_rows)
         label = ("ship" if fragment is None
                  else "offload" if k == len(chain) else f"hybrid@{k}")
         if (buffer_capacity is not None and label != "offload"

@@ -8,8 +8,15 @@ for the SQL fragment Farview can offload, producing
 
 Supported grammar (case-insensitive keywords)::
 
+    statement := query | insert | update | delete
     query     := [hint] SELECT [DISTINCT] select_list FROM ident
                  [WHERE disjunction] [GROUP BY column_list] [';']
+    insert    := INSERT INTO ident VALUES tuple (',' tuple)* [';']
+    update    := UPDATE ident SET assignment (',' assignment)*
+                 [WHERE disjunction] [';']
+    delete    := DELETE FROM ident [WHERE disjunction] [';']
+    tuple     := '(' literal (',' literal)* ')'
+    assignment := column '=' literal
     hint      := '/*+' PLACEMENT '(' (AUTO|OFFLOAD|SHIP) ')' '*/'
     select_list := '*' | select_item (',' select_item)*
     select_item := aggregate | column
@@ -79,6 +86,7 @@ class _Kind(enum.Enum):
 _KEYWORDS = {
     "select", "distinct", "from", "where", "group", "by", "and", "or",
     "not", "as", "like", "regexp", "count", "sum", "min", "max", "avg",
+    "insert", "into", "values", "update", "set", "delete",
 }
 
 _TOKEN_RE = _stdlib_re.compile(r"""
@@ -87,7 +95,7 @@ _TOKEN_RE = _stdlib_re.compile(r"""
   | (?P<string>'(?:[^']|'')*')
   | (?P<op><=|>=|!=|<>|==|<|>|=)
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
-  | (?P<punct>[(),;*])
+  | (?P<punct>[(),;*-])
 """, _stdlib_re.VERBOSE)
 
 
@@ -171,6 +179,23 @@ class ParsedQuery:
     placement: str | None = None
 
 
+@dataclass(frozen=True)
+class ParsedWrite:
+    """A parsed write statement for the versioned write path.
+
+    ``kind`` is ``"insert"`` (``values`` holds the literal tuples),
+    ``"update"`` (``assignments`` holds ``column -> literal``), or
+    ``"delete"``.  ``predicate`` is the parsed WHERE clause (``None``
+    means every visible row).
+    """
+
+    kind: str
+    table: str
+    values: tuple[tuple[object, ...], ...] = ()
+    assignments: tuple[tuple[str, object], ...] = ()
+    predicate: Predicate | None = None
+
+
 #: Optimizer-style placement hint, accepted before the SELECT keyword.
 _HINT_RE = _stdlib_re.compile(
     r"^\s*/\*\+\s*placement\s*\(\s*(auto|offload|ship)\s*\)\s*\*/",
@@ -223,7 +248,126 @@ class _Parser:
         return token.text.split(".")[-1]
 
     # -- grammar ------------------------------------------------------------------
-    def parse(self) -> ParsedQuery:
+    def parse(self) -> ParsedQuery | ParsedWrite:
+        token = self._peek()
+        if (token.is_keyword("insert") or token.is_keyword("update")
+                or token.is_keyword("delete")):
+            if self.placement is not None:
+                raise SqlSyntaxError(
+                    "a /*+ placement(...) */ hint applies to reads only; "
+                    "write statements always execute at the node")
+            if token.is_keyword("insert"):
+                return self._insert()
+            if token.is_keyword("update"):
+                return self._update()
+            return self._delete()
+        return self._select()
+
+    def _table_name(self) -> str:
+        token = self._advance()
+        if token.kind is not _Kind.IDENT:
+            raise SqlSyntaxError(
+                f"expected a table name at offset {token.pos}, got "
+                f"{token.text!r}")
+        return token.text.split(".")[-1]
+
+    def _finish_statement(self) -> None:
+        if self._peek().kind is _Kind.PUNCT and self._peek().text == ";":
+            self._advance()
+        if self._peek().kind is not _Kind.END:
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"unexpected trailing input at offset {token.pos}: "
+                f"{token.text!r}")
+
+    def _literal(self) -> object:
+        token = self._advance()
+        negative = False
+        if token.kind is _Kind.PUNCT and token.text == "-":
+            negative = True
+            token = self._advance()
+        if token.kind is _Kind.NUMBER:
+            text = token.text
+            value: object = float(text) if "." in text else int(text)
+            return -value if negative else value
+        if negative:
+            raise SqlSyntaxError(
+                f"expected a number after '-' at offset {token.pos}")
+        if token.kind is _Kind.STRING:
+            return _unquote(token.text)
+        raise SqlSyntaxError(
+            f"expected a literal at offset {token.pos}, got {token.text!r}")
+
+    def _write_where(self) -> Predicate | None:
+        """Optional WHERE clause of a write statement (no regex stage)."""
+        if not self._peek().is_keyword("where"):
+            return None
+        self._advance()
+        predicate, regex = self._where()
+        if regex is not None:
+            raise SqlSyntaxError(
+                "LIKE/REGEXP is not supported in write statements (the "
+                "write verbs evaluate comparison predicates only)")
+        return predicate
+
+    def _insert(self) -> ParsedWrite:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._table_name()
+        self._expect_keyword("values")
+        tuples: list[tuple[object, ...]] = []
+        while True:
+            self._expect_punct("(")
+            values = [self._literal()]
+            while (self._peek().kind is _Kind.PUNCT
+                   and self._peek().text == ","):
+                self._advance()
+                values.append(self._literal())
+            self._expect_punct(")")
+            tuples.append(tuple(values))
+            if self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
+                self._advance()
+                continue
+            break
+        self._finish_statement()
+        return ParsedWrite(kind="insert", table=table, values=tuple(tuples))
+
+    def _update(self) -> ParsedWrite:
+        self._expect_keyword("update")
+        table = self._table_name()
+        self._expect_keyword("set")
+        assignments: list[tuple[str, object]] = []
+        seen: set[str] = set()
+        while True:
+            column = self._column_name()
+            token = self._advance()
+            if token.kind is not _Kind.OP or token.text not in ("=", "=="):
+                raise SqlSyntaxError(
+                    f"expected '=' at offset {token.pos}, got {token.text!r}")
+            if column in seen:
+                raise SqlSyntaxError(
+                    f"column {column!r} assigned twice in SET")
+            seen.add(column)
+            assignments.append((column, self._literal()))
+            if self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
+                self._advance()
+                continue
+            break
+        predicate = self._write_where()
+        self._finish_statement()
+        return ParsedWrite(kind="update", table=table,
+                           assignments=tuple(assignments),
+                           predicate=predicate)
+
+    def _delete(self) -> ParsedWrite:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._table_name()
+        predicate = self._write_where()
+        self._finish_statement()
+        return ParsedWrite(kind="delete", table=table, predicate=predicate)
+
+    def _select(self) -> ParsedQuery:
         self._expect_keyword("select")
         distinct = False
         if self._peek().is_keyword("distinct"):
@@ -231,10 +375,7 @@ class _Parser:
             distinct = True
         star, columns, aggregates = self._select_list()
         self._expect_keyword("from")
-        table_token = self._advance()
-        if table_token.kind is not _Kind.IDENT:
-            raise SqlSyntaxError(
-                f"expected a table name at offset {table_token.pos}")
+        table = self._table_name()
         predicate: Predicate | None = None
         regex: RegexFilter | None = None
         if self._peek().is_keyword("where"):
@@ -245,16 +386,10 @@ class _Parser:
             self._advance()
             self._expect_keyword("by")
             group_by = tuple(self._column_list())
-        if self._peek().kind is _Kind.PUNCT and self._peek().text == ";":
-            self._advance()
-        if self._peek().kind is not _Kind.END:
-            token = self._peek()
-            raise SqlSyntaxError(
-                f"unexpected trailing input at offset {token.pos}: "
-                f"{token.text!r}")
+        self._finish_statement()
         query = self._build_query(star, columns, aggregates, distinct,
                                   predicate, regex, group_by)
-        return ParsedQuery(table=table_token.text.split(".")[-1], query=query,
+        return ParsedQuery(table=table, query=query,
                            placement=self.placement)
 
     def _select_list(self):
@@ -383,17 +518,7 @@ class _Parser:
                 f"expected a comparison operator at offset {token.pos}, got "
                 f"{token.text!r}")
         op = {"=": "==", "<>": "!="}.get(token.text, token.text)
-        value_token = self._advance()
-        if value_token.kind is _Kind.NUMBER:
-            text = value_token.text
-            value: object = float(text) if "." in text else int(text)
-        elif value_token.kind is _Kind.STRING:
-            value = _unquote(value_token.text)
-        else:
-            raise SqlSyntaxError(
-                f"expected a literal at offset {value_token.pos}, got "
-                f"{value_token.text!r}")
-        return Compare(column, op, value)
+        return Compare(column, op, self._literal())
 
     # -- assembly -----------------------------------------------------------------------
     @staticmethod
@@ -436,8 +561,13 @@ def _unquote(text: str) -> str:
     return text[1:-1].replace("''", "'")
 
 
-def parse_sql(sql: str) -> ParsedQuery:
-    """Parse one SQL statement into (table name, offloadable Query)."""
+def parse_sql(sql: str) -> ParsedQuery | ParsedWrite:
+    """Parse one SQL statement.
+
+    SELECTs return a :class:`ParsedQuery` (table + offloadable Query);
+    INSERT / UPDATE / DELETE return a :class:`ParsedWrite` for the
+    versioned write path.
+    """
     if not sql or not sql.strip():
         raise SqlSyntaxError("empty statement")
     return _Parser(sql).parse()

@@ -1,0 +1,478 @@
+"""Versioned write path: MVCC snapshots, delta segments, compaction.
+
+The paper positions Farview as a buffer-pool replacement for *database
+engines* (§1), but its evaluation is write-once: tables are uploaded and
+every later verb is read-only.  The DSM-DB vision paper (PAPERS.md)
+argues that concurrent readers and writers over disaggregated memory are
+the defining systems problem of the architecture.  This module adds the
+missing write path on top of the unchanged read stack:
+
+* :class:`VersionedTable` — a client-side handle to a table's **version
+  chain**: one immutable *base segment* plus an ordered list of immutable
+  copy-on-write :class:`DeltaSegment`\\ s, all living in node DRAM through
+  the ordinary Mmu/allocator path.  A monotone **epoch counter** advances
+  on every committed write batch.
+* **MVCC snapshots** — ``view_at(epoch)`` resolves the chain prefix
+  visible at an epoch into an immutable :class:`VersionView`.  Readers
+  *pin* the epoch they start under; segments retired by a later
+  compaction are not freed until every pin that could still read them is
+  released, so a scan that overlaps a compaction stays byte-exact.
+* **Delta segments** — ``insert`` deltas append new rows, ``update``
+  deltas carry full new row images keyed by a stable 8-byte row id, and
+  ``delete`` deltas carry row ids only.  Rows are identified by the
+  hidden ``__rowid`` column (assigned once, never reused), so the visible
+  row order — ascending row id: base order, then insertion order — is
+  deterministic and survives compaction, which is what makes snapshot
+  scans sha256-reproducible.
+* **Compaction** — folding the chain into a fresh base segment holding
+  exactly the visible rows.  Compaction changes *organization*, never
+  *contents*: the epoch does not advance, but epochs older than the
+  compaction horizon (``oldest_epoch``) become unreadable for new scans
+  (in-flight pinned scans keep their segments alive via the retire
+  barrier).
+
+The node-side execution of versioned scans (delta-aware merge ingest)
+and of the offloaded write verbs lives in
+:meth:`repro.core.node.FarviewNode.serve_farview_versioned` and friends;
+the client verbs are on :class:`repro.core.api.FarviewClient` /
+:class:`~repro.core.api.ClusterClient` (two-phase epoch broadcast for
+cluster-wide snapshot consistency).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..common.errors import CatalogError, QueryError
+from ..common.records import Column, Schema
+from .partition import PartitionSpec
+from .table import FTable
+
+#: Hidden column carrying the stable row identity inside delta segments.
+ROWID_COLUMN = "__rowid"
+
+
+def delta_schema(schema: Schema) -> Schema:
+    """Schema of insert/update delta segments: row id + full row image."""
+    return Schema([Column(ROWID_COLUMN, "uint64", 8)] + list(schema.columns))
+
+
+def delete_schema() -> Schema:
+    """Schema of delete delta segments: row ids only."""
+    return Schema([Column(ROWID_COLUMN, "uint64", 8)])
+
+
+def require_versionable(schema: Schema) -> None:
+    if ROWID_COLUMN in schema.names:
+        raise QueryError(
+            f"column name {ROWID_COLUMN!r} is reserved for the versioned "
+            f"write path")
+
+
+def encode_value(column: Column, value: object):
+    """Coerce a literal to ``column``'s storage type (SET / VALUES)."""
+    if column.kind == "char":
+        if isinstance(value, str):
+            raw = value.encode("utf-8")
+        elif isinstance(value, (bytes, bytearray)):
+            raw = bytes(value)
+        else:
+            raise QueryError(
+                f"column {column.name!r} is char({column.width}); got "
+                f"{type(value).__name__} {value!r}")
+        if len(raw) > column.width:
+            raise QueryError(
+                f"value {value!r} does not fit char({column.width}) column "
+                f"{column.name!r}")
+        return raw
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer,
+                                                         np.floating)):
+        raise QueryError(
+            f"column {column.name!r} is {column.kind}; got "
+            f"{type(value).__name__} {value!r}")
+    if column.kind in ("int64", "uint64"):
+        if isinstance(value, (float, np.floating)):
+            if not float(value).is_integer():
+                raise QueryError(
+                    f"column {column.name!r} is {column.kind}; got "
+                    f"non-integral {value!r}")
+            value = int(value)
+        lo, hi = ((0, 2 ** 64 - 1) if column.kind == "uint64"
+                  else (-(2 ** 63), 2 ** 63 - 1))
+        if not lo <= int(value) <= hi:
+            raise QueryError(
+                f"value {value!r} out of range for {column.kind} column "
+                f"{column.name!r}")
+    return value
+
+
+def rows_from_literals(schema: Schema,
+                       tuples: Sequence[Sequence[object]]) -> np.ndarray:
+    """Build a structured row array from SQL ``VALUES`` literal tuples."""
+    if not tuples:
+        raise QueryError("INSERT needs at least one VALUES tuple")
+    rows = schema.empty(len(tuples))
+    for i, values in enumerate(tuples):
+        if len(values) != len(schema.columns):
+            raise QueryError(
+                f"VALUES tuple {i} has {len(values)} items; schema has "
+                f"{len(schema.columns)} columns")
+        for column, value in zip(schema.columns, values):
+            rows[column.name][i] = encode_value(column, value)
+    return rows
+
+
+@dataclass(frozen=True)
+class DeltaSegment:
+    """One committed copy-on-write write batch in node DRAM.
+
+    ``table`` holds the delta image (``delta_schema`` for insert/update,
+    ``delete_schema`` for delete); the segment is immutable once
+    committed — later writes append new segments, never touch old ones.
+    """
+
+    epoch: int
+    kind: str                     # "insert" | "update" | "delete"
+    table: FTable
+    num_rows: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "update", "delete"):
+            raise QueryError(f"unknown delta kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class VersionView:
+    """The immutable chain prefix visible at one epoch.
+
+    Resolved once at scan start (under a pin), so a writer appending new
+    segments — or a compaction swapping the base — mid-scan can never
+    change what this view reads.
+    """
+
+    name: str
+    epoch: int
+    schema: Schema
+    base: FTable
+    base_rowids: np.ndarray = field(repr=False)
+    deltas: tuple[DeltaSegment, ...] = ()
+
+    @property
+    def segment_tables(self) -> list[FTable]:
+        """Base + delta segment handles, scan order."""
+        return [self.base] + [d.table for d in self.deltas]
+
+    @property
+    def delta_bytes(self) -> int:
+        return sum(d.table.size_bytes for d in self.deltas)
+
+    @property
+    def delta_rows(self) -> int:
+        return sum(d.num_rows for d in self.deltas)
+
+    @property
+    def scan_bytes(self) -> int:
+        """Bytes a delta-aware scan must ingest: base + every delta."""
+        return self.base.size_bytes + self.delta_bytes
+
+    def materialize(self, read: Callable[[FTable], bytes]
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply the chain to the base image: ``(visible_rows, rowids)``.
+
+        ``read(table)`` supplies each segment's byte image (functional
+        peek on the node, gathered RDMA reads on the client).  Rows come
+        back in ascending row-id order — the canonical visible order every
+        snapshot scan and compaction reproduces.
+        """
+        rows = self.schema.from_bytes(read(self.base), copy=True)
+        ids = self.base_rowids.copy()
+        dschema = delta_schema(self.schema)
+        for delta in self.deltas:
+            image = read(delta.table)
+            if delta.kind == "delete":
+                gone = delete_schema().from_bytes(image)[ROWID_COLUMN]
+                keep = ~np.isin(ids, gone)
+                rows, ids = rows[keep], ids[keep]
+                continue
+            drows = dschema.from_bytes(image)
+            payload = self.schema.empty(len(drows))
+            for namecol in self.schema.names:
+                payload[namecol] = drows[namecol]
+            if delta.kind == "insert":
+                rows = np.concatenate([rows, payload])
+                ids = np.concatenate(
+                    [ids, drows[ROWID_COLUMN].astype(np.uint64)])
+            else:
+                # Update: patch in place by row id.  Row ids are always
+                # ascending (base order, then insertion order; deletes
+                # and compaction preserve it), so one vectorized
+                # searchsorted replaces a per-row dict probe.
+                targets = drows[ROWID_COLUMN].astype(np.uint64)
+                pos = np.searchsorted(ids, targets)
+                valid = pos < len(ids)
+                valid[valid] = ids[pos[valid]] == targets[valid]
+                rows[pos[valid]] = payload[valid]
+        return rows, ids
+
+
+@dataclass
+class _RetiredBatch:
+    """Segments superseded by a compaction, awaiting their last reader."""
+
+    tables: list[FTable]
+    blocking_tokens: set[int]
+
+
+class VersionedTable:
+    """Client-side handle to one table's version chain.
+
+    Quacks like an :class:`FTable` for catalog purposes (``name`` /
+    ``size_bytes``); the write verbs of
+    :class:`~repro.core.api.FarviewClient` mutate it by appending
+    segments and bumping the epoch.  Single writer per table: commits are
+    not synchronized between concurrent writer processes.
+    """
+
+    def __init__(self, name: str, schema: Schema, base: FTable,
+                 base_rowids: np.ndarray):
+        require_versionable(schema)
+        if base.num_rows != len(base_rowids):
+            raise CatalogError(
+                f"base segment of {name!r} has {base.num_rows} rows but "
+                f"{len(base_rowids)} row ids")
+        self.name = name
+        self.schema = schema
+        self.base = base
+        self.base_rowids = np.asarray(base_rowids, dtype=np.uint64)
+        self.deltas: list[DeltaSegment] = []
+        #: Current committed epoch; ``snapshot()`` returns it.
+        self.epoch = 0
+        #: Oldest epoch still resolvable by a *new* scan (compaction floor).
+        self.oldest_epoch = 0
+        self.compactions = 0
+        #: Visible row count per readable epoch (planner statistics).
+        self._visible_by_epoch: dict[int, int] = {0: base.num_rows}
+        self._next_rowid = (int(self.base_rowids.max()) + 1
+                            if len(self.base_rowids) else 0)
+        self._seg_serial = itertools.count(1)
+        self._pin_tokens = itertools.count(1)
+        self._pins: dict[int, int] = {}       # token -> pinned epoch
+        self._retired: list[_RetiredBatch] = []
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Pool DRAM held by the live chain (retired segments excluded)."""
+        return self.base.size_bytes + self.delta_bytes
+
+    @property
+    def num_rows(self) -> int:
+        """Visible rows at the current epoch."""
+        return self._visible_by_epoch[self.epoch]
+
+    @property
+    def num_deltas(self) -> int:
+        return len(self.deltas)
+
+    @property
+    def delta_bytes(self) -> int:
+        return sum(d.table.size_bytes for d in self.deltas)
+
+    def visible_rows_at(self, epoch: int) -> int:
+        self._require_epoch(epoch)
+        return self._visible_by_epoch[epoch]
+
+    def next_segment_name(self) -> str:
+        return f"{self.name}#s{next(self._seg_serial)}"
+
+    def __repr__(self) -> str:
+        return (f"VersionedTable({self.name!r}, epoch {self.epoch}, "
+                f"{self.num_rows} visible rows, {self.num_deltas} deltas, "
+                f"{self.compactions} compactions)")
+
+    # -- snapshots ---------------------------------------------------------
+    def _require_epoch(self, epoch: int) -> None:
+        if not self.oldest_epoch <= epoch <= self.epoch:
+            raise QueryError(
+                f"epoch {epoch} of {self.name!r} is not readable; chain "
+                f"covers [{self.oldest_epoch}, {self.epoch}] (older epochs "
+                f"were folded away by compaction)")
+
+    def view_at(self, epoch: int) -> VersionView:
+        """Resolve the chain prefix visible at ``epoch``."""
+        self._require_epoch(epoch)
+        return VersionView(
+            name=self.name, epoch=epoch, schema=self.schema, base=self.base,
+            base_rowids=self.base_rowids,
+            deltas=tuple(d for d in self.deltas if d.epoch <= epoch))
+
+    def pin(self, epoch: int) -> int:
+        """Register a reader at ``epoch``; returns the pin token."""
+        self._require_epoch(epoch)
+        token = next(self._pin_tokens)
+        self._pins[token] = epoch
+        return token
+
+    def unpin(self, token: int) -> list[FTable]:
+        """Release a pin; returns retired segments now safe to free."""
+        if token not in self._pins:
+            raise QueryError(f"unknown pin token {token} on {self.name!r}")
+        del self._pins[token]
+        freed: list[FTable] = []
+        still_blocked: list[_RetiredBatch] = []
+        for batch in self._retired:
+            batch.blocking_tokens.discard(token)
+            if batch.blocking_tokens:
+                still_blocked.append(batch)
+            else:
+                freed.extend(batch.tables)
+        self._retired = still_blocked
+        return freed
+
+    @property
+    def active_pins(self) -> int:
+        return len(self._pins)
+
+    def drain_segments(self) -> list[FTable]:
+        """Every segment this chain still owns (live + retired), for
+        :meth:`~repro.core.api.FarviewClient.drop_table`.  Leaves the
+        handle empty; only call with no active pins."""
+        if self._pins:
+            raise QueryError(
+                f"cannot drain {self.name!r}: {len(self._pins)} scan(s) "
+                f"still pin its segments")
+        tables = ([self.base] + [d.table for d in self.deltas]
+                  + [t for batch in self._retired for t in batch.tables])
+        self.deltas = []
+        self._retired = []
+        return tables
+
+    @property
+    def retired_segments(self) -> int:
+        return sum(len(b.tables) for b in self._retired)
+
+    # -- write-path bookkeeping -------------------------------------------
+    def allocate_rowids(self, count: int) -> np.ndarray:
+        """Reserve ``count`` fresh row ids (monotone, never reused)."""
+        start = self._next_rowid
+        self._next_rowid += count
+        return np.arange(start, start + count, dtype=np.uint64)
+
+    def commit_delta(self, kind: str, table: Optional[FTable],
+                     num_rows: int, visible_change: int = 0) -> int:
+        """Commit one prepared write batch; returns the new epoch.
+
+        ``table=None`` commits a **no-op epoch bump** — used by cluster
+        shards untouched by a write so every shard's epoch stays equal to
+        the cluster-wide epoch (the second phase of the epoch broadcast).
+        """
+        self.epoch += 1
+        if table is not None:
+            self.deltas.append(
+                DeltaSegment(self.epoch, kind, table, num_rows))
+        self._visible_by_epoch[self.epoch] = (
+            self._visible_by_epoch[self.epoch - 1] + visible_change)
+        return self.epoch
+
+    def retire_for_compaction(self, new_base: FTable,
+                              new_rowids: np.ndarray) -> list[FTable]:
+        """Swap in the compacted base; returns segments safe to free *now*.
+
+        Old segments still needed by in-flight pinned readers are parked
+        in a retired batch keyed by the pins active at this moment; they
+        are handed back by :meth:`unpin` once the last such reader ends.
+        The epoch does not advance (contents are unchanged) but the
+        readable floor rises to the current epoch.
+        """
+        old = [self.base] + [d.table for d in self.deltas]
+        self.base = new_base
+        self.base_rowids = np.asarray(new_rowids, dtype=np.uint64)
+        self.deltas = []
+        self.oldest_epoch = self.epoch
+        self._visible_by_epoch = {self.epoch: new_base.num_rows}
+        self.compactions += 1
+        if self._pins:
+            self._retired.append(
+                _RetiredBatch(old, set(self._pins)))
+            return []
+        return old
+
+
+# -- cluster-wide version chains ---------------------------------------------
+
+@dataclass
+class VersionedShard:
+    """One node's versioned fragment of a cluster table."""
+
+    node_index: int
+    table: VersionedTable
+
+
+class VersionedShardedTable:
+    """A versioned table chunk-partitioned across cluster nodes.
+
+    Only order-preserving ``chunk`` partitioning is supported: the global
+    visible order is then shard order, inserts append to the **last**
+    shard, and scatter-gather merges stay byte-identical to single-node
+    execution.  The cluster-wide ``epoch`` advances through the
+    two-phase broadcast in :class:`~repro.core.api.ClusterClient`; every
+    shard's local epoch always equals it (untouched shards commit no-op
+    bumps), so ``as_of(epoch)`` maps straight onto per-shard views.
+    """
+
+    def __init__(self, name: str, schema: Schema, partition: PartitionSpec,
+                 shards: Sequence[VersionedShard]):
+        if not partition.order_preserving:
+            raise QueryError(
+                f"versioned cluster tables require order-preserving "
+                f"'chunk' partitioning, got {partition.scheme!r} (the "
+                f"write path's byte-identity contract depends on global "
+                f"row order)")
+        if not shards:
+            raise CatalogError(
+                f"versioned sharded table {name!r} needs at least one shard")
+        self.name = name
+        self.schema = schema
+        self.partition = partition
+        self.shards = list(shards)
+        self.epoch = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(s.table.num_rows for s in self.shards)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(s.table.size_bytes for s in self.shards)
+
+    @property
+    def num_deltas(self) -> int:
+        return sum(s.table.num_deltas for s in self.shards)
+
+    @property
+    def last_shard(self) -> VersionedShard:
+        """The shard that owns the tail of the global row order — the
+        target of appends under chunk partitioning."""
+        return self.shards[-1]
+
+    def check_epochs(self) -> None:
+        """Invariant: every shard epoch equals the cluster epoch."""
+        for shard in self.shards:
+            if shard.table.epoch != self.epoch:
+                raise QueryError(
+                    f"shard {shard.table.name!r} at epoch "
+                    f"{shard.table.epoch} != cluster epoch {self.epoch}; "
+                    f"a two-phase commit was interrupted")
+
+    def __repr__(self) -> str:
+        return (f"VersionedShardedTable({self.name!r}, epoch {self.epoch}, "
+                f"{self.num_rows} visible rows over {self.num_shards} "
+                f"shards)")

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.common.records import default_schema, string_schema
-from repro.core.sql import SqlSyntaxError, like_to_regex, parse_sql
+from repro.core.sql import (ParsedWrite, SqlSyntaxError, like_to_regex,
+                            parse_sql)
 from repro.operators.regex_engine import compile_pattern
 from repro.operators.selection import And, Compare, Not, Or
 
@@ -214,3 +215,63 @@ def test_sql_unknown_table_raises(bench):
     from repro.common.errors import CatalogError
     with pytest.raises(CatalogError):
         b.client.sql("SELECT * FROM missing")
+
+
+# --- write statements (versioned write path) ----------------------------------
+
+def test_insert_values():
+    parsed = parse_sql(
+        "INSERT INTO t VALUES (1, 2.5, 'x'), (-3, 4, 'y');")
+    assert isinstance(parsed, ParsedWrite)
+    assert parsed.kind == "insert"
+    assert parsed.table == "t"
+    assert parsed.values == ((1, 2.5, "x"), (-3, 4, "y"))
+
+
+def test_update_set_where():
+    parsed = parse_sql("UPDATE t SET a = 5, b = -2.5 WHERE c >= 10 AND d < 3")
+    assert isinstance(parsed, ParsedWrite)
+    assert parsed.kind == "update"
+    assert parsed.assignments == (("a", 5), ("b", -2.5))
+    assert parsed.predicate == And(Compare("c", ">=", 10),
+                                   Compare("d", "<", 3))
+
+
+def test_update_without_where_hits_every_row():
+    parsed = parse_sql("UPDATE t SET a = 'z'")
+    assert parsed.predicate is None
+    assert parsed.assignments == (("a", "z"),)
+
+
+def test_delete_from_where():
+    parsed = parse_sql("DELETE FROM t WHERE a = 7;")
+    assert isinstance(parsed, ParsedWrite)
+    assert parsed.kind == "delete"
+    assert parsed.predicate == Compare("a", "==", 7)
+
+
+def test_delete_without_where():
+    parsed = parse_sql("DELETE FROM t")
+    assert parsed.kind == "delete" and parsed.predicate is None
+
+
+def test_negative_literal_in_select_predicate():
+    parsed = parse_sql("SELECT * FROM t WHERE a > -5")
+    assert parsed.query.predicate == Compare("a", ">", -5)
+
+
+@pytest.mark.parametrize("bad", [
+    "INSERT INTO t",                          # missing VALUES
+    "INSERT INTO t VALUES ()",                # empty tuple
+    "INSERT INTO t VALUES (1,)",              # dangling comma
+    "UPDATE t SET",                           # missing assignment
+    "UPDATE t SET a = 1, a = 2",              # duplicate column
+    "UPDATE t SET a = 1 WHERE s LIKE 'x%'",   # regex stage in a write
+    "DELETE FROM t WHERE s REGEXP 'a+'",      # regex stage in a write
+    "UPDATE t SET a = -",                     # dangling minus
+    "INSERT INTO t VALUES (1) trailing",      # trailing junk
+    "/*+ placement(ship) */ DELETE FROM t",   # hints apply to reads only
+])
+def test_write_syntax_errors(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse_sql(bad)

@@ -1,0 +1,644 @@
+"""Versioned write path: MVCC snapshot isolation, delta segments,
+compaction, and the cluster-wide two-phase epoch broadcast.
+
+The central property, asserted many ways below: a reader that opened
+epoch E returns bytes sha256-identical to a quiesced scan at E — with
+concurrent writers, with compaction running mid-scan, single-node and on
+a 4-node cluster.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.common.config import FarviewConfig, MemoryConfig
+from repro.common.errors import QueryError
+from repro.common.records import Column, Schema, default_schema
+from repro.core.api import ClusterClient, FarviewClient, canonical_result_bytes
+from repro.core.cluster import FarviewCluster
+from repro.core.cost_model import PlanStats
+from repro.core.node import FarviewNode
+from repro.core.partition import PartitionSpec
+from repro.core.query import Query, group_by_sum, select_distinct
+from repro.core.versioning import (ROWID_COLUMN, VersionedTable, delta_schema,
+                                   rows_from_literals)
+from repro.operators.selection import And, Compare
+from repro.sim.engine import Simulator
+from repro.workloads.generator import make_rows
+
+KB = 1024
+MB = 1024 * KB
+
+#: Small pages so many-segment chains never exhaust the striped allocator.
+TEST_CONFIG = FarviewConfig(memory=MemoryConfig(
+    channels=2, channel_capacity=8 * MB, page_size=64 * KB))
+
+
+def sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def make_client(sim=None, config=TEST_CONFIG):
+    sim = sim if sim is not None else Simulator()
+    client = FarviewClient(FarviewNode(sim, config))
+    client.open_connection()
+    return client
+
+
+def seeded_rows(schema, n, seed, start_a=0):
+    rows = make_rows(schema, n, seed=seed)
+    rows["a"] = np.arange(start_a, start_a + n)
+    return rows
+
+
+def full_scan_query(schema):
+    return Query(projection=tuple(schema.names), label="read")
+
+
+# ---------------------------------------------------------------------------
+# Basic write-path semantics
+# ---------------------------------------------------------------------------
+
+class TestWriteVerbs:
+    def test_epoch_lifecycle_and_as_of(self):
+        client = make_client()
+        schema = default_schema()
+        rows = seeded_rows(schema, 64, seed=1)
+        vt = client.create_versioned_table("t", schema, rows)
+        assert (vt.epoch, vt.oldest_epoch, vt.num_rows) == (0, 0, 64)
+
+        extra = seeded_rows(schema, 8, seed=2, start_a=1000)
+        epoch, _ = client.insert(vt, extra)
+        assert epoch == 1 and vt.num_rows == 72
+
+        epoch, _ = client.update_where(vt, Compare("a", "<", 10), {"c": 7})
+        assert epoch == 2 and vt.num_rows == 72
+
+        epoch, _ = client.delete_where(vt, Compare("a", ">=", 1004))
+        assert epoch == 3 and vt.num_rows == 68
+
+        model = np.concatenate([rows, extra])
+        m2 = model.copy()
+        m2["c"][m2["a"] < 10] = 7
+        m3 = m2[m2["a"] < 1004]
+        query = full_scan_query(schema)
+        for as_of, expected in [(0, rows), (1, model), (2, m2), (3, m3)]:
+            result, _ = client.scan_versioned(vt, query, as_of=as_of)
+            assert result.data == schema.to_bytes(expected), f"epoch {as_of}"
+
+    def test_no_match_writes_commit_noop_epochs(self):
+        client = make_client()
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, 16, seed=3))
+        epoch, _ = client.update_where(vt, Compare("a", ">", 10**9), {"c": 1})
+        assert epoch == 1 and vt.num_deltas == 0
+        epoch, _ = client.delete_where(vt, Compare("a", ">", 10**9))
+        assert epoch == 2 and vt.num_deltas == 0
+        result, _ = client.scan_versioned(vt, full_scan_query(schema),
+                                          as_of=1)
+        base, _ = client.scan_versioned(vt, full_scan_query(schema), as_of=0)
+        assert result.data == base.data
+
+    def test_delete_then_reinsert_uses_fresh_rowids(self):
+        client = make_client()
+        schema = default_schema()
+        rows = seeded_rows(schema, 8, seed=4)
+        vt = client.create_versioned_table("t", schema, rows)
+        client.delete_where(vt, None)                  # delete everything
+        assert vt.num_rows == 0
+        client.insert(vt, rows)
+        result, _ = client.scan_versioned(vt, full_scan_query(schema))
+        assert result.data == schema.to_bytes(rows)
+
+    def test_reserved_rowid_column_rejected(self):
+        client = make_client()
+        schema = Schema([Column(ROWID_COLUMN, "uint64", 8),
+                         Column("x", "int64", 8)])
+        with pytest.raises(QueryError, match="reserved"):
+            client.create_versioned_table("t", schema, schema.empty(4))
+
+    def test_smart_addressing_rejected_on_versioned_scan(self):
+        client = make_client()
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, 16, seed=5))
+        query = Query(projection=("a", "b"), smart_addressing=True)
+        with pytest.raises(QueryError, match="smart addressing"):
+            client.scan_versioned(vt, query)
+
+    def test_rows_from_literals_types_and_errors(self):
+        schema = Schema([Column("i", "int64", 8), Column("f", "float64", 8),
+                         Column("s", "char", 4)])
+        rows = rows_from_literals(schema, [(1, 2.5, "ab"), (-3, 4, "")])
+        assert rows["i"].tolist() == [1, -3]
+        assert rows["f"].tolist() == [2.5, 4.0]
+        assert rows["s"].tolist() == [b"ab", b""]
+        with pytest.raises(QueryError, match="does not fit"):
+            rows_from_literals(schema, [(1, 2.0, "toolong")])
+        with pytest.raises(QueryError, match="3 columns"):
+            rows_from_literals(schema, [(1, 2.0)])
+        with pytest.raises(QueryError, match="non-integral"):
+            rows_from_literals(schema, [(1.5, 2.0, "x")])
+        with pytest.raises(QueryError, match="out of range"):
+            rows_from_literals(schema, [(2 ** 70, 2.0, "x")])
+
+
+class TestCompaction:
+    def test_compaction_preserves_bytes_and_frees_segments(self):
+        client = make_client()
+        node = client.node
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, 256, seed=6))
+        client.update_where(vt, Compare("a", "<", 64), {"d": 1})
+        client.insert(vt, seeded_rows(schema, 32, seed=7, start_a=5000))
+        client.delete_where(vt, Compare("a", ">=", 5016))
+        before, _ = client.scan_versioned(vt, full_scan_query(schema))
+        assert vt.num_deltas == 3
+
+        free_before = node.mmu.allocator.free_pages
+        epoch, _ = client.compact(vt)
+        assert vt.num_deltas == 0 and vt.compactions == 1
+        assert epoch == vt.epoch == vt.oldest_epoch == 3
+        assert node.mmu.allocator.free_pages >= free_before  # chain folded
+        after, _ = client.scan_versioned(vt, full_scan_query(schema))
+        assert after.data == before.data
+
+    def test_pre_compaction_epochs_become_unreadable(self):
+        client = make_client()
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, 32, seed=8))
+        client.update_where(vt, Compare("a", "<", 4), {"c": 1})
+        client.compact(vt)
+        with pytest.raises(QueryError, match="not readable"):
+            client.scan_versioned(vt, full_scan_query(schema), as_of=0)
+
+    def test_compacting_empty_visible_set_refuses(self):
+        client = make_client()
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, 8, seed=9))
+        client.delete_where(vt, None)
+        with pytest.raises(Exception, match="cannot compact"):
+            client.compact(vt)
+
+
+class TestDropTable:
+    def test_drop_plain_table_by_handle_and_name(self):
+        client = make_client()
+        node = client.node
+        schema = default_schema()
+        free0 = node.mmu.allocator.free_pages
+        from repro.core.table import FTable
+        table = FTable("p", schema, 64)
+        client.alloc_table_mem(table)
+        client.table_write(table, seeded_rows(schema, 64, seed=10))
+        client.drop_table(table)
+        assert node.mmu.allocator.free_pages == free0
+        assert "p" not in client.catalog
+
+        table2 = FTable("q", schema, 64)
+        client.alloc_table_mem(table2)
+        client.drop_table("q")
+        assert node.mmu.allocator.free_pages == free0
+
+    def test_drop_versioned_table_frees_whole_chain(self):
+        client = make_client()
+        node = client.node
+        free0 = node.mmu.allocator.free_pages
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, 64, seed=11))
+        client.update_where(vt, Compare("a", "<", 8), {"c": 1})
+        client.insert(vt, seeded_rows(schema, 8, seed=12, start_a=900))
+        client.compact(vt)
+        client.update_where(vt, Compare("a", "<", 4), {"c": 2})
+        client.drop_table(vt)
+        assert node.mmu.allocator.free_pages == free0
+        assert "t" not in client.catalog
+
+    def test_cluster_drop_reuses_single_node_drop(self):
+        sim = Simulator()
+        cluster = FarviewCluster(sim, 2, TEST_CONFIG)
+        cc = ClusterClient(cluster)
+        cc.open_connection()
+        free0 = [n.mmu.allocator.free_pages for n in cluster.nodes]
+        schema = default_schema()
+        rows = seeded_rows(schema, 64, seed=13)
+        st_plain = cc.create_table("p", schema, rows)
+        st_versioned = cc.create_versioned_table("v", schema, rows)
+        cc.update_where(st_versioned, Compare("a", "<", 10), {"c": 5})
+        cc.drop_table(st_plain)
+        cc.drop_table(st_versioned)
+        assert [n.mmu.allocator.free_pages for n in cluster.nodes] == free0
+        assert "p" not in cc.catalog and "v" not in cc.catalog
+
+
+# ---------------------------------------------------------------------------
+# Snapshot isolation under concurrency
+# ---------------------------------------------------------------------------
+
+class TestScanUnderUpdate:
+    def test_scan_pins_epoch_against_concurrent_writer(self):
+        client = make_client()
+        sim = client.sim
+        schema = default_schema()
+        rows = seeded_rows(schema, 2048, seed=14)
+        vt = client.create_versioned_table("t", schema, rows)
+        query = select_distinct(["c"])
+        client.scan_versioned(vt, query)           # deploy
+
+        captured = {}
+
+        def reader():
+            captured["epoch"] = vt.epoch
+            result = yield from client.scan_versioned_proc(vt, query)
+            captured["result"] = result
+            captured["epoch_at_finish"] = vt.epoch
+
+        def writer():
+            for batch in range(3):
+                yield from client.update_where_proc(
+                    vt, Compare("a", "<", 500 * (batch + 1)),
+                    {"c": 10_000 + batch})
+
+        procs = [sim.process(reader()), sim.process(writer())]
+        sim.run()
+        assert all(p.triggered for p in procs)
+        # The writer really did commit while the scan was in flight.
+        assert captured["epoch_at_finish"] > captured["epoch"]
+        replay, _ = client.scan_versioned(vt, query,
+                                          as_of=captured["epoch"])
+        assert replay.data == captured["result"].data
+        assert vt.active_pins == 0
+
+    def test_compaction_mid_scan_defers_frees_until_reader_ends(self):
+        client = make_client()
+        sim = client.sim
+        schema = default_schema()
+        rows = seeded_rows(schema, 2048, seed=15)
+        vt = client.create_versioned_table("t", schema, rows)
+        client.update_where(vt, Compare("a", "<", 512), {"c": 1})
+        client.insert(vt, seeded_rows(schema, 64, seed=16, start_a=9000))
+        query = full_scan_query(schema)
+        expected, _ = client.scan_versioned(vt, query)   # also deploys
+
+        captured = {}
+
+        def reader():
+            result = yield from client.scan_versioned_proc(vt, query)
+            captured["result"] = result
+
+        def compactor():
+            yield from client.compact_proc(vt)
+            # Observed the instant compaction finished: the reader must
+            # still be pinning the superseded segments.
+            captured["pins_at_compaction"] = vt.active_pins
+            captured["retired_at_compaction"] = vt.retired_segments
+
+        procs = [sim.process(reader()), sim.process(compactor())]
+        sim.run()
+        assert all(p.triggered for p in procs)
+        assert captured["pins_at_compaction"] >= 1, \
+            "compaction should have completed mid-scan"
+        assert captured["retired_at_compaction"] > 0, \
+            "superseded segments must be parked, not freed, under a pin"
+        assert captured["result"].data == expected.data
+        # Once the reader released its pin, the retired batch was freed.
+        assert vt.retired_segments == 0 and vt.active_pins == 0
+
+
+# ---------------------------------------------------------------------------
+# Cost-based placement over version chains
+# ---------------------------------------------------------------------------
+
+class TestVersionedPlacement:
+    def _chained_table(self, client, n=2048, batches=4):
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, n, seed=17))
+        per = n // (2 * batches)
+        for b in range(batches):
+            client.update_where(
+                vt, And(Compare("a", ">=", b * per),
+                        Compare("a", "<", (b + 1) * per)),
+                {"c": 100 + b})
+        return schema, vt
+
+    def test_ship_and_auto_match_offload_bytes(self):
+        client = make_client()
+        schema, vt = self._chained_table(client)
+        query = Query(predicate=Compare("a", "<", 1024), label="sel")
+        stats = PlanStats(selectivity=0.5)
+        offload, _ = client.scan_versioned(vt, query, placement="offload")
+        ship, _ = client.scan_versioned(vt, query, placement="ship",
+                                        stats=stats)
+        auto, _ = client.scan_versioned(vt, query, placement="auto",
+                                        stats=stats)
+        assert (canonical_result_bytes(ship)
+                == canonical_result_bytes(offload))
+        assert (canonical_result_bytes(auto)
+                == canonical_result_bytes(offload))
+        assert ship.explain is not None and ship.explain.chosen == "ship"
+
+    def test_crossover_shifts_with_delta_fraction(self):
+        """The ship estimate must grow faster than the offload estimate
+        as the chain deepens (the client pays the software merge)."""
+        client = make_client()
+        schema = default_schema()
+        vt = client.create_versioned_table(
+            "t", schema, seeded_rows(schema, 2048, seed=18))
+        query = Query(predicate=Compare("a", "<", 1024), label="sel")
+        plan0 = client.plan_versioned(vt, query)
+        ratio0 = plan0.explain.est_ship_ns / plan0.explain.est_offload_ns
+        for b in range(6):
+            client.update_where(vt, Compare("a", "<", 1024), {"c": b})
+        plan6 = client.plan_versioned(vt, query)
+        ratio6 = plan6.explain.est_ship_ns / plan6.explain.est_offload_ns
+        assert plan6.explain.est_ship_ns > plan0.explain.est_ship_ns
+        assert ratio6 > ratio0
+
+
+# ---------------------------------------------------------------------------
+# SQL write statements end to end
+# ---------------------------------------------------------------------------
+
+class TestSqlWritePath:
+    def test_insert_update_delete_statements(self):
+        client = make_client()
+        schema = default_schema()
+        vt = client.create_versioned_table("t", schema,
+                                           seeded_rows(schema, 32, seed=19))
+        epoch, _ = client.sql(
+            "INSERT INTO t VALUES (500, 1.5, 2, 3, 4, 5, 6, 7), "
+            "(501, -2.5, 2, 3, 4, 5, 6, 7)")
+        assert epoch == 1 and vt.num_rows == 34
+        epoch, _ = client.sql("UPDATE t SET d = -9, e = 4 WHERE a >= 500")
+        assert epoch == 2
+        epoch, _ = client.sql("DELETE FROM t WHERE a = 501;")
+        assert epoch == 3 and vt.num_rows == 33
+        result, _ = client.sql("SELECT a, d FROM t WHERE a >= 500")
+        assert result.num_rows == 1
+        row = result.rows()[0]
+        assert int(row["a"]) == 500 and int(row["d"]) == -9
+
+    def test_write_statement_against_plain_table_fails(self):
+        client = make_client()
+        schema = default_schema()
+        from repro.core.table import FTable
+        table = FTable("p", schema, 8)
+        client.alloc_table_mem(table)
+        client.table_write(table, seeded_rows(schema, 8, seed=20))
+        with pytest.raises(QueryError, match="not versioned"):
+            client.sql("DELETE FROM p WHERE a = 1")
+
+
+# ---------------------------------------------------------------------------
+# 4-node cluster: two-phase epoch broadcast
+# ---------------------------------------------------------------------------
+
+def make_cluster_pair(num_rows=256, num_nodes=4, seed=21):
+    """Single-node client + N-node cluster client over identical data."""
+    schema = default_schema()
+    rows = seeded_rows(schema, num_rows, seed=seed)
+    rows["c"] = rows["a"] % 13
+    single = make_client()
+    vt = single.create_versioned_table("t", schema, rows)
+    cc = ClusterClient(FarviewCluster(Simulator(), num_nodes, TEST_CONFIG))
+    cc.open_connection()
+    vst = cc.create_versioned_table("t", schema, rows)
+    return schema, rows, single, vt, cc, vst
+
+
+class TestClusterVersioning:
+    def test_every_epoch_byte_identical_to_single_node(self):
+        schema, rows, single, vt, cc, vst = make_cluster_pair()
+        extra = seeded_rows(schema, 16, seed=22, start_a=4000)
+        extra["c"] = extra["a"] % 13
+        for client, table in ((single, vt), (cc, vst)):
+            assert client.insert(table, extra)[0] == 1
+            assert client.update_where(table, Compare("a", "<", 40),
+                                       {"e": 9})[0] == 2
+            assert client.delete_where(table, Compare("a", ">=", 4008))[0] == 3
+        assert [s.table.epoch for s in vst.shards] == [3] * 4
+        query = full_scan_query(schema)
+        for epoch in range(4):
+            r1, _ = single.scan_versioned(vt, query, as_of=epoch)
+            r4, _ = cc.scan_versioned(vst, query, as_of=epoch)
+            assert sha(r4.data) == sha(r1.data), f"epoch {epoch}"
+
+    def test_distinct_and_int_groupby_merges_match_single_node(self):
+        schema, rows, single, vt, cc, vst = make_cluster_pair()
+        for client, table in ((single, vt), (cc, vst)):
+            client.update_where(table, Compare("a", "<", 100), {"c": 99})
+        d1, _ = single.far_view(vt, select_distinct(["c"]))
+        d4, _ = cc.far_view(vst, select_distinct(["c"]))
+        assert d4.data == d1.data
+        g1, _ = single.far_view(vt, group_by_sum("c", "d"))
+        g4, _ = cc.far_view(vst, group_by_sum("c", "d"))
+        assert g4.data == g1.data
+
+    def test_cluster_snapshot_under_concurrent_writer(self):
+        schema, rows, single, vt, cc, vst = make_cluster_pair(num_rows=1024)
+        sim = cc.sim
+        query = select_distinct(["c"])
+        cc.scan_versioned(vst, query)          # deploy shard pipelines
+
+        captured = {}
+
+        def reader():
+            captured["epoch"] = cc.snapshot(vst)
+            result = yield from cc.scan_versioned_proc(vst, query)
+            captured["result"] = result
+
+        def writer():
+            for batch in range(3):
+                yield from cc.update_where_proc(
+                    vst, Compare("a", "<", 300 * (batch + 1)),
+                    {"c": 50 + batch})
+
+        procs = [sim.process(reader()), sim.process(writer())]
+        sim.run()
+        assert all(p.triggered for p in procs)
+        assert cc.snapshot(vst) == 3
+        replay, _ = cc.scan_versioned(vst, query, as_of=captured["epoch"])
+        assert replay.data == captured["result"].data
+
+    def test_cluster_compaction_and_sql_writes(self):
+        schema, rows, single, vt, cc, vst = make_cluster_pair()
+        statement = "UPDATE t SET e = 123 WHERE a < 77"
+        for client in (single, cc):
+            client.sql(statement)
+            client.sql("INSERT INTO t VALUES (9000, 0.5, 1, 2, 3, 4, 5, 6)")
+        cc.compact(vst)
+        single.compact(vt)
+        query = full_scan_query(schema)
+        r1, _ = single.scan_versioned(vt, query)
+        r4, _ = cc.scan_versioned(vst, query)
+        assert r4.data == r1.data
+        assert vst.num_deltas == 0
+
+    def test_non_chunk_partition_rejected(self):
+        cc = ClusterClient(FarviewCluster(Simulator(), 2, TEST_CONFIG))
+        cc.open_connection()
+        schema = default_schema()
+        with pytest.raises(QueryError, match="chunk"):
+            cc.create_versioned_table(
+                "t", schema, seeded_rows(schema, 32, seed=23),
+                partition=PartitionSpec("hash", key="a"))
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: stateful interleaving of writers and snapshot readers
+# ---------------------------------------------------------------------------
+
+class VersioningMachine(RuleBasedStateMachine):
+    """Random write batches against both the simulated node and a pure
+    numpy model; every scan at a random readable epoch must be
+    sha256-identical to the model's serialization at that epoch (the
+    serial re-execution oracle)."""
+
+    def __init__(self):
+        super().__init__()
+        self.client = make_client()
+        self.schema = default_schema()
+        rows = seeded_rows(self.schema, 48, seed=31)
+        self.vt = self.client.create_versioned_table("t", self.schema, rows)
+        self.model = rows.copy()
+        self.history = {0: self.schema.to_bytes(rows)}
+        self.next_a = 10_000
+        self.batch = 0
+        self.query = full_scan_query(self.schema)
+
+    def _record(self, epoch):
+        self.history[epoch] = self.schema.to_bytes(self.model)
+
+    @rule(n=st.integers(min_value=1, max_value=12))
+    def insert(self, n):
+        rows = seeded_rows(self.schema, n, seed=100 + self.batch,
+                           start_a=self.next_a)
+        self.next_a += n
+        self.batch += 1
+        epoch, _ = self.client.insert(self.vt, rows)
+        self.model = np.concatenate([self.model, rows])
+        self._record(epoch)
+
+    @rule(cut=st.integers(min_value=0, max_value=60),
+          value=st.integers(min_value=-1000, max_value=1000))
+    def update(self, cut, value):
+        epoch, _ = self.client.update_where(self.vt, Compare("a", "<", cut),
+                                            {"d": value})
+        self.model = self.model.copy()
+        self.model["d"][self.model["a"] < cut] = value
+        self._record(epoch)
+
+    @rule(cut=st.integers(min_value=0, max_value=80))
+    def delete(self, cut):
+        epoch, _ = self.client.delete_where(
+            self.vt, And(Compare("a", ">=", cut),
+                         Compare("a", "<", cut + 8)))
+        keep = ~((self.model["a"] >= cut) & (self.model["a"] < cut + 8))
+        self.model = self.model[keep]
+        self._record(epoch)
+
+    @precondition(lambda self: self.vt.num_deltas > 0
+                  and self.vt.num_rows > 0)
+    @rule()
+    def compact(self):
+        self.client.compact(self.vt)
+        self.history = {e: img for e, img in self.history.items()
+                        if e >= self.vt.oldest_epoch}
+
+    @rule(data=st.data())
+    def scan_random_epoch(self, data):
+        epoch = data.draw(st.integers(self.vt.oldest_epoch, self.vt.epoch))
+        result, _ = self.client.scan_versioned(self.vt, self.query,
+                                               as_of=epoch)
+        assert sha(result.data) == sha(self.history[epoch]), \
+            f"snapshot at epoch {epoch} diverged from serial re-execution"
+
+    @invariant()
+    def visible_row_count_matches_model(self):
+        assert self.vt.num_rows == len(self.model)
+        assert self.vt.active_pins == 0
+
+
+VersioningMachine.TestCase.settings = settings(
+    max_examples=8, stateful_step_count=12, deadline=None)
+TestVersioningMachine = VersioningMachine.TestCase
+
+
+class ClusterVersioningMachine(RuleBasedStateMachine):
+    """The same oracle on a 4-node cluster: every cluster-wide snapshot
+    read must serialize identically to the numpy model at that epoch
+    (which the single-node tests already pin to single-node bytes)."""
+
+    def __init__(self):
+        super().__init__()
+        self.schema = default_schema()
+        rows = seeded_rows(self.schema, 40, seed=41)
+        self.cc = ClusterClient(
+            FarviewCluster(Simulator(), 4, TEST_CONFIG))
+        self.cc.open_connection()
+        self.vst = self.cc.create_versioned_table("t", self.schema, rows)
+        self.model = rows.copy()
+        self.history = {0: self.schema.to_bytes(rows)}
+        self.next_a = 10_000
+        self.batch = 0
+        self.query = full_scan_query(self.schema)
+
+    def _record(self, epoch):
+        self.history[epoch] = self.schema.to_bytes(self.model)
+
+    @rule(n=st.integers(min_value=1, max_value=10))
+    def insert(self, n):
+        rows = seeded_rows(self.schema, n, seed=200 + self.batch,
+                           start_a=self.next_a)
+        self.next_a += n
+        self.batch += 1
+        epoch, _ = self.cc.insert(self.vst, rows)
+        self.model = np.concatenate([self.model, rows])
+        self._record(epoch)
+
+    @rule(cut=st.integers(min_value=0, max_value=50),
+          value=st.integers(min_value=-99, max_value=99))
+    def update(self, cut, value):
+        epoch, _ = self.cc.update_where(self.vst, Compare("a", "<", cut),
+                                        {"e": value})
+        self.model = self.model.copy()
+        self.model["e"][self.model["a"] < cut] = value
+        self._record(epoch)
+
+    @rule(cut=st.integers(min_value=0, max_value=60))
+    def delete(self, cut):
+        epoch, _ = self.cc.delete_where(
+            self.vst, And(Compare("a", ">=", cut),
+                          Compare("a", "<", cut + 6)))
+        keep = ~((self.model["a"] >= cut) & (self.model["a"] < cut + 6))
+        self.model = self.model[keep]
+        self._record(epoch)
+
+    @rule(data=st.data())
+    def scan_random_epoch(self, data):
+        floor = max(s.table.oldest_epoch for s in self.vst.shards)
+        epoch = data.draw(st.integers(floor, self.vst.epoch))
+        result, _ = self.cc.scan_versioned(self.vst, self.query,
+                                           as_of=epoch)
+        assert sha(result.data) == sha(self.history[epoch]), \
+            f"cluster snapshot at epoch {epoch} diverged"
+
+    @invariant()
+    def shard_epochs_agree(self):
+        assert all(s.table.epoch == self.vst.epoch
+                   for s in self.vst.shards)
+
+
+ClusterVersioningMachine.TestCase.settings = settings(
+    max_examples=5, stateful_step_count=10, deadline=None)
+TestClusterVersioningMachine = ClusterVersioningMachine.TestCase

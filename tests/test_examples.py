@@ -14,6 +14,7 @@ EXAMPLES = [
     "multi_tenant",
     "buffer_cache",
     "sql_interface",
+    "read_write",
 ]
 
 

@@ -11,6 +11,7 @@ from repro.experiments import (
     fig12_multiclient,
     fig13_scaleout,
     fig14_pushdown,
+    fig15_updates,
     table1_resources,
 )
 
@@ -126,6 +127,34 @@ def test_fig14_crossover_and_auto_tracking():
     assert off.y_at(1.0) < ship.y_at(1.0)     # materialization dominates
     for x in (0.25, 1.0):
         assert auto.y_at(x) <= min(off.y_at(x), ship.y_at(x)) * 1.10
+
+
+def test_fig15_delta_sweep_shapes():
+    """Scan latency grows with the delta fraction, shipping grows faster
+    (it adds the client-side merge), and the compacted scan is flat at
+    the chain-free latency."""
+    panel = fig15_updates.run_delta_sweep(fractions=(0.0, 0.5),
+                                          table_bytes=128 * KB)
+    deltas = panel.series_named("FV-deltas")
+    ship = panel.series_named("FV-ship")
+    compacted = panel.series_named("FV-compacted")
+    xs = deltas.xs
+    assert deltas.points[1].y > deltas.points[0].y
+    assert (ship.points[1].y - ship.points[0].y
+            > deltas.points[1].y - deltas.points[0].y)
+    assert compacted.points[1].y == pytest.approx(compacted.points[0].y,
+                                                  rel=0.01)
+    assert compacted.points[1].y < deltas.points[1].y
+    assert xs[0] == 0.0 and xs[1] > 0.0
+
+
+def test_fig15_scan_under_update_isolation_and_contention():
+    """The runner itself asserts every scan equals a quiesced replay at
+    its pinned epoch; here: writers only add contention latency."""
+    panel = fig15_updates.run_scan_under_update(rates=(0, 4),
+                                                table_bytes=64 * KB)
+    latency = panel.series_named("FV-under-update")
+    assert latency.points[1].y > latency.points[0].y
 
 
 def test_experiment_result_rendering():
