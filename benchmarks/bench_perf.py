@@ -62,6 +62,9 @@ BASELINE_WALL_S: dict[str, float] = {
     # fig15 first appeared with the versioned write path (PR 4); same
     # first-measurement convention.
     "fig15_updates": 0.1115,
+    # fig16 first appeared with end-to-end joins (PR 5); same
+    # first-measurement convention.
+    "fig16_joins": 0.0647,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -76,6 +79,7 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig13_scaleout": 52477.39851864427,
     "fig14_pushdown": 885469.9437036433,
     "fig15_updates": 506161.7501241565,
+    "fig16_joins": 594298.7022225005,
 }
 
 #: Pinned expectations for the ``--check`` gate: the SMOKE-size runs are
@@ -92,6 +96,7 @@ SMOKE_BASELINE_SIM_NS: dict[str, float] = {
     "fig13_scaleout": 10000.361481495202,
     "fig14_pushdown": 318579.70370370464,
     "fig15_updates": 41392.16197529016,
+    "fig16_joins": 367966.41580253653,
 }
 
 SMOKE_BASELINE_SHA256: dict[str, str] = {
@@ -109,6 +114,8 @@ SMOKE_BASELINE_SHA256: dict[str, str] = {
         "20e45b49a25a4712126e76a1722921ae4424772cea5969b1644b9c4f7393bc0d",
     "fig15_updates":
         "5d47718a640b4ca9f901fab0aa143c9a3bd4714bf5fb6ab11783c2ac98d1d721",
+    "fig16_joins":
+        "2733ae049451805796db2e74753a169d14e1fa099bdd8fa913e939df1b40bd9b",
 }
 
 
@@ -433,6 +440,81 @@ def run_fig15_updates(table_kb: int):
     }
 
 
+def run_fig16_joins(table_kb: int):
+    """End-to-end joins: placement trio + 2-node broadcast join (fig 16).
+
+    The measured phase runs ``fact JOIN dim`` under all three placements
+    on cold small regions (one node per strategy, shared simulator) and
+    then a warm broadcast join over a 2-node pool (deploy + broadcast
+    excluded, like every other warm workload).  The digest covers the
+    canonical result bytes of all four executions — the single-node
+    placements and the cluster merge must all be byte-identical, and
+    ``auto`` must land within 10% of the better pure strategy.
+    """
+    from repro.core.api import (ClusterClient, FarviewClient,
+                                canonical_result_bytes)
+    from repro.core.cluster import FarviewCluster
+    from repro.core.cost_model import PlanStats
+    from repro.experiments.fig14_pushdown import scenario_config
+    from repro.experiments.fig16_joins import (DIM_SCHEMA, join_query,
+                                               make_dim, make_fact)
+
+    build_rows = max(64, table_kb // 2)
+    schema, fact = make_fact(table_kb * KB // 64, key_range=build_rows)
+    dim = make_dim(build_rows)
+    stats = PlanStats(join_match_ratio=1.0)
+    buffer_capacity = 2 * table_kb * KB + 64 * KB
+
+    sim = Simulator()
+    config = scenario_config()
+    clients, tables = [], []
+    for strategy in ("offload", "ship", "auto"):
+        node = FarviewNode(sim, config)
+        client = FarviewClient(node, buffer_capacity=buffer_capacity)
+        client.open_connection()
+        dim_table = FTable(f"dim_{strategy}", DIM_SCHEMA, len(dim))
+        client.alloc_table_mem(dim_table)
+        client.table_write(dim_table, dim)
+        fact_table = FTable(f"fact_{strategy}", schema, len(fact))
+        client.alloc_table_mem(fact_table)
+        client.table_write(fact_table, fact)
+        clients.append(client)
+        tables.append((fact_table, dim_table))
+
+    cluster_client = ClusterClient(FarviewCluster(sim, 2, _bench_config()))
+    cluster_client.open_connection()
+    dim_sharded = cluster_client.create_table("dim", DIM_SCHEMA, dim)
+    fact_sharded = cluster_client.create_table("fact", schema, fact)
+    cluster_query = join_query(dim_sharded)
+    cluster_client.far_view(fact_sharded, cluster_query)  # deploy+broadcast
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    elapsed, digests = {}, []
+    for strategy, client, (fact_table, dim_table) in zip(
+            ("offload", "ship", "auto"), clients, tables):
+        result, t_ns = client.far_view_planned(
+            fact_table, join_query(dim_table), placement=strategy,
+            stats=stats)
+        elapsed[strategy] = t_ns
+        digests.append(canonical_result_bytes(result))
+    cluster_result, _ = cluster_client.far_view(fact_sharded, cluster_query)
+    digests.append(cluster_result.data)
+    wall = time.perf_counter() - t0
+    assert all(d == digests[0] for d in digests[1:]), \
+        "join result bytes diverged across placements/pool"
+    auto_within = (elapsed["auto"]
+                   <= 1.10 * min(elapsed["offload"], elapsed["ship"]))
+    assert auto_within, f"auto planner off the min: {elapsed}"
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(*digests),
+        "table_bytes": 4 * len(fact) * schema.row_width,
+        "auto_within_10pct": auto_within,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -443,6 +525,7 @@ FULL = {
     "fig13_scaleout": lambda: run_fig13_scaleout(1024, num_nodes=4),
     "fig14_pushdown": lambda: run_fig14_pushdown(1024),
     "fig15_updates": lambda: run_fig15_updates(1024),
+    "fig16_joins": lambda: run_fig16_joins(256),
 }
 
 SMOKE = {
@@ -453,6 +536,7 @@ SMOKE = {
     "fig13_scaleout": lambda: run_fig13_scaleout(64, num_nodes=2),
     "fig14_pushdown": lambda: run_fig14_pushdown(64),
     "fig15_updates": lambda: run_fig15_updates(64),
+    "fig16_joins": lambda: run_fig16_joins(64),
 }
 
 

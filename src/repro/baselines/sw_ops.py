@@ -13,9 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..common.errors import OperatorError
 from ..common.records import Schema
 from ..operators.aggregate import Accumulator, AggregateSpec, batch_accumulate
 from ..operators.crypto import AesCtr
+from ..operators.join import join_output_schema
 from ..operators.regex_engine import CompiledRegex
 from ..operators.selection import Predicate
 from .hashmap import SoftwareHashMap
@@ -134,6 +136,64 @@ def software_aggregate(rows: np.ndarray, schema: Schema,
         idx = (value_columns.index(spec.column)
                if spec.column in value_columns else 0)
         out[spec.alias][0] = acc.result(spec, idx)
+    return out
+
+
+def software_join(rows: np.ndarray, schema: Schema,
+                  build_rows: np.ndarray, build_schema: Schema,
+                  build_key: str, probe_key: str,
+                  payload_columns: list[str]) -> np.ndarray:
+    """Inner hash join on the client, as the LCPU query thread would.
+
+    Byte-compatible with
+    :class:`~repro.operators.join.SmallTableJoinOperator`: the build hash
+    is keyed on the serialized key image, build keys must be unique, and
+    matched probe tuples are emitted in probe order with the payload
+    columns appended under the same collision-renaming rule — so the
+    hybrid planner can ship a join and still produce the offloaded bytes
+    exactly.  Unlike the on-chip hash there is no capacity ceiling: this
+    kernel is where a build-overflow refusal sends the join.
+    """
+    probe_col = schema.column(probe_key)
+    build_col = build_schema.column(build_key)
+    if probe_col.kind != build_col.kind or probe_col.width != build_col.width:
+        raise OperatorError(
+            f"join key type mismatch: probe {probe_key!r} is "
+            f"{probe_col.kind}({probe_col.width}), build "
+            f"{build_key!r} is {build_col.kind}({build_col.width})")
+    key_schema = build_schema.project([build_key])
+    width = key_schema.row_width
+    bkeys = key_schema.empty(len(build_rows))
+    bkeys[build_key] = build_rows[build_key]
+    braw = key_schema.to_bytes(bkeys)
+    # The same resizable map the other software kernels use — it is the
+    # structure the cost model's hash/resize terms are calibrated to.
+    table = SoftwareHashMap()
+    for i in range(len(build_rows)):
+        key = braw[i * width:(i + 1) * width]
+        if not table.put(key, i):
+            raise OperatorError(
+                f"duplicate build key at row {i}: the small table must "
+                f"have unique join keys")
+    pkeys = key_schema.empty(len(rows))
+    pkeys[build_key] = rows[probe_key]
+    praw = key_schema.to_bytes(pkeys)
+    probe_idx: list[int] = []
+    build_idx: list[int] = []
+    for i in range(len(rows)):
+        j = table.get(praw[i * width:(i + 1) * width])
+        if j is not None:
+            probe_idx.append(i)
+            build_idx.append(j)
+    out_schema = join_output_schema(schema, build_schema, payload_columns)
+    out = out_schema.empty(len(probe_idx))
+    payload_names = list(out_schema.names[len(schema.names):])
+    pidx = np.asarray(probe_idx, dtype=np.int64)
+    bidx = np.asarray(build_idx, dtype=np.int64)
+    for name in schema.names:
+        out[name] = rows[name][pidx]
+    for out_name, src_name in zip(payload_names, payload_columns):
+        out[out_name] = build_rows[src_name][bidx]
     return out
 
 

@@ -32,6 +32,7 @@ from .experiments import (
     fig13_scaleout,
     fig14_pushdown,
     fig15_updates,
+    fig16_joins,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -69,6 +70,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
     "fig15": ("Figure 15 (extension): versioned write path, "
               "scan-under-update and compaction",
               lambda: _as_list(fig15_updates.run())),
+    "fig16": ("Figure 16 (extension): end-to-end joins — placement vs "
+              "build size, broadcast scale-out",
+              lambda: _as_list(fig16_joins.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.
@@ -79,6 +83,7 @@ _PANELS = {
     "fig11a": "fig11", "fig11b": "fig11",
     "fig14_w64": "fig14", "fig14_w256": "fig14", "fig14_w512": "fig14",
     "fig15a": "fig15", "fig15b": "fig15",
+    "fig16a": "fig16", "fig16b": "fig16",
 }
 
 
@@ -146,6 +151,9 @@ def cmd_sql(args: argparse.Namespace) -> int:
     from .experiments.common import make_bench
     from .workloads.generator import make_rows
 
+    from .common.records import Column, Schema
+    from .core.table import FTable
+
     bench = make_bench()
     schema = default_schema()
     rows = make_rows(schema, args.rows)
@@ -153,6 +161,15 @@ def cmd_sql(args: argparse.Namespace) -> int:
     # A *versioned* demo table, so INSERT / UPDATE / DELETE statements
     # work alongside SELECTs (each write commits a delta + epoch bump).
     table = bench.client.create_versioned_table(args.table, schema, rows)
+    # A small dimension table keyed on demo.c, so JOIN statements work:
+    #   SELECT c, rate FROM demo JOIN dim ON demo.c = dim.id
+    dim_schema = Schema([Column("id", "int64"), Column("rate", "float64")])
+    dim_rows = dim_schema.empty(16)
+    dim_rows["id"] = np.arange(16)
+    dim_rows["rate"] = np.arange(16) * 0.5
+    dim = FTable("dim", dim_schema, 16)
+    bench.client.alloc_table_mem(dim)
+    bench.client.table_write(dim, dim_rows)
     result, elapsed = bench.client.sql(args.statement)
     if isinstance(result, (int, np.integer)):
         # A write statement: the result is the new committed epoch.

@@ -56,6 +56,16 @@ class RegionUnavailableError(OperatorError):
     """No free dynamic region is available for a new client."""
 
 
+class JoinBuildOverflowError(PipelineCompilationError):
+    """A join's build side does not fit the region's on-chip hash.
+
+    Raised both by the compiler's capacity pre-check (row count exceeds
+    the cuckoo slots) and by the build loader when kick chains exhaust
+    below nominal capacity.  A typed refusal — never a silent wrong
+    answer: the caller must ship the join to the client instead
+    (``placement="auto"``/``"ship"`` does so automatically)."""
+
+
 class RegexSyntaxError(OperatorError):
     """The regex engine rejected a pattern."""
 

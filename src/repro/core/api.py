@@ -41,7 +41,10 @@ Single node (:class:`FarviewClient`)  Cluster (:class:`ClusterClient`)
 ``far_view(ft, query)``               ``far_view(st, query)`` — scatter the
                                       rewritten shard fragment, gather +
                                       merge (DISTINCT dedup, GROUP BY /
-                                      aggregate partial re-merge)
+                                      aggregate partial re-merge); a join
+                                      broadcasts the build table to every
+                                      node first (replicas cached until
+                                      the build table is dropped)
 ``select`` / ``select_distinct`` /    same helpers, same signatures, against
 ``group_by`` / ``sql``                the cluster catalog
 ====================================  =======================================
@@ -94,7 +97,8 @@ import numpy as np
 
 from ..baselines.cpu_model import CostBreakdown, CpuCostModel
 from ..baselines.sw_ops import software_decrypt
-from ..common.errors import ConnectionError_, QueryError
+from ..common.errors import (ConnectionError_, JoinBuildOverflowError,
+                             QueryError)
 from ..common.records import Schema
 from ..operators.aggregate import AggregateSpec
 from ..operators.crypto import AesCtr
@@ -244,20 +248,30 @@ def _client_compute(sim, ns: float):
 def _execute_planned(sim, plan: PlacementPlan, query: Query,
                      cpu: CpuCostModel, *, read_raw, run_fragment,
                      schema: Schema,
-                     decrypt_keys: Optional[tuple[bytes, bytes]]):
+                     decrypt_keys: Optional[tuple[bytes, bytes]],
+                     read_build=None):
     """Shared ship/hybrid execution body for both clients.
 
     ``read_raw()`` returns the raw table bytes (single-node read or
     scatter-gathered shard streams); ``run_fragment(fragment)`` returns
-    the offloaded fragment's result object.  The software remainder runs
-    through :func:`~repro.core.planner.run_client_steps`, its
-    :class:`CostBreakdown` time advances the simulator clock, and the
+    the offloaded fragment's result object; ``read_build()`` (required
+    when the plan ships the join) returns the build table's decoded rows
+    plus the bytes that crossed the wire for them.  The software
+    remainder runs through :func:`~repro.core.planner.run_client_steps`,
+    its :class:`CostBreakdown` time advances the simulator clock, and the
     plan's explain is stamped with the actual response time.
     """
     start = sim.now
     cost = CostBreakdown()
     cost.add("setup", cpu.setup_ns())
     client_steps = list(plan.client_steps)
+    build_rows = None
+    if "join" in client_steps:
+        if read_build is None:
+            raise QueryError(
+                "this client cannot ship a join: no build-side reader")
+        build_rows, build_shipped = read_build()
+        cost.add("read", cpu.read_ns(build_shipped))
     if plan.fragment is None:
         data = read_raw()
         shipped = len(data)
@@ -284,7 +298,8 @@ def _execute_planned(sim, plan: PlacementPlan, query: Query,
                    else fragment_result.bytes_shipped)
         cost.add("read", cpu.read_ns(shipped))
     rows, current = run_client_steps(rows, current, client_steps,
-                                     query, cpu, cost)
+                                     query, cpu, cost,
+                                     build_rows=build_rows)
     cost.add("write", cpu.write_ns(len(rows) * current.row_width))
     sim.run_process(_client_compute(sim, cost.total_ns), "client-compute")
     elapsed = sim.now - start
@@ -421,10 +436,15 @@ class FarviewClient:
             result = yield from self.scan_versioned_proc(table, query)
             return result
         conn = self._require_conn()
-        compiled = self._compile(table, query)
-        conn.qp.buffer.reset()
-        start = self.sim.now
-        report = yield from self.node.serve_farview(conn, table, compiled)
+        build, build_token = self._pin_join_build(query)
+        try:
+            compiled = self._compile(table, query)
+            conn.qp.buffer.reset()
+            start = self.sim.now
+            report = yield from self.node.serve_farview(conn, table, compiled)
+        finally:
+            if build is not None:
+                self._release_pin(build, build_token)
         self._attach_group_meta(compiled, report)
         data = conn.qp.buffer.read(0, report.bytes_shipped)
         return QueryResult(
@@ -433,6 +453,20 @@ class FarviewClient:
             report=report,
             response_time_ns=self.sim.now - start,
             output_key=query.encrypt_output)
+
+    def _pin_join_build(self, query: Query):
+        """Pin a versioned join build side at its current epoch.
+
+        The pin is taken before any simulated time passes (the compile
+        resolves the same epoch into the build view), so a dimension
+        table being updated — or compacted — mid-scan cannot change or
+        free the segments this join reads.  Returns ``(table, token)``
+        or ``(None, None)`` when there is nothing to pin.
+        """
+        build = query.join.build_table if query.join is not None else None
+        if isinstance(build, VersionedTable):
+            return build, build.pin(build.epoch)
+        return None, None
 
     def _compile(self, table: FTable, query: Query) -> CompiledQuery:
         # Pipelines are stateful/one-shot: always build a fresh one, but the
@@ -623,6 +657,7 @@ class FarviewClient:
         conn = self._require_conn()
         epoch = vt.epoch if as_of is None else as_of
         token = vt.pin(epoch)
+        build, build_token = self._pin_join_build(query)
         try:
             view = vt.view_at(epoch)
             compiled = compile_query(self._versioned_query(query),
@@ -638,6 +673,8 @@ class FarviewClient:
                 response_time_ns=self.sim.now - start,
                 output_key=query.encrypt_output)
         finally:
+            if build is not None:
+                self._release_pin(build, build_token)
             self._release_pin(vt, token)
 
     @staticmethod
@@ -721,8 +758,20 @@ class FarviewClient:
         plan = self.plan_versioned(vt, query, epoch, placement, stats,
                                    lease_manager)
         if plan.full_offload:
-            result, elapsed = self._run(
-                self.scan_versioned_proc(vt, query, epoch), "scan_versioned")
+            try:
+                result, elapsed = self._run(
+                    self.scan_versioned_proc(vt, query, epoch),
+                    "scan_versioned")
+            except JoinBuildOverflowError:
+                # The on-chip build load overflowed below nominal
+                # capacity (data-dependent kick exhaustion); re-plan
+                # with the join on the client.
+                if placement != "auto" or query.join is None:
+                    raise
+                plan = self.plan_versioned(vt, query, epoch, placement,
+                                           stats, lease_manager,
+                                           refuse_join_offload=True)
+                return self._scan_versioned_planned(vt, query, epoch, plan)
             plan.explain.actual_ns = elapsed
             result.explain = plan.explain
             return result, elapsed
@@ -731,7 +780,8 @@ class FarviewClient:
     def plan_versioned(self, vt: VersionedTable, query: Query,
                        epoch: int | None = None, placement: str = "auto",
                        stats: PlanStats | None = None,
-                       lease_manager=None) -> PlacementPlan:
+                       lease_manager=None,
+                       refuse_join_offload: bool = False) -> PlacementPlan:
         """Plan a versioned scan: base + K delta segments on the ingest
         side, raw segment reads + software merge on the ship side."""
         epoch = vt.epoch if epoch is None else epoch
@@ -745,7 +795,8 @@ class FarviewClient:
             total_rows=vt.visible_rows_at(epoch),
             buffer_capacity=self._buffer_capacity,
             scan_bytes=float(view.scan_bytes),
-            delta_rows=float(view.delta_rows))
+            delta_rows=float(view.delta_rows),
+            refuse_join_offload=refuse_join_offload)
 
     def _scan_versioned_planned(self, vt: VersionedTable, query: Query,
                                 epoch: int, plan: PlacementPlan):
@@ -756,6 +807,10 @@ class FarviewClient:
         start = sim.now
         cost = CostBreakdown()
         cost.add("setup", cpu.setup_ns())
+        build_rows = None
+        if "join" in plan.client_steps:
+            build_rows, build_shipped = self._read_join_build(query)
+            cost.add("read", cpu.read_ns(build_shipped))
         if plan.fragment is None:
             rows, _ids, shipped = sim.run_process(
                 self.read_version_proc(vt, epoch), "read_version")
@@ -774,7 +829,7 @@ class FarviewClient:
             cost.add("read", cpu.read_ns(shipped))
         rows, current = run_client_steps(rows, current,
                                          list(plan.client_steps), query,
-                                         cpu, cost)
+                                         cpu, cost, build_rows=build_rows)
         cost.add("write", cpu.write_ns(len(rows) * current.row_width))
         sim.run_process(_client_compute(sim, cost.total_ns),
                         "client-compute")
@@ -789,7 +844,8 @@ class FarviewClient:
     # -- cost-based placement (offload vs ship-to-compute) -----------------------------------
     def plan(self, table: FTable, query: Query, placement: str = "auto",
              stats: PlanStats | None = None,
-             lease_manager=None) -> PlacementPlan:
+             lease_manager=None,
+             refuse_join_offload: bool = False) -> PlacementPlan:
         """Plan (but do not run) ``query``: where should each operator go?
 
         The estimate accounts for the pipeline currently loaded in this
@@ -803,7 +859,8 @@ class FarviewClient:
                               cpu=self._cpu,
                               loaded_signature=region.loaded_pipeline,
                               lease_manager=lease_manager,
-                              buffer_capacity=self._buffer_capacity)
+                              buffer_capacity=self._buffer_capacity,
+                              refuse_join_offload=refuse_join_offload)
 
     def far_view_planned(self, table: FTable, query: Query,
                          placement: str = "auto",
@@ -824,7 +881,25 @@ class FarviewClient:
             return self.scan_versioned(table, query, placement=placement,
                                        stats=stats,
                                        lease_manager=lease_manager)
-        plan = self.plan(table, query, placement, stats, lease_manager)
+        try:
+            return self._far_view_planned_once(table, query, placement,
+                                               stats, lease_manager)
+        except JoinBuildOverflowError:
+            # The compile-time capacity pre-check is nominal; cuckoo
+            # kick chains can exhaust below it while actually loading
+            # the build.  Under auto the refusal is productive: re-plan
+            # with the join forced to the client.
+            if placement != "auto" or query.join is None:
+                raise
+            return self._far_view_planned_once(table, query, placement,
+                                               stats, lease_manager,
+                                               refuse_join_offload=True)
+
+    def _far_view_planned_once(self, table: FTable, query: Query,
+                               placement: str, stats, lease_manager,
+                               refuse_join_offload: bool = False):
+        plan = self.plan(table, query, placement, stats, lease_manager,
+                         refuse_join_offload=refuse_join_offload)
         if plan.full_offload:
             result, elapsed = self.far_view(table, query)
             plan.explain.actual_ns = elapsed
@@ -836,7 +911,24 @@ class FarviewClient:
             run_fragment=lambda fragment: self.far_view(table, fragment)[0],
             schema=table.schema,
             decrypt_keys=((table.key, table.nonce)
-                          if table.encrypted else None))
+                          if table.encrypted else None),
+            read_build=lambda: self._read_join_build(query))
+
+    def _read_join_build(self, query: Query):
+        """Fetch + decode a shipped join's build side (timed raw read).
+
+        A versioned build reads every segment of the chain pinned at the
+        current epoch and merges client-side (the same oracle
+        :meth:`read_version_proc` provides); a plain table is one raw
+        RDMA read.  Returns ``(build_rows, bytes_shipped)``.
+        """
+        build = query.join.build_table
+        if isinstance(build, VersionedTable):
+            (rows, _ids, shipped), _ = self._run(
+                self.read_version_proc(build), "read_build")
+            return rows, shipped
+        data, _ = self.table_read(build)
+        return build.schema.from_bytes(data), len(data)
 
     # -- paper-style higher-level helpers (§4.2's `select`) ----------------------------------
     def select(self, table: FTable, columns: list[str] | None,
@@ -884,16 +976,20 @@ class FarviewClient:
         a ``/*+ placement(...) */`` hint, then full offload.  Returns
         ``(result, elapsed_ns)``.
         """
-        from .sql import ParsedWrite, parse_sql
+        from .sql import ParsedWrite, parse_sql, resolve_join_query
 
         parsed = parse_sql(statement)
         table = self.catalog.lookup(parsed.table)
         if isinstance(parsed, ParsedWrite):
             return self._execute_write(table, parsed)
+        query = parsed.query
+        if parsed.join is not None:
+            build = self.catalog.lookup(parsed.join.table)
+            query = resolve_join_query(parsed, table.schema, build)
         placement = placement or parsed.placement or "offload"
         if placement == "offload":
-            return self.far_view(table, parsed.query)
-        return self.far_view_planned(table, parsed.query, placement, stats)
+            return self.far_view(table, query)
+        return self.far_view_planned(table, query, placement, stats)
 
     def _execute_write(self, table, parsed):
         """Dispatch a parsed INSERT/UPDATE/DELETE to the write verbs."""
@@ -963,6 +1059,15 @@ class ClusterClient:
         self.catalog = Catalog()
         self._clients = [FarviewClient(node, buffer_capacity)
                          for node in cluster.nodes]
+        #: Broadcast join build replicas: build name -> node index ->
+        #: the node-local copy of the dimension table.  Replicas are
+        #: immutable (plain tables only) so they stay valid until the
+        #: build table is dropped.
+        self._join_replicas: dict[str, dict[int, FTable]] = {}
+        #: In-flight broadcasts by build name: concurrent joins against
+        #: the same dimension table share one broadcast process instead
+        #: of racing the cache and leaking the loser's replicas.
+        self._join_broadcasts: dict[str, object] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -1051,11 +1156,104 @@ class ClusterClient:
 
         Reuses the single-node :meth:`FarviewClient.drop_table` per
         shard, so plain and versioned shard tables (whole chains) are
-        handled uniformly.
+        handled uniformly.  Broadcast join replicas of the table are
+        freed too.
         """
         for shard in sharded.shards:
             self._clients[shard.node_index].drop_table(shard.table)
+        for node_index, replica in self._join_replicas.pop(
+                sharded.name, {}).items():
+            client = self._clients[node_index]
+            client.node.free_table_mem(client.connection, replica)
+        self._join_broadcasts.pop(sharded.name, None)
         self.catalog.deregister(sharded.name)
+
+    # -- broadcast joins ------------------------------------------------------
+    def _ensure_join_replicas_proc(self, build):
+        """Process: replicate a join's build table onto every node.
+
+        The build-side broadcast of a distributed small-table join:
+        gather the dimension table's bytes from its shards (ordinary
+        scatter raw reads), then write one full copy into every node's
+        pool memory in parallel — all timed through the normal
+        wire/ingest model.  Replicas are cached per build name; repeated
+        joins against the same dimension table pay the broadcast once.
+        """
+        if isinstance(build, (VersionedTable, VersionedShardedTable)):
+            raise QueryError(
+                "versioned build sides are single-node only; materialize "
+                "the dimension table into a plain cluster table to join "
+                "against it pool-wide")
+        if not isinstance(build, ShardedTable):
+            raise QueryError(
+                "cluster joins need the build table registered in the "
+                "cluster catalog (create it with create_table)")
+        cached = self._join_replicas.get(build.name)
+        if cached is not None:
+            return cached
+        inflight = self._join_broadcasts.get(build.name)
+        if inflight is None:
+            inflight = self.sim.process(
+                self._broadcast_build_proc(build),
+                name=f"cluster.broadcast[{build.name}]")
+            self._join_broadcasts[build.name] = inflight
+        replicas = yield inflight
+        return replicas
+
+    def _broadcast_build_proc(self, build: ShardedTable):
+        """Process: the broadcast itself (one in flight per build name)."""
+        replicas: dict[int, FTable] = {}
+        try:
+            data = yield from self.table_read_proc(build)
+            procs = []
+            for node_index, client in enumerate(self._clients):
+                replica = FTable(f"{build.name}@bcast{node_index}",
+                                 build.schema, build.num_rows)
+                client.node.alloc_table_mem(client.connection, replica)
+                replicas[node_index] = replica
+                procs.append(self.sim.process(
+                    client.node.serve_write(client.connection, replica,
+                                            data),
+                    name=f"cluster.broadcast[{replica.name}]"))
+            yield self.sim.all_of(procs)
+        except BaseException:
+            # A failed broadcast (e.g. a node out of pool memory) must
+            # not leave a dead in-flight handle behind — later joins
+            # would wait on it forever — nor leak partial replicas.
+            self._join_broadcasts.pop(build.name, None)
+            for node_index, replica in replicas.items():
+                if replica.allocated:
+                    client = self._clients[node_index]
+                    client.node.free_table_mem(client.connection, replica)
+            raise
+        # Publish cache and retire the in-flight handle in one step (no
+        # yields between), so callers see exactly one of the two.  A
+        # drop_table mid-broadcast removes the in-flight handle; the
+        # orphaned replicas are then freed instead of cached.
+        if self._join_broadcasts.pop(build.name, None) is not None:
+            self._join_replicas[build.name] = replicas
+        else:
+            for node_index, replica in replicas.items():
+                client = self._clients[node_index]
+                client.node.free_table_mem(client.connection, replica)
+        return replicas
+
+    @staticmethod
+    def _localize_join(shard_query: Query, replicas: dict[int, FTable],
+                       node_index: int) -> Query:
+        """Swap the node-local build replica into one shard's fragment."""
+        spec = replace(shard_query.join, build_table=replicas[node_index])
+        return replace(shard_query, join=spec)
+
+    def _read_join_build(self, query: Query):
+        """Gather + decode a shipped join's build side (timed reads)."""
+        build = query.join.build_table
+        if not isinstance(build, ShardedTable):
+            raise QueryError(
+                "cluster joins need the build table registered in the "
+                "cluster catalog (create it with create_table)")
+        data, _ = self.table_read(build)
+        return build.schema.from_bytes(data), len(data)
 
     # -- versioned write path (two-phase epoch broadcast) --------------------
     def create_versioned_table(self, name: str, schema: Schema,
@@ -1182,10 +1380,18 @@ class ClusterClient:
         epoch = sharded.epoch if as_of is None else as_of
         plan = plan_scatter(query)
         start = self.sim.now
+        shard_queries = {s.node_index: plan.shard_query
+                         for s in sharded.shards}
+        if query.join is not None:
+            replicas = yield from self._ensure_join_replicas_proc(
+                query.join.build_table)
+            shard_queries = {
+                idx: self._localize_join(plan.shard_query, replicas, idx)
+                for idx in shard_queries}
         procs = [
             self.sim.process(
                 self._clients[s.node_index].scan_versioned_proc(
-                    s.table, plan.shard_query, epoch),
+                    s.table, shard_queries[s.node_index], epoch),
                 name=f"cluster.vscan[{s.table.name}]")
             for s in sharded.shards]
         shard_results = yield self.sim.all_of(procs)
@@ -1266,16 +1472,29 @@ class ClusterClient:
         return b"".join(chunks)
 
     def far_view_proc(self, sharded: ShardedTable, query: Query):
-        """Process: scatter the shard fragment, gather + merge results."""
+        """Process: scatter the shard fragment, gather + merge results.
+
+        Queries with a join broadcast the build side first (cached after
+        the first execution), then every shard probes its fact rows
+        against the node-local replica.
+        """
         if isinstance(sharded, VersionedShardedTable):
             result = yield from self.scan_versioned_proc(sharded, query)
             return result
         plan = plan_scatter(query)
         start = self.sim.now
+        shard_queries = {s.node_index: plan.shard_query
+                         for s in sharded.shards}
+        if query.join is not None:
+            replicas = yield from self._ensure_join_replicas_proc(
+                query.join.build_table)
+            shard_queries = {
+                idx: self._localize_join(plan.shard_query, replicas, idx)
+                for idx in shard_queries}
         procs = [
             self.sim.process(
                 self._clients[s.node_index].far_view_proc(
-                    s.table, plan.shard_query),
+                    s.table, shard_queries[s.node_index]),
                 name=f"cluster.farview[{s.table.name}]")
             for s in sharded.shards]
         shard_results = yield self.sim.all_of(procs)
@@ -1331,7 +1550,8 @@ class ClusterClient:
     # -- cost-based placement (offload vs ship-to-compute) -------------------
     def plan(self, sharded: ShardedTable, query: Query,
              placement: str = "auto", stats: PlanStats | None = None,
-             lease_manager=None) -> PlacementPlan:
+             lease_manager=None,
+             refuse_join_offload: bool = False) -> PlacementPlan:
         """Plan ``query`` over the pool: offload, ship, or hybrid.
 
         Estimates use pool-level cardinalities with per-shard streaming
@@ -1350,7 +1570,8 @@ class ClusterClient:
             lease_manager=lease_manager,
             shards=len(sharded.shards), total_rows=sharded.num_rows,
             buffer_capacity=(self._clients[first.node_index]
-                             ._buffer_capacity))
+                             ._buffer_capacity),
+            refuse_join_offload=refuse_join_offload)
 
     def far_view_planned(self, sharded: ShardedTable, query: Query,
                          placement: str = "auto",
@@ -1372,7 +1593,23 @@ class ClusterClient:
                     "shard ship/hybrid placement is a single-node "
                     "feature); use placement='offload'")
             return self.far_view(sharded, query)
-        plan = self.plan(sharded, query, placement, stats, lease_manager)
+        try:
+            return self._far_view_planned_once(sharded, query, placement,
+                                               stats, lease_manager)
+        except JoinBuildOverflowError:
+            # Same fallback as the single-node client: a build load that
+            # overflowed below nominal capacity reroutes to the client.
+            if placement != "auto" or query.join is None:
+                raise
+            return self._far_view_planned_once(sharded, query, placement,
+                                               stats, lease_manager,
+                                               refuse_join_offload=True)
+
+    def _far_view_planned_once(self, sharded: ShardedTable, query: Query,
+                               placement: str, stats, lease_manager,
+                               refuse_join_offload: bool = False):
+        plan = self.plan(sharded, query, placement, stats, lease_manager,
+                         refuse_join_offload=refuse_join_offload)
         cpu = self._clients[sharded.shards[0].node_index]._cpu
         if plan.full_offload:
             result, elapsed = self.far_view(sharded, query)
@@ -1386,7 +1623,8 @@ class ClusterClient:
             read_raw=lambda: self.table_read(sharded)[0],
             run_fragment=lambda fragment: self.far_view(sharded,
                                                         fragment)[0],
-            schema=sharded.schema, decrypt_keys=None)
+            schema=sharded.schema, decrypt_keys=None,
+            read_build=lambda: self._read_join_build(query))
 
     # -- paper-style higher-level helpers ------------------------------------
     def select(self, sharded: ShardedTable, columns: list[str] | None,
@@ -1427,14 +1665,18 @@ class ClusterClient:
         two-phase epoch broadcast and return ``(new_epoch, elapsed_ns)``.
         Returns ``(result, elapsed_ns)``.
         """
-        from .sql import ParsedWrite, parse_sql
+        from .sql import ParsedWrite, parse_sql, resolve_join_query
 
         parsed = parse_sql(statement)
         sharded = self.catalog.lookup(parsed.table)
         if isinstance(parsed, ParsedWrite):
             return _dispatch_sql_write(self, sharded, parsed,
                                        VersionedShardedTable)
+        query = parsed.query
+        if parsed.join is not None:
+            build = self.catalog.lookup(parsed.join.table)
+            query = resolve_join_query(parsed, sharded.schema, build)
         placement = placement or parsed.placement or "offload"
         if placement == "offload":
-            return self.far_view(sharded, parsed.query)
-        return self.far_view_planned(sharded, parsed.query, placement, stats)
+            return self.far_view(sharded, query)
+        return self.far_view_planned(sharded, query, placement, stats)

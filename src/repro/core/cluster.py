@@ -171,12 +171,17 @@ class ScatterPlan:
 
 
 def plan_scatter(query: Query) -> ScatterPlan:
-    """Rewrite ``query`` into its shard fragment + merge mode."""
-    if query.join is not None:
-        raise QueryError(
-            "distributed small-table joins need a build-side broadcast, "
-            "which this prototype does not implement; run the join against "
-            "a single node")
+    """Rewrite ``query`` into its shard fragment + merge mode.
+
+    Small-table joins scatter unchanged: the router broadcasts the
+    build side to every node first
+    (:meth:`~repro.core.api.ClusterClient._ensure_join_replicas_proc`)
+    and swaps the node-local replica into each shard's fragment, so
+    every shard probes its fact rows against the full dimension table.
+    The merge mode is decided by the operators *after* the join —
+    probe-order concatenation under chunk partitioning is exactly the
+    single-node probe order, which keeps joined results byte-identical.
+    """
     if query.group_by:
         shard_specs, plans = decompose_partials(query.aggregates)
         shard_query = replace(query, aggregates=tuple(shard_specs))

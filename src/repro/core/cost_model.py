@@ -42,6 +42,7 @@ from ..common import calibration as cal
 from ..common.config import FarviewConfig
 from ..common.errors import QueryError
 from ..common.records import Schema
+from ..operators.join import join_output_schema
 from .cluster import aggregate_output_schema, group_output_schema
 
 #: Estimated-unique-entry count above which the software hash map is
@@ -67,9 +68,14 @@ class PlanStats:
     distinct_ratio: float = 0.1
     #: Expected number of GROUP BY groups.
     groups: int = 64
+    #: Fraction of probe tuples finding a build-side match (1.0 = every
+    #: fact row hits the dimension table — the star-schema foreign-key
+    #: default).
+    join_match_ratio: float = 1.0
 
     def __post_init__(self) -> None:
-        for name in ("selectivity", "regex_selectivity", "distinct_ratio"):
+        for name in ("selectivity", "regex_selectivity", "distinct_ratio",
+                     "join_match_ratio"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise QueryError(f"{name} out of [0, 1]: {value}")
@@ -85,6 +91,19 @@ class CardinalityStep:
     rows_in: float
     rows_out: float
     schema_out: Schema
+
+
+def join_build_profile(query) -> tuple[int, int, Schema]:
+    """``(build_rows, build_bytes, build_schema)`` of a join's build side.
+
+    Works for every build handle the compiler accepts: a plain
+    :class:`~repro.core.table.FTable`, a sharded handle, or a versioned
+    table (whole-chain bytes — both sides must read every segment, the
+    node to merge-ingest, the client to software-merge).
+    """
+    build = query.join.build_table
+    rows = getattr(build, "num_rows", 0)
+    return int(rows), int(getattr(build, "size_bytes", 0)), build.schema
 
 
 def estimate_chain(chain: Sequence[str], query, schema: Schema,
@@ -104,8 +123,15 @@ def estimate_chain(chain: Sequence[str], query, schema: Schema,
             rows = rows * stats.selectivity
         elif op == "regex":
             rows = rows * stats.regex_selectivity
+        elif op == "join":
+            _brows, _bbytes, build_schema = join_build_profile(query)
+            current = join_output_schema(current, build_schema,
+                                         list(query.join.payload))
+            rows = rows * stats.join_match_ratio
         elif op == "projection":
-            current = schema.project(list(query.projection))
+            # Project from the *current* schema: after a join the select
+            # list may name appended payload columns.
+            current = current.project(list(query.projection))
         elif op == "distinct":
             rows = min(rows, max(1.0, rows * stats.distinct_ratio))
         elif op == "groupby":
@@ -169,7 +195,8 @@ class PlacementCostModel:
     def offload_ns(self, *, bytes_in: float, bytes_out: float,
                    ingest_rate: float, fill_cycles: int,
                    flush_groups: float = 0.0, cold: bool = False,
-                   wait_ns: float = 0.0, shards: int = 1) -> float:
+                   wait_ns: float = 0.0, shards: int = 1,
+                   build_bytes: float = 0.0) -> float:
         """Farview pipeline cost for one offloaded fragment.
 
         Ingest and egress are deeply pipelined (§4.1), so the streaming
@@ -178,6 +205,13 @@ class PlacementCostModel:
         gather completes with the last shard, so per-shard bytes bound
         the streaming phase (the caller passes pool-level ``bytes_in`` /
         ``bytes_out``).
+
+        ``build_bytes`` is a join's build-side ingest: the dimension
+        table is read from node DRAM into the on-chip hash *before* the
+        probe stream starts (§7), so it adds serially at aggregate
+        memory bandwidth — the "build-ingest + BRAM fill" charge the
+        offload side pays while the ship side pays build-hash + probe
+        CPU cost instead.
         """
         stack = self.config.operator_stack
         per_shard_in = bytes_in / max(1, shards)
@@ -186,8 +220,9 @@ class PlacementCostModel:
                      per_shard_out / self._wire_rate)
         flush = (flush_groups * cal.GROUPBY_FLUSH_CYCLES_PER_GROUP
                  * stack.cycle_ns)
+        build_fill = build_bytes / self.config.memory.aggregate_bandwidth
         return (wait_ns + self.region_setup_ns(cold) + self._request_ns()
-                + fill_cycles * stack.cycle_ns + stream + flush)
+                + fill_cycles * stack.cycle_ns + build_fill + stream + flush)
 
     # -- ship side ---------------------------------------------------------
     def ship_bytes_ns(self, nbytes: float, shards: int = 1) -> float:
@@ -221,6 +256,16 @@ class PlacementCostModel:
                 total += cpu.regex_ns(int(rows_in * width))
             elif step.op == "selection":
                 total += cpu.select_ns(int(rows_in))
+            elif step.op == "join":
+                # The client must fetch the build table itself (a second
+                # raw read over the same link), build the hash over it,
+                # then probe once per surviving tuple.
+                brows, bbytes, _bschema = join_build_profile(query)
+                total += self.ship_bytes_ns(float(bbytes))
+                total += cpu.read_ns(bbytes)
+                total += cpu.hash_ns(brows,
+                                     growing=brows > HASHMAP_GROWTH_THRESHOLD)
+                total += cpu.hash_ns(int(rows_in), growing=False)
             elif step.op == "projection":
                 total += cpu.select_ns(int(rows_in))
             elif step.op == "distinct":

@@ -231,14 +231,7 @@ class FarviewNode:
 
         # §7 extension: read the small build table into the on-chip hash
         # before the probe stream starts.
-        if compiled.join_op is not None:
-            build = compiled.join_build_table
-            assert build is not None
-            build_vaddr = build.require_allocated()
-            build_bytes = yield self.mmu.read(conn.domain, build_vaddr,
-                                              build.size_bytes)
-            compiled.join_op.load_build(build.schema.from_bytes(build_bytes))
-            report.bytes_scanned += build.size_bytes
+        yield from self._load_join_build(conn, compiled, report)
 
         streamer = ResponseStreamer(self.sim, self.link, conn.qp,
                                     self.config.network)
@@ -269,6 +262,35 @@ class FarviewNode:
                            else table.num_rows)
         self.queries_served += 1
         return report
+
+    def _load_join_build(self, conn: Connection, compiled: CompiledQuery,
+                         report: ExecutionReport):
+        """Process: fill the join operator's on-chip hash (§7 extension).
+
+        Plain build tables stream through one timed DRAM read; a
+        versioned build side reads every segment of its pinned
+        :class:`VersionView` (like the delta-merge scan's prefetch) and
+        loads the merged visible rows, so concurrent dimension-table
+        writes never leak into an in-flight join.
+        """
+        if compiled.join_op is None:
+            return
+        if compiled.join_build_view is not None:
+            view = compiled.join_build_view
+            images = yield from self._read_view_images(conn, view, report)
+            rows, _ids = view.materialize(lambda t: images[t.name])
+            compiled.join_op.load_build(rows)
+            return
+        build = compiled.join_build_table
+        if build is None:
+            raise OperatorError(
+                "join build side is not resident on this node; the "
+                "scatter router must broadcast it before probing")
+        build_vaddr = build.require_allocated()
+        build_bytes = yield self.mmu.read(conn.domain, build_vaddr,
+                                          build.size_bytes)
+        compiled.join_op.load_build(build.schema.from_bytes(build_bytes))
+        report.bytes_scanned += build.size_bytes
 
     def _run_streaming(self, conn: Connection, vaddr: int, length: int,
                        compiled: CompiledQuery, sender: Sender,
@@ -360,6 +382,10 @@ class FarviewNode:
         stack = self.config.operator_stack
         yield self.sim.timeout(
             compiled.pipeline.fill_latency_cycles * stack.cycle_ns)
+
+        # Joins on a versioned probe side load their build hash first,
+        # exactly like the plain-table verb.
+        yield from self._load_join_build(conn, compiled, report)
 
         # Prefetch the delta chain into the merge unit (timed reads).
         images: dict[str, bytes] = {}

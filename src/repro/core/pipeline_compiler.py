@@ -20,7 +20,8 @@ from typing import Optional
 
 from ..common import calibration as cal
 from ..common.config import FarviewConfig
-from ..common.errors import PipelineCompilationError, QueryError
+from ..common.errors import (JoinBuildOverflowError, PipelineCompilationError,
+                             QueryError)
 from ..common.records import Schema
 from ..operators.aggregate import StandaloneAggregateOperator
 from ..operators.base import ByteOperator, OperatorPipeline, RowOperator
@@ -33,6 +34,7 @@ from ..operators.regex_op import RegexMatchOperator
 from ..operators.selection import SelectionOperator, VectorizedSelectionOperator
 from .query import Query
 from .table import FTable
+from .versioning import VersionedTable, VersionView
 
 
 @dataclass
@@ -49,6 +51,10 @@ class CompiledQuery:
     lanes: int = 1
     join_op: Optional[SmallTableJoinOperator] = None
     join_build_table: Optional[FTable] = None
+    #: Set instead of ``join_build_table`` when the build side is a
+    #: versioned table: the MVCC view (resolved at compile time, pinned
+    #: by the client verb) whose visible rows load into the on-chip hash.
+    join_build_view: Optional[VersionView] = None
 
     @property
     def output_schema(self) -> Schema:
@@ -153,23 +159,38 @@ def compile_query(query: Query, table: FTable,
     stack = config.operator_stack
     join_op: Optional[SmallTableJoinOperator] = None
     join_build: Optional[FTable] = None
+    join_view: Optional[VersionView] = None
     if query.join is not None:
         build = query.join.build_table
-        if not isinstance(build, FTable):
+        if isinstance(build, VersionedTable):
+            # Snapshot the chain at the current epoch; the client verb
+            # pins that epoch around the execution so concurrent dim
+            # writes/compactions cannot leak into this join.
+            join_view = build.view_at(build.epoch)
+            build_rows = build.visible_rows_at(build.epoch)
+        elif isinstance(build, FTable):
+            join_build = build
+            build_rows = build.num_rows
+        elif hasattr(build, "schema") and hasattr(build, "num_rows"):
+            # A sharded build handle: capacity-checkable here, but the
+            # scatter router must swap in a node-local replica before
+            # this pipeline can actually load it.
+            build_rows = build.num_rows
+        else:
             raise PipelineCompilationError(
-                f"join build_table must be an FTable, got "
-                f"{type(build).__name__}")
-        if build.num_rows > stack.cuckoo_tables * stack.cuckoo_slots:
-            raise PipelineCompilationError(
-                f"build side of {build.num_rows} rows exceeds the on-chip "
-                f"hash capacity; run the join on the client instead")
+                f"join build_table must be an FTable or VersionedTable, "
+                f"got {type(build).__name__}")
+        if build_rows > stack.cuckoo_tables * stack.cuckoo_slots:
+            raise JoinBuildOverflowError(
+                f"build side of {build_rows} rows exceeds the on-chip "
+                f"hash capacity ({stack.cuckoo_tables * stack.cuckoo_slots}"
+                f" slots); run the join on the client instead")
         join_op = SmallTableJoinOperator(
             build.schema, query.join.build_key, query.join.probe_key,
             list(query.join.payload),
             ways=stack.cuckoo_tables, slots_per_way=stack.cuckoo_slots,
             max_kicks=stack.cuckoo_max_kicks)
         row_ops.append(join_op)
-        join_build = build
         resource_ops.append("join_small_table")
 
     sa_plan: Optional[SmartAddressingPlan] = None
@@ -230,7 +251,8 @@ def compile_query(query: Query, table: FTable,
                          resource_operators=resource_ops,
                          ingest_mode=ingest_mode, ingest_rate=ingest_rate,
                          sa_plan=sa_plan, lanes=lanes,
-                         join_op=join_op, join_build_table=join_build)
+                         join_op=join_op, join_build_table=join_build,
+                         join_build_view=join_view)
 
 
 def explain(query: Query, table: FTable, config: FarviewConfig) -> str:
@@ -262,5 +284,10 @@ def explain(query: Query, table: FTable, config: FarviewConfig) -> str:
         build = compiled.join_build_table
         lines.append(f"  build side: {build.name!r} ({build.num_rows} rows) "
                      f"loaded into on-chip hash at query start")
+    elif compiled.join_build_view is not None:
+        view = compiled.join_build_view
+        lines.append(f"  build side: {view.name!r} pinned at epoch "
+                     f"{view.epoch} (base + {len(view.deltas)} delta "
+                     f"segment(s)) merged into on-chip hash at query start")
     lines.append(f"  region bitstream: {compiled.signature}")
     return "\n".join(lines)

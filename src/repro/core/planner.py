@@ -17,16 +17,28 @@ default path) — prices each with
 :class:`~repro.core.cost_model.PlacementCostModel`, and picks the
 cheapest.
 
+The chain is ``decrypt -> regex -> selection -> join -> projection ->
+distinct | group-by | aggregation`` (the compiler's pipeline order).
+
 Split-validity notes:
 
 * prefix splits always validate: the compiler's operator order puts
   every producer before its consumers (e.g. a fragment containing
-  group-by also contains the projection it reads through);
+  group-by also contains the projection it reads through, and a
+  projection naming join-payload columns also contains the join);
 * encrypted tables force ``decrypt`` to be either offloaded first or
   shipped as ciphertext and decrypted client-side (k = 0);
-* small-table joins and output encryption pin the query to full offload
-  (there is no software join kernel, and transport encryption is only
-  meaningful for node-produced results).
+* output encryption pins the query to full offload (transport
+  encryption is only meaningful for node-produced results);
+* joins split both ways: offloading the join pays build-ingest + BRAM
+  fill at the node, shipping it pays a second raw read of the build
+  table plus build-hash + probe CPU cost
+  (:func:`~repro.baselines.sw_ops.software_join`, byte-compatible with
+  the on-chip operator).  A build side too large for the on-chip hash
+  is a *typed refusal*
+  (:class:`~repro.common.errors.JoinBuildOverflowError`) on the offload
+  side — under ``placement="auto"`` the planner then routes the join to
+  the client instead of failing.
 
 The decision, the estimates it was based on, and the eventually measured
 time are exposed as an :class:`ExplainPlan` for observability.
@@ -44,16 +56,19 @@ from ..baselines.sw_ops import (
     software_aggregate,
     software_distinct,
     software_groupby,
+    software_join,
     software_project,
     software_regex,
     software_select,
 )
 from ..common.config import FarviewConfig
-from ..common.errors import QueryError
+from ..common.errors import JoinBuildOverflowError, QueryError
 from ..common.records import Schema
+from ..operators.join import join_output_schema
 from .cluster import aggregate_output_schema, group_output_schema
 from .cost_model import (CardinalityStep, PlacementCostModel, PlanStats,
-                         delta_merge_cost_ns, estimate_chain)
+                         delta_merge_cost_ns, estimate_chain,
+                         join_build_profile)
 from .pipeline_compiler import compile_query
 from .query import Query
 from .table import FTable
@@ -71,6 +86,8 @@ def operator_chain(query: Query) -> list[str]:
         chain.append("regex")
     if query.predicate is not None:
         chain.append("selection")
+    if query.join is not None:
+        chain.append("join")
     if query.projection is not None:
         chain.append("projection")
     if query.distinct:
@@ -102,6 +119,7 @@ def build_fragment(query: Query, chain: list[str], split: int) -> Optional[Query
         projection=projection,
         predicate=query.predicate if "selection" in included else None,
         regex=query.regex if "regex" in included else None,
+        join=query.join if "join" in included else None,
         distinct="distinct" in included,
         distinct_columns=(query.distinct_columns
                           if "distinct" in included else None),
@@ -189,8 +207,6 @@ class PlacementPlan:
 
 def _requires_full_offload(query: Query) -> Optional[str]:
     """Why this query cannot be split/shipped, or None if it can."""
-    if query.join is not None:
-        return "small-table joins have no software kernel"
     if query.encrypt_output is not None:
         return "output encryption is produced by the node's pipeline"
     return None
@@ -206,7 +222,8 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                    total_rows: int | None = None,
                    buffer_capacity: int | None = None,
                    scan_bytes: float | None = None,
-                   delta_rows: float = 0.0) -> PlacementPlan:
+                   delta_rows: float = 0.0,
+                   refuse_join_offload: bool = False) -> PlacementPlan:
     """Choose where each operator of ``query`` runs.
 
     ``table`` provides the schema and (for fragments) the compile
@@ -230,6 +247,12 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
     charged the client-side software merge
     (:func:`~repro.core.cost_model.delta_merge_cost_ns`), so the
     ship/offload crossover shifts with the delta fraction.
+
+    ``refuse_join_offload`` drops every candidate whose offloaded
+    fragment contains the join — the clients' fallback after the node's
+    on-chip build *load* overflowed at execution time (cuckoo kick
+    chains can exhaust below the compiler's nominal-capacity pre-check,
+    which is data-dependent and only detectable by actually building).
     """
     if placement not in PLACEMENTS:
         raise QueryError(
@@ -275,12 +298,23 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
             fragment = None
         else:
             fragment = build_fragment(query, chain, k)
+        if (refuse_join_offload and fragment is not None
+                and fragment.join is not None):
+            continue
         if fragment is None:
             node_ns = cost_model.ship_bytes_ns(scan_total, shards)
             cold = False
             inter_schema, inter_bytes = schema, scan_total
         else:
-            compiled = compile_query(fragment, table, config)
+            try:
+                compiled = compile_query(fragment, table, config)
+            except JoinBuildOverflowError:
+                if placement == "offload":
+                    raise
+                # This prefix would load an oversized build side into the
+                # on-chip hash — a typed refusal, not a candidate.  The
+                # ship/hybrid-below-join splits remain in the running.
+                continue
             if k == 0:
                 inter_schema, inter_bytes = schema, float(bytes_in)
                 rows_out = float(nrows)
@@ -291,12 +325,17 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                 inter_bytes = rows_out * inter_schema.row_width
             flush_groups = (steps[k - 1].rows_out
                             if k > 0 and chain[k - 1] == "groupby" else 0.0)
+            build_bytes = 0.0
+            if fragment.join is not None:
+                _brows, bbytes, _bschema = join_build_profile(fragment)
+                build_bytes = float(bbytes)
             cold = compiled.signature != loaded_signature
             node_ns = cost_model.offload_ns(
                 bytes_in=scan_total, bytes_out=inter_bytes,
                 ingest_rate=compiled.ingest_rate,
                 fill_cycles=compiled.pipeline.fill_latency_cycles,
-                flush_groups=flush_groups, cold=cold, shards=shards)
+                flush_groups=flush_groups, cold=cold, shards=shards,
+                build_bytes=build_bytes)
             node_ns += cost_model.lease_wait_ns(lease_manager, node_ns)
         client_ns = (cost_model.client_ops_ns(steps[k:], inter_schema,
                                               inter_bytes, query)
@@ -323,6 +362,11 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                                     node_ns=node_ns, client_ns=client_ns,
                                     cold=cold))
 
+    if not candidates:
+        raise QueryError(
+            "no feasible placement: every offload prefix was refused "
+            "(join build side exceeds the on-chip hash) and the shipped "
+            "intermediate does not fit the client buffer")
     best = min(candidates, key=lambda c: (c.total_ns, -c.split))
     chosen = "hybrid" if best.label.startswith("hybrid") else best.label
     if best.label == "ship":
@@ -346,7 +390,9 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
 
 def run_client_steps(rows: np.ndarray, schema: Schema, steps: list[str],
                      query: Query, cpu: CpuCostModel,
-                     cost: CostBreakdown) -> tuple[np.ndarray, Schema]:
+                     cost: CostBreakdown,
+                     build_rows: np.ndarray | None = None
+                     ) -> tuple[np.ndarray, Schema]:
     """Execute the software remainder over decoded rows.
 
     Mirrors the node pipeline operator for operator (same
@@ -354,8 +400,11 @@ def run_client_steps(rows: np.ndarray, schema: Schema, steps: list[str],
     output bytes match full offload exactly) and charges
     :class:`~repro.baselines.cpu_model.CpuCostModel` time into ``cost``.
     ``decrypt`` is a byte-level stage the caller must have applied before
-    decoding.
+    decoding.  A shipped ``join`` step needs ``build_rows`` — the build
+    table's decoded rows, fetched by the caller with a timed raw read.
     """
+    from .cost_model import HASHMAP_GROWTH_THRESHOLD
+
     for step in steps:
         if step == "decrypt":
             raise QueryError(
@@ -371,6 +420,23 @@ def run_client_steps(rows: np.ndarray, schema: Schema, steps: list[str],
             assert query.predicate is not None
             cost.add("predicate", cpu.select_ns(len(rows)))
             rows = software_select(rows, query.predicate)
+        elif step == "join":
+            assert query.join is not None
+            if build_rows is None:
+                raise QueryError(
+                    "shipped join needs the build table's rows; fetch "
+                    "them with a raw read before running client steps")
+            spec = query.join
+            build_schema = spec.build_table.schema
+            cost.add("hash", cpu.hash_ns(
+                len(build_rows),
+                growing=len(build_rows) > HASHMAP_GROWTH_THRESHOLD))
+            cost.add("hash", cpu.hash_ns(len(rows), growing=False))
+            rows = software_join(rows, schema, build_rows, build_schema,
+                                 spec.build_key, spec.probe_key,
+                                 list(spec.payload))
+            schema = join_output_schema(schema, build_schema,
+                                        list(spec.payload))
         elif step == "projection":
             assert query.projection is not None
             cost.add("project", cpu.select_ns(len(rows)))

@@ -10,7 +10,9 @@ Supported grammar (case-insensitive keywords)::
 
     statement := query | insert | update | delete
     query     := [hint] SELECT [DISTINCT] select_list FROM ident
-                 [WHERE disjunction] [GROUP BY column_list] [';']
+                 [join_clause] [WHERE disjunction]
+                 [GROUP BY column_list] [';']
+    join_clause := [INNER] JOIN ident ON column '=' column
     insert    := INSERT INTO ident VALUES tuple (',' tuple)* [';']
     update    := UPDATE ident SET assignment (',' assignment)*
                  [WHERE disjunction] [';']
@@ -45,6 +47,23 @@ Examples from the paper::
 Table-qualified columns (``S.a``) are accepted and resolved against the
 single FROM table.
 
+The §7 extension's small-table join is a first-class statement::
+
+    SELECT fact.k, fact.v, dim.rate FROM fact JOIN dim ON fact.k = dim.k;
+
+The FROM table is the streamed *probe* side; the joined table is the
+*build* side read into the region's on-chip hash.  The ON clause must be
+an equality relating one column of each (qualifiers disambiguate; an
+unqualified name is resolved against the probe schema first).  Selected
+build columns become the join's payload — appended to matching probe
+tuples, renamed ``build_<name>`` on a collision — and selecting the
+build key yields the (equal) probe key column.  ``SELECT *`` appends
+every build column except the key.  The WHERE clause filters the probe
+stream *before* the join (the pipeline's operator order); GROUP BY /
+aggregates apply to probe columns.  Because the parser has no catalog,
+the join is resolved against the actual schemas by
+:func:`resolve_join_query`, which both clients call from ``sql()``.
+
 An optional optimizer-style hint before the SELECT pins the operator
 *placement* decided by :mod:`repro.core.planner` — ``offload`` (the
 default Farview path), ``ship`` (raw read + client software), or ``auto``
@@ -62,7 +81,7 @@ from dataclasses import dataclass
 from ..common.errors import QueryError
 from ..operators.aggregate import SUPPORTED_FUNCS, AggregateSpec
 from ..operators.selection import And, Compare, Not, Or, Predicate
-from .query import Query, RegexFilter
+from .query import JoinSpec, Query, RegexFilter
 
 
 class SqlSyntaxError(QueryError):
@@ -87,6 +106,7 @@ _KEYWORDS = {
     "select", "distinct", "from", "where", "group", "by", "and", "or",
     "not", "as", "like", "regexp", "count", "sum", "min", "max", "avg",
     "insert", "into", "values", "update", "set", "delete",
+    "join", "inner", "on",
 }
 
 _TOKEN_RE = _stdlib_re.compile(r"""
@@ -167,16 +187,36 @@ def like_to_regex(pattern: str) -> str:
 # --------------------------------------------------------------------------
 
 @dataclass(frozen=True)
+class ParsedJoin:
+    """The unresolved join clause of a SELECT.
+
+    The parser has no catalog, so the ON sides and the select list are
+    kept as ``(qualifier, column)`` pairs; :func:`resolve_join_query`
+    turns them into a :class:`~repro.core.query.JoinSpec` once both
+    schemas are known.
+    """
+
+    table: str                              # build (dimension) table name
+    left: tuple[str | None, str]            # ON left side
+    right: tuple[str | None, str]           # ON right side
+    select: tuple[tuple[str | None, str], ...] = ()
+    star: bool = False
+
+
+@dataclass(frozen=True)
 class ParsedQuery:
     """A parsed statement: the table name plus the offloadable Query.
 
     ``placement`` carries the optional ``/*+ placement(...) */`` hint
     (``None`` when the statement leaves the decision to the caller).
+    ``join`` is the unresolved JOIN clause; statements carrying one must
+    go through :func:`resolve_join_query` before execution.
     """
 
     table: str
     query: Query
     placement: str | None = None
+    join: ParsedJoin | None = None
 
 
 @dataclass(frozen=True)
@@ -246,6 +286,19 @@ class _Parser:
                 f"{token.text!r}")
         # Strip the table qualifier (single-table queries).
         return token.text.split(".")[-1]
+
+    def _qualified_column(self) -> tuple[str | None, str]:
+        """A column reference keeping its table qualifier (join queries
+        need it to decide which side a name belongs to)."""
+        token = self._advance()
+        if token.kind is not _Kind.IDENT:
+            raise SqlSyntaxError(
+                f"expected a column name at offset {token.pos}, got "
+                f"{token.text!r}")
+        if "." in token.text:
+            qualifier, name = token.text.split(".", 1)
+            return qualifier, name
+        return None, token.text
 
     # -- grammar ------------------------------------------------------------------
     def parse(self) -> ParsedQuery | ParsedWrite:
@@ -373,9 +426,10 @@ class _Parser:
         if self._peek().is_keyword("distinct"):
             self._advance()
             distinct = True
-        star, columns, aggregates = self._select_list()
+        star, items, aggregates = self._select_list()
         self._expect_keyword("from")
         table = self._table_name()
+        join = self._join_clause(star, items)
         predicate: Predicate | None = None
         regex: RegexFilter | None = None
         if self._peek().is_keyword("where"):
@@ -387,14 +441,39 @@ class _Parser:
             self._expect_keyword("by")
             group_by = tuple(self._column_list())
         self._finish_statement()
+        columns = [name for _qualifier, name in items]
         query = self._build_query(star, columns, aggregates, distinct,
-                                  predicate, regex, group_by)
+                                  predicate, regex, group_by,
+                                  joined=join is not None)
         return ParsedQuery(table=table, query=query,
-                           placement=self.placement)
+                           placement=self.placement, join=join)
+
+    def _join_clause(self, star: bool,
+                     items: list[tuple[str | None, str]]
+                     ) -> ParsedJoin | None:
+        """``[INNER] JOIN ident ON column '=' column`` after FROM."""
+        if self._peek().is_keyword("inner"):
+            self._advance()
+            self._expect_keyword("join")
+        elif self._peek().is_keyword("join"):
+            self._advance()
+        else:
+            return None
+        build = self._table_name()
+        self._expect_keyword("on")
+        left = self._qualified_column()
+        token = self._advance()
+        if token.kind is not _Kind.OP or token.text not in ("=", "=="):
+            raise SqlSyntaxError(
+                f"join ON clause must be an equality; got {token.text!r} "
+                f"at offset {token.pos}")
+        right = self._qualified_column()
+        return ParsedJoin(table=build, left=left, right=right,
+                          select=tuple(items), star=star)
 
     def _select_list(self):
         star = False
-        columns: list[str] = []
+        items: list[tuple[str | None, str]] = []
         aggregates: list[AggregateSpec] = []
         while True:
             token = self._peek()
@@ -406,7 +485,7 @@ class _Parser:
                   or token.is_keyword("count")):
                 aggregates.append(self._aggregate())
             elif token.kind is _Kind.IDENT:
-                columns.append(self._column_name())
+                items.append(self._qualified_column())
             else:
                 raise SqlSyntaxError(
                     f"expected a select item at offset {token.pos}, got "
@@ -414,7 +493,7 @@ class _Parser:
             if self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
                 self._advance()
                 continue
-            return star, columns, aggregates
+            return star, items, aggregates
 
     def _aggregate(self) -> AggregateSpec:
         func_token = self._advance()
@@ -525,7 +604,8 @@ class _Parser:
     def _build_query(star: bool, columns: list[str],
                      aggregates: list[AggregateSpec], distinct: bool,
                      predicate: Predicate | None, regex: RegexFilter | None,
-                     group_by: tuple[str, ...] | None) -> Query:
+                     group_by: tuple[str, ...] | None,
+                     joined: bool = False) -> Query:
         if star and (columns or aggregates):
             raise SqlSyntaxError("'*' cannot be mixed with other select items")
         if not star and not columns and not aggregates:
@@ -544,7 +624,10 @@ class _Parser:
             raise SqlSyntaxError(
                 "plain columns next to aggregates need a GROUP BY")
         projection = None
-        if not star and columns and group_by is None and not aggregates:
+        if (not star and columns and group_by is None and not aggregates
+                and not joined):
+            # Join queries leave the projection to resolve_join_query:
+            # the select list may name build-side (payload) columns.
             projection = tuple(columns)
         return Query(
             projection=projection,
@@ -559,6 +642,100 @@ class _Parser:
 
 def _unquote(text: str) -> str:
     return text[1:-1].replace("''", "'")
+
+
+def resolve_join_query(parsed: ParsedQuery, probe_schema,
+                       build_table) -> Query:
+    """Resolve a parsed JOIN statement against the actual schemas.
+
+    ``probe_schema`` is the FROM table's schema; ``build_table`` is the
+    catalog handle of the joined table (anything with ``schema`` — a
+    plain :class:`~repro.core.table.FTable`, a sharded handle, or a
+    versioned table).  Decides which ON side is the probe key, splits
+    the select list into probe projection and build payload, and
+    returns the executable :class:`~repro.core.query.Query` carrying a
+    :class:`~repro.core.query.JoinSpec`.
+    """
+    from dataclasses import replace
+
+    pj = parsed.join
+    if pj is None:
+        return parsed.query
+    build_schema = build_table.schema
+    probe_name, build_name = parsed.table, pj.table
+
+    def side(qualifier: str | None, name: str) -> str:
+        if qualifier is not None and qualifier not in (probe_name,
+                                                       build_name):
+            raise SqlSyntaxError(
+                f"unknown table qualifier {qualifier!r}; the query joins "
+                f"{probe_name!r} with {build_name!r}")
+        if qualifier == probe_name:
+            if name not in probe_schema.names:
+                raise SqlSyntaxError(
+                    f"unknown column {probe_name}.{name}")
+            return "probe"
+        if qualifier == build_name:
+            if name not in build_schema.names:
+                raise SqlSyntaxError(
+                    f"unknown column {build_name}.{name}")
+            return "build"
+        if name in probe_schema.names:
+            return "probe"      # probe side wins an ambiguous bare name
+        if name in build_schema.names:
+            return "build"
+        raise SqlSyntaxError(
+            f"unknown column {name!r}: in neither {probe_name!r} nor "
+            f"{build_name!r}")
+
+    left_side, right_side = side(*pj.left), side(*pj.right)
+    if {left_side, right_side} != {"probe", "build"}:
+        raise SqlSyntaxError(
+            f"join ON must relate one column of {probe_name!r} to one "
+            f"column of {build_name!r}")
+    probe_key = pj.left[1] if left_side == "probe" else pj.right[1]
+    build_key = pj.left[1] if left_side == "build" else pj.right[1]
+
+    grouped = (parsed.query.group_by is not None
+               or bool(parsed.query.aggregates))
+    if pj.star:
+        payload = [n for n in build_schema.names if n != build_key]
+        projection = None
+    else:
+        payload = []
+        names: list[str] = []
+        probe_names = set(probe_schema.names)
+        for qualifier, name in pj.select:
+            if side(qualifier, name) == "probe":
+                names.append(name)
+                continue
+            if name == build_key:
+                # The build key equals the probe key after an inner join.
+                names.append(probe_key)
+                continue
+            if name not in payload:
+                payload.append(name)
+            names.append(name if name not in probe_names
+                         else f"build_{name}")
+        # GROUP BY / aggregate statements keep projection=None (exactly
+        # as _build_query does without a join): the grouping stage needs
+        # the aggregate input columns a select-list projection would
+        # drop.
+        projection = tuple(names) if names and not grouped else None
+    if not payload:
+        # A semi-join shape: no build column selected beyond the key (or
+        # SELECT * over the build side).  The operator must carry at
+        # least one payload column; borrow one — the projection (or the
+        # aggregation) drops it from the result.
+        extra = [n for n in build_schema.names if n != build_key]
+        if not extra:
+            raise SqlSyntaxError(
+                f"joined table {build_name!r} has no columns besides the "
+                f"key {build_key!r}; nothing to join in")
+        payload.append(extra[0])
+    return replace(parsed.query, projection=projection,
+                   join=JoinSpec(build_table, build_key, probe_key,
+                                 tuple(payload)))
 
 
 def parse_sql(sql: str) -> ParsedQuery | ParsedWrite:

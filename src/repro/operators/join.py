@@ -20,10 +20,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..common.errors import OperatorError
+from ..common.errors import JoinBuildOverflowError, OperatorError
 from ..common.records import Column, Schema
 from .base import RowOperator
 from .cuckoo import CuckooHashTable
+
+
+def join_output_schema(probe_schema: Schema, build_schema: Schema,
+                       payload_columns: list[str]) -> Schema:
+    """The post-join schema: probe columns + appended payload columns.
+
+    Payload names colliding with a probe column are prefixed ``build_``
+    (the same rule :meth:`SmallTableJoinOperator._bind` applies), so the
+    software kernel, the cost model and the merge layer all agree on the
+    joined layout byte for byte.
+    """
+    out_columns = list(probe_schema.columns)
+    existing = set(probe_schema.names)
+    for name in payload_columns:
+        col = build_schema.column(name)
+        out_name = name if name not in existing else f"build_{name}"
+        if out_name in existing:
+            raise OperatorError(
+                f"cannot disambiguate joined column {name!r}")
+        out_columns.append(Column(out_name, col.kind, col.width))
+        existing.add(out_name)
+    return Schema(out_columns)
 
 
 class SmallTableJoinOperator(RowOperator):
@@ -77,7 +99,7 @@ class SmallTableJoinOperator(RowOperator):
                     f"have unique join keys")
             ok = self.table.put(key, payload[i:i + 1].copy())
             if not ok:
-                raise OperatorError(
+                raise JoinBuildOverflowError(
                     f"build side of {len(rows)} rows does not fit the "
                     f"on-chip hash ({self.table.capacity} slots); offload "
                     f"refused — execute the join on the client")
@@ -93,18 +115,9 @@ class SmallTableJoinOperator(RowOperator):
                 f"join key type mismatch: probe {self.probe_key!r} is "
                 f"{probe_col.kind}({probe_col.width}), build "
                 f"{self.build_key!r} is {build_col.kind}({build_col.width})")
-        out_columns = list(schema.columns)
-        existing = set(schema.names)
-        for name in self.payload_columns:
-            col = self.build_schema.column(name)
-            out_name = name if name not in existing else f"build_{name}"
-            if out_name in existing:
-                raise OperatorError(
-                    f"cannot disambiguate joined column {name!r}")
-            out_columns.append(Column(out_name, col.kind, col.width))
-            existing.add(out_name)
         self._probe_schema = schema
-        self._out_schema = Schema(out_columns)
+        self._out_schema = join_output_schema(schema, self.build_schema,
+                                              self.payload_columns)
         return self._out_schema
 
     @property

@@ -155,12 +155,18 @@ def test_plan_scatter_modes():
     assert plan_scatter(select_star(wl.predicate)).mode == "concat"
 
 
-def test_plan_scatter_rejects_joins():
+def test_plan_scatter_keeps_joins_in_shard_fragment():
+    """Joins scatter unchanged (the router swaps in per-node build
+    replicas); the merge mode comes from the post-join operators."""
     from repro.core.query import JoinSpec
     build = FTable("D", distinct_workload(8, 8)[0], 8)
     query = Query(join=JoinSpec(build, "a", "a", ("b",)), label="j")
-    with pytest.raises(QueryError, match="broadcast"):
-        plan_scatter(query)
+    plan = plan_scatter(query)
+    assert plan.mode == "concat" and plan.shard_query.join is not None
+    distinct = Query(join=JoinSpec(build, "a", "a", ("b",)),
+                     distinct=True, label="jd")
+    plan = plan_scatter(distinct)
+    assert plan.mode == "distinct" and plan.shard_query.join is not None
 
 
 # -- byte-identity: the acceptance criterion -----------------------------------

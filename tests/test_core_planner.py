@@ -149,18 +149,42 @@ class TestChainAndFragments:
             if fragment is not None:
                 fragment.validate(schema)  # no QueryError
 
-    def test_join_pins_full_offload(self):
+    def test_join_is_splittable(self):
+        """Joins sit in the chain after selection and ship cleanly now
+        that :func:`~repro.baselines.sw_ops.software_join` exists."""
         from repro.core.query import JoinSpec
 
         schema, _ = projection_workload(8, 64)
         build = _table(schema, 8, name="dim")
-        query = Query(join=JoinSpec(build, "a", "a", ("b",)), label="t")
+        query = Query(predicate=Compare("a", "<", 1),
+                      join=JoinSpec(build, "a", "a", ("b",)), label="t")
+        assert operator_chain(query) == ["selection", "join"]
+        fragment = build_fragment(query, operator_chain(query), 1)
+        assert fragment.join is None and fragment.predicate is not None
         plan = plan_placement(query, _table(schema, 1024), SCENARIO,
+                              placement="ship")
+        assert plan.fragment is None and "join" in plan.client_steps
+
+    def test_join_build_overflow_refuses_offload_but_auto_ships(self):
+        """An oversized build side is a typed refusal on the offload
+        side; auto placement routes the join to the client instead."""
+        from repro.common.config import OperatorStackConfig
+        from repro.common.errors import JoinBuildOverflowError
+        from repro.core.query import JoinSpec
+
+        tiny = FarviewConfig(
+            memory=SCENARIO.memory,
+            operator_stack=OperatorStackConfig(cuckoo_slots=4,
+                                               cuckoo_tables=1))
+        schema, _ = projection_workload(8, 64)
+        build = _table(schema, 64, name="dim")
+        query = Query(join=JoinSpec(build, "a", "a", ("b",)), label="t")
+        with pytest.raises(JoinBuildOverflowError):
+            plan_placement(query, _table(schema, 1024), tiny,
+                           placement="offload")
+        plan = plan_placement(query, _table(schema, 1024), tiny,
                               placement="auto")
-        assert plan.full_offload
-        with pytest.raises(Exception):
-            plan_placement(query, _table(schema, 1024), SCENARIO,
-                           placement="ship")
+        assert "join" in plan.client_steps
 
 
 class TestLeaseContention:

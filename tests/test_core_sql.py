@@ -275,3 +275,125 @@ def test_negative_literal_in_select_predicate():
 def test_write_syntax_errors(bad):
     with pytest.raises(SqlSyntaxError):
         parse_sql(bad)
+
+
+# --- JOIN clause (the §7 small-table join) -------------------------------------
+
+def _schemas():
+    from repro.common.records import Column, Schema
+    probe = Schema([Column("k", "int64"), Column("v", "float64"),
+                    Column("rate", "int64")])
+    build = Schema([Column("id", "int64"), Column("rate", "float64"),
+                    Column("zone", "int64")])
+    return probe, build
+
+
+class _BuildHandle:
+    """A catalog-handle stand-in: resolve_join_query only needs .schema."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.name = "dim"
+
+
+def test_join_clause_parses_qualified_on():
+    parsed = parse_sql(
+        "SELECT fact.k, dim.rate FROM fact JOIN dim ON fact.k = dim.id")
+    assert parsed.table == "fact"
+    assert parsed.join is not None
+    assert parsed.join.table == "dim"
+    assert parsed.join.left == ("fact", "k")
+    assert parsed.join.right == ("dim", "id")
+    assert parsed.join.select == (("fact", "k"), ("dim", "rate"))
+    assert not parsed.join.star
+    # The projection is left to resolution (build columns are unknown).
+    assert parsed.query.projection is None
+
+
+def test_inner_join_keyword_and_star():
+    parsed = parse_sql("SELECT * FROM f INNER JOIN d ON f.a = d.b;")
+    assert parsed.join is not None and parsed.join.star
+
+
+def test_join_resolution_splits_select_list():
+    from repro.core.sql import resolve_join_query
+    probe, build = _schemas()
+    parsed = parse_sql(
+        "SELECT fact.k, dim.rate, fact.v FROM fact JOIN dim "
+        "ON fact.k = dim.id WHERE fact.v < 2.5")
+    query = resolve_join_query(parsed, probe, _BuildHandle(build))
+    assert query.join.build_key == "id"
+    assert query.join.probe_key == "k"
+    assert query.join.payload == ("rate",)
+    # Payload "rate" collides with a probe column -> renamed in the
+    # projection, probe columns keep their order.
+    assert query.projection == ("k", "build_rate", "v")
+    assert query.predicate == Compare("v", "<", 2.5)
+
+
+def test_join_resolution_unqualified_and_swapped_on_sides():
+    from repro.core.sql import resolve_join_query
+    probe, build = _schemas()
+    parsed = parse_sql("SELECT k, zone FROM fact JOIN dim ON id = k")
+    query = resolve_join_query(parsed, probe, _BuildHandle(build))
+    assert (query.join.build_key, query.join.probe_key) == ("id", "k")
+    assert query.join.payload == ("zone",)
+    assert query.projection == ("k", "zone")
+
+
+def test_join_resolution_build_key_select_maps_to_probe_key():
+    from repro.core.sql import resolve_join_query
+    probe, build = _schemas()
+    parsed = parse_sql(
+        "SELECT dim.id, dim.zone FROM fact JOIN dim ON fact.k = dim.id")
+    query = resolve_join_query(parsed, probe, _BuildHandle(build))
+    assert query.projection == ("k", "zone")
+    assert query.join.payload == ("zone",)
+
+
+def test_join_resolution_star_appends_non_key_build_columns():
+    from repro.core.sql import resolve_join_query
+    probe, build = _schemas()
+    parsed = parse_sql("SELECT * FROM fact JOIN dim ON fact.k = dim.id")
+    query = resolve_join_query(parsed, probe, _BuildHandle(build))
+    assert query.projection is None
+    assert query.join.payload == ("rate", "zone")
+
+
+def test_join_resolution_semi_join_borrows_payload():
+    from repro.core.sql import resolve_join_query
+    probe, build = _schemas()
+    parsed = parse_sql("SELECT k, v FROM fact JOIN dim ON fact.k = dim.id")
+    query = resolve_join_query(parsed, probe, _BuildHandle(build))
+    assert query.projection == ("k", "v")     # payload projected away
+    assert len(query.join.payload) == 1
+
+
+def test_join_resolution_errors():
+    from repro.core.sql import resolve_join_query
+    probe, build = _schemas()
+    for statement, message in [
+        ("SELECT k FROM fact JOIN dim ON other.k = dim.id",
+         "unknown table qualifier"),
+        ("SELECT k FROM fact JOIN dim ON fact.k = fact.v",
+         "must relate"),
+        ("SELECT k FROM fact JOIN dim ON fact.k = dim.nope",
+         "unknown column"),
+        ("SELECT fact.nope, dim.rate FROM fact JOIN dim "
+         "ON fact.k = dim.id", "unknown column"),
+    ]:
+        parsed = parse_sql(statement)
+        with pytest.raises(SqlSyntaxError, match=message):
+            resolve_join_query(parsed, probe, _BuildHandle(build))
+
+
+@pytest.mark.parametrize("bad", [
+    "SELECT a FROM f JOIN",                       # missing build table
+    "SELECT a FROM f JOIN d",                     # missing ON
+    "SELECT a FROM f JOIN d ON a < b",            # non-equality
+    "SELECT a FROM f INNER d ON a = b",           # INNER without JOIN
+    "SELECT a FROM f JOIN d ON a = b JOIN e ON c = d",  # one join only
+])
+def test_join_syntax_errors(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse_sql(bad)

@@ -23,7 +23,7 @@ from repro.core.cluster import FarviewCluster
 from repro.core.cost_model import PlanStats
 from repro.core.node import FarviewNode
 from repro.core.partition import PartitionSpec
-from repro.core.query import Query, group_by_sum, select_distinct
+from repro.core.query import JoinSpec, Query, group_by_sum, select_distinct
 from repro.core.versioning import (ROWID_COLUMN, VersionedTable, delta_schema,
                                    rows_from_literals)
 from repro.operators.selection import And, Compare
@@ -57,6 +57,35 @@ def seeded_rows(schema, n, seed, start_a=0):
 
 def full_scan_query(schema):
     return Query(projection=tuple(schema.names), label="read")
+
+
+#: Dimension side of the machines' join actions.
+JOIN_DIM_SCHEMA = Schema([Column("id", "int64"), Column("rate", "float64")])
+
+
+def make_join_dim(num_keys=64):
+    rows = JOIN_DIM_SCHEMA.empty(num_keys)
+    rows["id"] = np.arange(num_keys)
+    rows["rate"] = np.arange(num_keys) * 0.5
+    return rows
+
+
+def join_expected_bytes(fact_rows, fact_schema, dim_rows):
+    """Serial re-execution model of ``fact JOIN dim ON a = id``."""
+    out_schema = Schema(list(fact_schema.columns)
+                        + [Column("rate", "float64")])
+    build = {int(k): i for i, k in enumerate(dim_rows["id"])}
+    picks, rates = [], []
+    for i in range(len(fact_rows)):
+        j = build.get(int(fact_rows["a"][i]))
+        if j is not None:
+            picks.append(i)
+            rates.append(float(dim_rows["rate"][j]))
+    out = out_schema.empty(len(picks))
+    for name in fact_schema.names:
+        out[name] = fact_rows[name][picks]
+    out["rate"] = rates
+    return out_schema.to_bytes(out)
 
 
 # ---------------------------------------------------------------------------
@@ -515,6 +544,11 @@ class VersioningMachine(RuleBasedStateMachine):
         self.next_a = 10_000
         self.batch = 0
         self.query = full_scan_query(self.schema)
+        # A versioned dimension table for the join-under-update action.
+        dim_rows = make_join_dim()
+        self.dim = self.client.create_versioned_table(
+            "dim", JOIN_DIM_SCHEMA, dim_rows)
+        self.dim_model = dim_rows.copy()
 
     def _record(self, epoch):
         self.history[epoch] = self.schema.to_bytes(self.model)
@@ -563,10 +597,50 @@ class VersioningMachine(RuleBasedStateMachine):
         assert sha(result.data) == sha(self.history[epoch]), \
             f"snapshot at epoch {epoch} diverged from serial re-execution"
 
+    @rule(value=st.integers(min_value=-100, max_value=100))
+    def join_under_dim_update(self, value):
+        """A join racing a dimension update pins its epoch: the probe
+        must see the pre-update dimension, never a mix."""
+        sim = self.client.sim
+        query = Query(join=JoinSpec(self.dim, "id", "a", ("rate",)),
+                      label="join-under-update")
+        captured = {}
+
+        def reader():
+            result = yield from self.client.far_view_proc(self.vt, query)
+            captured["result"] = result
+
+        def dim_writer():
+            yield from self.client.update_where_proc(
+                self.dim, None, {"rate": float(value)})
+
+        procs = [sim.process(reader()), sim.process(dim_writer())]
+        sim.run()
+        assert all(p.triggered for p in procs)
+        expected = join_expected_bytes(self.model, self.schema,
+                                       self.dim_model)
+        assert sha(captured["result"].data) == sha(expected), \
+            "concurrent dim update leaked into a pinned join"
+        self.dim_model = self.dim_model.copy()
+        self.dim_model["rate"] = float(value)
+
+    @precondition(lambda self: self.dim.num_deltas > 0)
+    @rule()
+    def join_after_dim_compaction(self):
+        """Compacting the dimension chain must not change join bytes."""
+        self.client.compact(self.dim)
+        result, _ = self.client.far_view(
+            self.vt, Query(join=JoinSpec(self.dim, "id", "a", ("rate",)),
+                           label="join-compacted"))
+        expected = join_expected_bytes(self.model, self.schema,
+                                       self.dim_model)
+        assert sha(result.data) == sha(expected)
+
     @invariant()
     def visible_row_count_matches_model(self):
         assert self.vt.num_rows == len(self.model)
         assert self.vt.active_pins == 0
+        assert self.dim.active_pins == 0
 
 
 VersioningMachine.TestCase.settings = settings(
@@ -592,6 +666,10 @@ class ClusterVersioningMachine(RuleBasedStateMachine):
         self.next_a = 10_000
         self.batch = 0
         self.query = full_scan_query(self.schema)
+        # A plain sharded dimension for the broadcast-join action.
+        dim_rows = make_join_dim()
+        self.dim = self.cc.create_table("dim", JOIN_DIM_SCHEMA, dim_rows)
+        self.dim_model = dim_rows.copy()
 
     def _record(self, epoch):
         self.history[epoch] = self.schema.to_bytes(self.model)
@@ -632,6 +710,34 @@ class ClusterVersioningMachine(RuleBasedStateMachine):
                                            as_of=epoch)
         assert sha(result.data) == sha(self.history[epoch]), \
             f"cluster snapshot at epoch {epoch} diverged"
+
+    @rule(value=st.integers(min_value=-99, max_value=99))
+    def broadcast_join_under_update(self, value):
+        """A scatter-gather broadcast join racing a cluster-wide fact
+        update must merge to the pre-update model's bytes."""
+        sim = self.cc.sim
+        query = Query(join=JoinSpec(self.dim, "id", "a", ("rate",)),
+                      label="cluster-join")
+        captured = {}
+
+        def reader():
+            result = yield from self.cc.far_view_proc(self.vst, query)
+            captured["result"] = result
+
+        def fact_writer():
+            yield from self.cc.update_where_proc(
+                self.vst, Compare("a", "<", 30), {"d": value})
+
+        procs = [sim.process(reader()), sim.process(fact_writer())]
+        sim.run()
+        assert all(p.triggered for p in procs)
+        expected = join_expected_bytes(self.model, self.schema,
+                                       self.dim_model)
+        assert sha(captured["result"].data) == sha(expected), \
+            "concurrent fact update leaked into a pinned broadcast join"
+        self.model = self.model.copy()
+        self.model["d"][self.model["a"] < 30] = value
+        self._record(self.vst.epoch)
 
     @invariant()
     def shard_epochs_agree(self):

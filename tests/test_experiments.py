@@ -157,6 +157,31 @@ def test_fig15_scan_under_update_isolation_and_contention():
     assert latency.points[1].y > latency.points[0].y
 
 
+def test_fig16_build_sweep_crossover_and_scaleout():
+    """Scaled-down fig16: ship wins the small build on a cold region,
+    offload wins the large one (the runner asserts byte-identity and
+    the 10% auto-tracking bound itself), and the broadcast join's
+    response time improves with pool size (the runner pins the merged
+    sha256 against single-node execution)."""
+    from repro.experiments import fig16_joins
+
+    panel = fig16_joins.run_build_sweep(fact_bytes=128 * KB,
+                                        build_rows=(256, 16384))
+    off = panel.series_named("FV-off")
+    ship = panel.series_named("FV-ship")
+    auto = panel.series_named("FV-auto")
+    assert ship.y_at(256) < off.y_at(256)         # reconfiguration dominates
+    assert off.y_at(16384) < ship.y_at(16384)     # build-hash dominates
+    for x in (256, 16384):
+        assert auto.y_at(x) <= min(off.y_at(x), ship.y_at(x)) * 1.10
+
+    scale = fig16_joins.run_scaleout(fact_rows=4096, build_rows=256,
+                                     node_counts=(1, 2, 4))
+    latency = scale.series_named("FV-join")
+    assert latency.y_at(2) < latency.y_at(1)
+    assert latency.y_at(4) < latency.y_at(2)
+
+
 def test_experiment_result_rendering():
     result = fig8_selection.run_panel(1.0, table_sizes=(64 * KB,))
     text = result.render()

@@ -1,0 +1,447 @@
+"""Join conformance: every join path vs a numpy serial re-execution model.
+
+The lock for the end-to-end join PR: a serial, from-first-principles
+numpy oracle (dict build, row-at-a-time probe — deliberately sharing no
+code with the operator or :func:`~repro.baselines.sw_ops.software_join`)
+re-executes each generated join, and every execution path must produce
+sha256-identical bytes:
+
+* single-node full offload (``far_view``),
+* the 2- and 4-node cluster broadcast join (scatter-gather merge),
+* ship and auto placement (client-side software join),
+* a versioned probe side (delta chain on the fact table),
+* the SQL entry point (``SELECT ... FROM fact JOIN dim ON ...``).
+
+Edge cases ride along: duplicate probe keys, empty build (versioned
+dimension with every row deleted), empty probe (versioned fact with
+every row deleted / all-false predicates), and no-match key ranges.
+Build-side overflow must surface as the typed
+:class:`~repro.common.errors.JoinBuildOverflowError` through every
+entry point — never as silently wrong bytes.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (FarviewConfig, MemoryConfig,
+                                 OperatorStackConfig)
+from repro.common.errors import JoinBuildOverflowError, OperatorError
+from repro.common.records import Column, Schema
+from repro.core.api import (ClusterClient, FarviewClient,
+                            canonical_result_bytes)
+from repro.core.cluster import FarviewCluster
+from repro.core.cost_model import PlanStats
+from repro.core.node import FarviewNode
+from repro.core.query import JoinSpec, Query
+from repro.core.table import FTable
+from repro.operators.selection import Compare
+from repro.sim.engine import Simulator
+
+KB = 1024
+MB = 1024 * KB
+
+TEST_CONFIG = FarviewConfig(memory=MemoryConfig(
+    channels=2, channel_capacity=8 * MB, page_size=64 * KB))
+
+FACT_SCHEMA = Schema([
+    Column("a", "int64"),       # join key
+    Column("b", "float64"),
+    Column("c", "int64"),
+])
+DIM_SCHEMA = Schema([
+    Column("id", "int64"),
+    Column("rate", "float64"),
+    Column("zone", "int64"),
+])
+#: The post-join schema (no name collisions between the two sides here).
+JOINED_SCHEMA = Schema(list(FACT_SCHEMA.columns)
+                       + [Column("rate", "float64"),
+                          Column("zone", "int64")])
+
+
+def sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def make_fact(keys, seed=0) -> np.ndarray:
+    rows = FACT_SCHEMA.empty(len(keys))
+    rng = np.random.default_rng(seed)
+    rows["a"] = np.asarray(keys, dtype=np.int64)
+    rows["b"] = rng.integers(0, 1000, len(keys)) * 0.5
+    rows["c"] = rng.integers(-50, 50, len(keys))
+    return rows
+
+
+def make_dim(keys, seed=1) -> np.ndarray:
+    rows = DIM_SCHEMA.empty(len(keys))
+    rng = np.random.default_rng(seed)
+    rows["id"] = np.asarray(keys, dtype=np.int64)
+    rows["rate"] = rng.integers(0, 100, len(keys)) * 0.25
+    rows["zone"] = rng.integers(0, 8, len(keys))
+    return rows
+
+
+def serial_join_model(fact: np.ndarray, dim: np.ndarray,
+                      cut: int | None = None) -> bytes:
+    """The oracle: serial dict-build + row-at-a-time probe, in numpy.
+
+    Applies the optional ``a < cut`` filter first (the pipeline runs
+    selection before the join), then emits each surviving fact row that
+    finds its key in the dimension, extended with (rate, zone).
+    Returns the canonical byte image under :data:`JOINED_SCHEMA`.
+    """
+    build: dict[int, int] = {}
+    for j in range(len(dim)):
+        key = int(dim["id"][j])
+        assert key not in build, "test generator produced duplicate keys"
+        build[key] = j
+    out_rows = []
+    for i in range(len(fact)):
+        if cut is not None and not int(fact["a"][i]) < cut:
+            continue
+        j = build.get(int(fact["a"][i]))
+        if j is None:
+            continue
+        out_rows.append((fact["a"][i], fact["b"][i], fact["c"][i],
+                         dim["rate"][j], dim["zone"][j]))
+    out = JOINED_SCHEMA.empty(len(out_rows))
+    for i, values in enumerate(out_rows):
+        for name, value in zip(JOINED_SCHEMA.names, values):
+            out[name][i] = value
+    return JOINED_SCHEMA.to_bytes(out)
+
+
+def make_query(dim_table, cut: int | None = None) -> Query:
+    return Query(predicate=Compare("a", "<", cut) if cut is not None
+                 else None,
+                 join=JoinSpec(dim_table, "id", "a", ("rate", "zone")),
+                 label="conformance")
+
+
+def single_client(config=TEST_CONFIG) -> FarviewClient:
+    client = FarviewClient(FarviewNode(Simulator(), config))
+    client.open_connection()
+    return client
+
+
+def upload(client, name, schema, rows) -> FTable:
+    table = FTable(name, schema, len(rows))
+    client.alloc_table_mem(table)
+    client.table_write(table, rows)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# The property: every path == the serial model
+# ---------------------------------------------------------------------------
+
+@st.composite
+def join_case(draw):
+    """A fact/dim pair with overlapping-but-not-identical key ranges,
+    duplicate probe keys, and an optional probe-side filter."""
+    dim_keys = draw(st.lists(st.integers(min_value=0, max_value=40),
+                             min_size=1, max_size=20, unique=True))
+    fact_keys = draw(st.lists(st.integers(min_value=0, max_value=60),
+                              min_size=1, max_size=60))
+    cut = draw(st.one_of(st.none(),
+                         st.integers(min_value=0, max_value=60)))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    return dim_keys, fact_keys, cut, seed
+
+
+@given(join_case())
+@settings(max_examples=12, deadline=None)
+def test_every_join_path_matches_serial_model(case):
+    dim_keys, fact_keys, cut, seed = case
+    fact = make_fact(fact_keys, seed=seed)
+    dim = make_dim(dim_keys, seed=seed + 1)
+    expected = serial_join_model(fact, dim, cut)
+
+    # 1) single-node full offload
+    client = single_client()
+    dim_table = upload(client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(client, "fact", FACT_SCHEMA, fact)
+    query = make_query(dim_table, cut)
+    offload, _ = client.far_view(fact_table, query)
+    assert sha(offload.data) == sha(expected), "offload diverged"
+
+    # 2) ship and auto placement on fresh benches
+    for placement in ("ship", "auto"):
+        c = single_client()
+        dt = upload(c, "dim", DIM_SCHEMA, dim)
+        ft = upload(c, "fact", FACT_SCHEMA, fact)
+        result, _ = c.far_view_planned(
+            ft, make_query(dt, cut), placement=placement,
+            stats=PlanStats(selectivity=0.5, join_match_ratio=0.5))
+        assert sha(canonical_result_bytes(result)) == sha(expected), \
+            f"{placement} placement diverged"
+
+    # 3) cluster broadcast join, N = 2 and 4
+    for num_nodes in (2, 4):
+        cc = ClusterClient(FarviewCluster(Simulator(), num_nodes,
+                                          TEST_CONFIG))
+        cc.open_connection()
+        dim_sharded = cc.create_table("dim", DIM_SCHEMA, dim)
+        fact_sharded = cc.create_table("fact", FACT_SCHEMA, fact)
+        result, _ = cc.far_view(fact_sharded, make_query(dim_sharded, cut))
+        assert sha(result.data) == sha(expected), \
+            f"{num_nodes}-node broadcast join diverged"
+
+    # 4) versioned probe side: rebuild the fact table as a version chain
+    #    whose visible rows equal `fact` (insert-split + a no-op epoch).
+    vc = single_client()
+    vdim = upload(vc, "dim", DIM_SCHEMA, dim)
+    head = max(1, len(fact) // 2)
+    vfact = vc.create_versioned_table("vfact", FACT_SCHEMA, fact[:head])
+    if len(fact) > head:
+        vc.insert(vfact, fact[head:])
+    vc.update_where(vfact, Compare("a", "<", -1), {"c": 0})  # no-op epoch
+    versioned, _ = vc.far_view(vfact, make_query(vdim, cut))
+    assert sha(versioned.data) == sha(expected), "versioned probe diverged"
+
+    # 5) SQL entry point (catalog-resolved join)
+    sql_client = single_client()
+    upload(sql_client, "dim", DIM_SCHEMA, dim)     # registers in catalog
+    upload(sql_client, "fact", FACT_SCHEMA, fact)
+    statement = ("SELECT fact.a, fact.b, fact.c, dim.rate, dim.zone "
+                 "FROM fact JOIN dim ON fact.a = dim.id")
+    if cut is not None:
+        statement += f" WHERE fact.a < {cut}"
+    sql_result, _ = sql_client.sql(statement)
+    assert sha(sql_result.data) == sha(expected), "SQL entry diverged"
+
+
+# ---------------------------------------------------------------------------
+# Deterministic edge cases
+# ---------------------------------------------------------------------------
+
+def test_duplicate_probe_keys_fan_out_in_probe_order():
+    fact = make_fact([3, 3, 3, 7, 3], seed=2)
+    dim = make_dim([3, 5], seed=3)
+    client = single_client()
+    dim_table = upload(client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(client, "fact", FACT_SCHEMA, fact)
+    result, _ = client.far_view(fact_table, make_query(dim_table))
+    assert sha(result.data) == sha(serial_join_model(fact, dim))
+    assert result.num_rows == 4      # key 7 misses, every 3 matches
+
+
+def test_no_match_and_filtered_empty_probe():
+    fact = make_fact([10, 11, 12], seed=4)
+    dim = make_dim([0, 1, 2], seed=5)
+    client = single_client()
+    dim_table = upload(client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(client, "fact", FACT_SCHEMA, fact)
+    no_match, _ = client.far_view(fact_table, make_query(dim_table))
+    assert no_match.num_rows == 0
+    assert sha(no_match.data) == sha(serial_join_model(fact, dim))
+    # Predicate filters every probe row before the join stage.
+    empty_probe, _ = client.far_view(fact_table, make_query(dim_table, 0))
+    assert empty_probe.num_rows == 0
+    assert sha(empty_probe.data) == sha(serial_join_model(fact, dim, 0))
+
+
+def test_versioned_empty_build_and_empty_probe_end_to_end():
+    """Delete-all on a versioned side makes genuinely empty join inputs
+    representable end to end (zero-row plain tables cannot allocate)."""
+    fact = make_fact([0, 1, 2, 3], seed=6)
+    dim = make_dim([0, 1], seed=7)
+    client = single_client()
+    vdim = client.create_versioned_table("dim", DIM_SCHEMA, dim)
+    vfact = client.create_versioned_table("fact", FACT_SCHEMA, fact)
+
+    client.delete_where(vdim, None)          # empty build side
+    assert vdim.num_rows == 0
+    result, _ = client.far_view(vfact, make_query(vdim))
+    assert result.num_rows == 0
+    assert sha(result.data) == sha(serial_join_model(fact, dim[:0]))
+
+    client2 = single_client()
+    vdim2 = client2.create_versioned_table("dim", DIM_SCHEMA, dim)
+    vfact2 = client2.create_versioned_table("fact", FACT_SCHEMA, fact)
+    client2.delete_where(vfact2, None)       # empty probe side
+    assert vfact2.num_rows == 0
+    result2, _ = client2.far_view(vfact2, make_query(vdim2))
+    assert result2.num_rows == 0
+    assert sha(result2.data) == sha(serial_join_model(fact[:0], dim))
+
+
+def test_join_pins_dim_epoch_against_concurrent_update():
+    """A join in flight must not observe dimension writes that commit
+    mid-scan — the build side pins its epoch like any snapshot scan."""
+    fact = make_fact(list(range(32)) * 8, seed=8)
+    dim = make_dim(list(range(32)), seed=9)
+    client = single_client()
+    sim = client.sim
+    vdim = client.create_versioned_table("dim", DIM_SCHEMA, dim)
+    vfact = client.create_versioned_table("fact", FACT_SCHEMA, fact)
+    query = make_query(vdim)
+    client.far_view(vfact, query)            # deploy
+
+    captured = {}
+
+    def reader():
+        result = yield from client.far_view_proc(vfact, query)
+        captured["result"] = result
+
+    def dim_writer():
+        yield from client.update_where_proc(vdim, None, {"rate": -1.0})
+
+    procs = [sim.process(reader()), sim.process(dim_writer())]
+    sim.run()
+    assert all(p.triggered for p in procs)
+    assert sha(captured["result"].data) == sha(serial_join_model(fact, dim)), \
+        "concurrent dim update leaked into a pinned join"
+    assert vdim.active_pins == 0
+    # A fresh scan sees the committed dimension write.
+    after, _ = client.far_view(vfact, query)
+    updated = dim.copy()
+    updated["rate"] = -1.0
+    assert sha(after.data) == sha(serial_join_model(fact, updated))
+
+
+def test_concurrent_broadcasts_share_one_replica_set():
+    """Two scans racing the first broadcast of the same dimension table
+    must share a single replica set — no doubled broadcast, no leaked
+    pool memory when the table is dropped."""
+    dim = make_dim(list(range(24)), seed=21)
+    cc = ClusterClient(FarviewCluster(Simulator(), 2, TEST_CONFIG))
+    cc.open_connection()
+    free0 = [n.mmu.allocator.free_pages for n in cc.cluster.nodes]
+    dim_sharded = cc.create_table("dim", DIM_SCHEMA, dim)
+    sim = cc.sim
+    results = {}
+
+    def requester(tag):
+        replicas = yield from cc._ensure_join_replicas_proc(dim_sharded)
+        results[tag] = replicas
+
+    procs = [sim.process(requester(0)), sim.process(requester(1))]
+    sim.run()
+    assert all(p.triggered for p in procs)
+    assert results[0] is results[1], "racing broadcasts built two sets"
+    assert len(cc._join_replicas) == 1 and not cc._join_broadcasts
+    cc.drop_table(dim_sharded)
+    assert [n.mmu.allocator.free_pages for n in cc.cluster.nodes] == free0, \
+        "racing broadcasts leaked replica pool memory"
+
+
+# ---------------------------------------------------------------------------
+# Build overflow: typed refusal through every entry point
+# ---------------------------------------------------------------------------
+
+TINY_HASH = FarviewConfig(
+    memory=TEST_CONFIG.memory,
+    operator_stack=OperatorStackConfig(cuckoo_tables=1, cuckoo_slots=8))
+
+
+def test_build_overflow_is_typed_through_far_view_and_sql():
+    fact = make_fact(list(range(64)), seed=10)
+    dim = make_dim(list(range(64)), seed=11)
+    client = single_client(TINY_HASH)
+    dim_table = upload(client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(client, "fact", FACT_SCHEMA, fact)
+    with pytest.raises(JoinBuildOverflowError):
+        client.far_view(fact_table, make_query(dim_table))
+    with pytest.raises(JoinBuildOverflowError):
+        client.sql("SELECT a, rate FROM fact JOIN dim ON fact.a = dim.id")
+    # The typed error is still an OperatorError for legacy callers.
+    assert issubclass(JoinBuildOverflowError, OperatorError)
+
+
+def test_build_overflow_is_typed_through_the_cluster():
+    fact = make_fact(list(range(64)), seed=12)
+    dim = make_dim(list(range(64)), seed=13)
+    cc = ClusterClient(FarviewCluster(Simulator(), 2, TINY_HASH))
+    cc.open_connection()
+    dim_sharded = cc.create_table("dim", DIM_SCHEMA, dim)
+    fact_sharded = cc.create_table("fact", FACT_SCHEMA, fact)
+    with pytest.raises(JoinBuildOverflowError):
+        cc.far_view(fact_sharded, make_query(dim_sharded))
+
+
+def test_build_overflow_auto_placement_ships_and_stays_exact():
+    """The planner's refusal is productive: auto falls back to the
+    software join and the bytes still match the serial model."""
+    fact = make_fact(list(range(64)) * 4, seed=14)
+    dim = make_dim(list(range(64)), seed=15)
+    client = single_client(TINY_HASH)
+    dim_table = upload(client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(client, "fact", FACT_SCHEMA, fact)
+    result, _ = client.far_view_planned(fact_table, make_query(dim_table),
+                                        placement="auto")
+    assert result.explain.chosen == "ship"
+    assert sha(canonical_result_bytes(result)) == sha(
+        serial_join_model(fact, dim))
+
+
+def test_kick_exhaustion_below_nominal_capacity_auto_falls_back():
+    """Cuckoo kick chains can exhaust below the compiler's nominal
+    capacity pre-check (data-dependent).  Pure offload surfaces the
+    typed error from the build load; auto re-plans with the join on the
+    client and still matches the serial model."""
+    config = FarviewConfig(
+        memory=TEST_CONFIG.memory,
+        operator_stack=OperatorStackConfig(cuckoo_tables=1,
+                                           cuckoo_slots=64, cuckoo_max_kicks=1))
+    dim = make_dim(list(range(48)), seed=30)        # < 64 nominal slots
+    fact = make_fact(list(range(48)) * 3, seed=31)
+    probe_client = single_client(config)
+    dim_table = upload(probe_client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(probe_client, "fact", FACT_SCHEMA, fact)
+    with pytest.raises(JoinBuildOverflowError, match="does not fit"):
+        probe_client.far_view(fact_table, make_query(dim_table))
+    client = single_client(config)
+    dim_table = upload(client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(client, "fact", FACT_SCHEMA, fact)
+    result, _ = client.far_view_planned(fact_table, make_query(dim_table),
+                                        placement="auto")
+    assert "join" in result.explain.chain[result.explain.split:]
+    assert sha(canonical_result_bytes(result)) == sha(
+        serial_join_model(fact, dim))
+
+
+def test_sql_join_with_group_by_runs_end_to_end():
+    """GROUP BY over a join must not have its aggregate inputs dropped
+    by a select-list projection (probe-column grouping is supported)."""
+    fact = make_fact([0, 1, 0, 2, 1, 0], seed=32)
+    dim = make_dim([0, 1], seed=33)
+    client = single_client()
+    upload(client, "dim", DIM_SCHEMA, dim)
+    upload(client, "fact", FACT_SCHEMA, fact)
+    result, _ = client.sql(
+        "SELECT a, COUNT(*) AS n, SUM(c) AS total FROM fact "
+        "JOIN dim ON fact.a = dim.id GROUP BY a")
+    rows = result.rows()
+    # Keys 0 and 1 match the dim; key 2 is dropped by the inner join.
+    assert rows["a"].tolist() == [0, 1]
+    assert rows["n"].tolist() == [3, 2]
+    matched = fact[fact["a"] < 2]
+    assert rows["total"].sum() == matched["c"].sum()
+
+
+def test_software_join_rejects_key_type_mismatch_like_the_operator():
+    """The ship path must refuse mismatched key types, not silently
+    cast — placement must never change an error into a wrong answer."""
+    from repro.baselines.sw_ops import software_join
+
+    fact = make_fact([1, 2], seed=34)
+    dim = make_dim([1, 2], seed=35)
+    with pytest.raises(OperatorError, match="mismatch"):
+        software_join(fact, FACT_SCHEMA, dim, DIM_SCHEMA,
+                      "rate", "a", ["zone"])   # float64 build key vs int64
+
+
+def test_duplicate_build_key_rejected_end_to_end():
+    fact = make_fact([1, 2], seed=16)
+    dim = make_dim([5, 6], seed=17)
+    dim["id"] = [5, 5]
+    client = single_client()
+    dim_table = upload(client, "dim", DIM_SCHEMA, dim)
+    fact_table = upload(client, "fact", FACT_SCHEMA, fact)
+    with pytest.raises(OperatorError, match="unique"):
+        client.far_view(fact_table, make_query(dim_table))
