@@ -139,13 +139,22 @@ def _digest(*chunks: bytes) -> str:
 
 # -- workloads ----------------------------------------------------------------
 
-def run_fig6_read(table_mb: float):
-    """Raw RDMA READ of one table: pure data-plane streaming (fig 6)."""
+def run_fig6_read(table_mb: float, fault_plan=None):
+    """Raw RDMA READ of one table: pure data-plane streaming (fig 6).
+
+    ``fault_plan`` (a :class:`repro.core.faults.FaultPlan`) installs the
+    fault-injection layer before the measured read — an *empty* plan
+    must leave ``sim_ns``/``sha256`` bit-for-bit identical to no
+    injector at all (the determinism contract ``--check`` enforces).
+    """
     from repro.common.records import default_schema
     from repro.workloads.generator import make_rows
 
     sim = Simulator()
     node = FarviewNode(sim, _bench_config())
+    if fault_plan is not None:
+        from repro.core.faults import FaultInjector
+        FaultInjector(node, fault_plan).install()
     client = FarviewClient(node, buffer_capacity=int(table_mb * MB) + KB)
     client.open_connection()
     schema = default_schema()
@@ -591,6 +600,37 @@ def run_check(json_path: Path) -> int:
 
     def rel_mismatch(got: float, ref: float) -> bool:
         return abs(got - ref) > 1e-6 * max(abs(ref), 1.0)
+
+    # Fault-layer determinism contract: exercise the injection machinery
+    # on scratch objects (crash/recover, degrade/restore), then run the
+    # fig6 smoke workload with an *empty* FaultPlan installed — both the
+    # timing and the bytes must match the pinned no-fault baselines
+    # exactly, proving the fault layer is zero-cost while disabled.
+    from repro.core.faults import FaultInjector, FaultPlan
+
+    scratch_sim = Simulator()
+    scratch = FarviewNode(scratch_sim, _bench_config())
+    chaos = FaultInjector(scratch)
+    chaos.crash(0)
+    chaos.recover(0)
+    chaos.degrade_link(0, latency_add_ns=500.0, rate_factor=0.5, loss=0.01)
+    chaos.restore_link(0)
+    armed = run_fig6_read(0.25, fault_plan=FaultPlan())
+    ref_sim = SMOKE_BASELINE_SIM_NS["fig6_read"]
+    ref_sha = SMOKE_BASELINE_SHA256["fig6_read"]
+    sim_ok = not rel_mismatch(armed["sim_ns"], ref_sim)
+    sha_ok = armed["sha256"] == ref_sha
+    print(f"{'fig6_read+faultlayer':>20}: "
+          f"sim_ns {'ok' if sim_ok else 'MISMATCH'}  "
+          f"sha256 {'ok' if sha_ok else 'MISMATCH'}")
+    if not sim_ok:
+        failures.append(
+            f"fault layer (empty plan) perturbed fig6_read sim_ns: "
+            f"{armed['sim_ns']!r} != pinned {ref_sim!r}")
+    if not sha_ok:
+        failures.append(
+            f"fault layer (empty plan) perturbed fig6_read bytes: "
+            f"{armed['sha256']} != pinned {ref_sha}")
 
     for name, fn in SMOKE.items():
         sample = fn()

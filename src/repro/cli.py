@@ -33,6 +33,7 @@ from .experiments import (
     fig14_pushdown,
     fig15_updates,
     fig16_joins,
+    fig17_availability,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -73,6 +74,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
     "fig16": ("Figure 16 (extension): end-to-end joins — placement vs "
               "build size, broadcast scale-out",
               lambda: _as_list(fig16_joins.run())),
+    "fig17": ("Figure 17 (extension): availability under fault injection — "
+              "crashes, replication, failover",
+              lambda: _as_list(fig17_availability.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.
@@ -84,6 +88,7 @@ _PANELS = {
     "fig14_w64": "fig14", "fig14_w256": "fig14", "fig14_w512": "fig14",
     "fig15a": "fig15", "fig15b": "fig15",
     "fig16a": "fig16", "fig16b": "fig16",
+    "fig17a": "fig17", "fig17b": "fig17", "fig17c": "fig17",
 }
 
 

@@ -76,3 +76,49 @@ class CatalogError(FarviewError):
 
 class QueryError(FarviewError):
     """A query descriptor is malformed or references unknown columns."""
+
+
+class FaultError(FarviewError):
+    """Base class for injected-failure errors (see :mod:`repro.core.faults`).
+
+    Everything the fault layer surfaces is typed under this class, so a
+    caller that wants to survive chaos catches ``FaultError`` at each verb
+    and never has to distinguish wrong bytes from lost nodes — wrong bytes
+    are impossible by construction (failed requests raise, they never
+    return partial data)."""
+
+
+class NodeFailedError(FaultError):
+    """The target memory node crashed (fail-stop) before or during the
+    request.  Contents written before the crash are lost; a recovered node
+    comes back with a new incarnation and an empty logical state."""
+
+
+class RequestTimeoutError(FaultError):
+    """A request exceeded its per-request deadline.
+
+    The deadline is checked against the request's completion time and the
+    late result is discarded, so a timed-out request never leaks a stale
+    or partial answer."""
+
+
+class DegradedResultError(FaultError):
+    """A scatter-gather query lost shards with no live replica.
+
+    Raised only when the caller opted into degraded execution
+    (``ClusterClient.allow_degraded``); carries the merged result over the
+    surviving shards in :attr:`partial` plus the failed shard indexes."""
+
+    def __init__(self, message: str, partial=None,
+                 failed_shards: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.partial = partial
+        self.failed_shards = failed_shards
+
+
+class RegionFailedError(FaultError):
+    """The dynamic region serving this connection failed mid-pipeline.
+
+    The node is still alive — only the operator slot is gone — so planners
+    fall back to the ship path (scan raw bytes, compute client-side)
+    exactly like a :class:`JoinBuildOverflowError` refusal."""

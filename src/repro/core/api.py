@@ -90,6 +90,7 @@ reads merge sha256-identical to single-node execution.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -97,8 +98,11 @@ import numpy as np
 
 from ..baselines.cpu_model import CostBreakdown, CpuCostModel
 from ..baselines.sw_ops import software_decrypt
-from ..common.errors import (ConnectionError_, JoinBuildOverflowError,
-                             QueryError)
+from ..common.errors import (ConnectionError_, DegradedResultError,
+                             FarviewError, FaultError,
+                             JoinBuildOverflowError, NodeFailedError,
+                             QueryError, RegionFailedError,
+                             RequestTimeoutError)
 from ..common.records import Schema
 from ..operators.aggregate import AggregateSpec
 from ..operators.crypto import AesCtr
@@ -107,12 +111,13 @@ from .catalog import Catalog
 from .cost_model import PlanStats, delta_merge_cost_ns
 from .planner import (ExplainPlan, PlacementPlan, plan_placement,
                       run_client_steps)
-from .cluster import (FarviewCluster, ScatterPlan, ShardedTable, TableShard,
-                      aggregate_output_schema, group_output_schema,
-                      merge_aggregate_rows, merge_distinct_rows,
-                      merge_group_rows, plan_scatter)
+from .cluster import (FarviewCluster, ScatterPlan, ShardedTable, ShardReplica,
+                      TableShard, aggregate_output_schema,
+                      group_output_schema, merge_aggregate_rows,
+                      merge_distinct_rows, merge_group_rows, plan_scatter)
+from .faults import RetryPolicy
 from .node import Connection, ExecutionReport, FarviewNode
-from .partition import PartitionSpec, partition_indices
+from .partition import PartitionSpec, partition_indices, replica_nodes
 from .pipeline_compiler import CompiledQuery, compile_query
 from .query import Query, RegexFilter
 from .table import FTable
@@ -358,6 +363,10 @@ class FarviewClient:
         #: Cost model of this compute node's CPU — prices the client-side
         #: remainder of planned (ship/hybrid) executions.
         self._cpu = cpu_model if cpu_model is not None else CpuCostModel()
+        #: Optional :class:`~repro.core.faults.RetryPolicy`: per-request
+        #: deadline + capped exponential backoff on every verb.  ``None``
+        #: (default) is the exact pre-fault-layer request path.
+        self.retry_policy: RetryPolicy | None = None
 
     # -- connection -----------------------------------------------------------
     def open_connection(self) -> Connection:
@@ -410,9 +419,51 @@ class FarviewClient:
             return
         self.free_table_mem(table)
 
+    # -- fault-layer request wrapper ---------------------------------------------------
+    def _with_policy_proc(self, make_proc, verb: str):
+        """Process: run ``make_proc()`` under :attr:`retry_policy`.
+
+        Typed fault errors retry with capped exponential backoff; a
+        completion past the deadline is *discarded* (the late result is
+        never returned) and retried, surfacing as
+        :class:`RequestTimeoutError` once attempts are exhausted.  With
+        no policy installed this is a plain pass-through — no extra
+        simulator events, identical timing.
+        """
+        policy = self.retry_policy
+        if policy is None:
+            result = yield from make_proc()
+            return result
+        attempt = 0
+        while True:
+            attempt += 1
+            start = self.sim.now
+            try:
+                result = yield from make_proc()
+            except FaultError:
+                if attempt >= policy.max_attempts:
+                    raise
+                yield self.sim.timeout(policy.backoff_ns(attempt))
+                continue
+            if (policy.deadline_ns is not None
+                    and self.sim.now - start > policy.deadline_ns):
+                if attempt >= policy.max_attempts:
+                    raise RequestTimeoutError(
+                        f"{verb} took {self.sim.now - start:.0f} ns "
+                        f"(deadline {policy.deadline_ns:.0f} ns, "
+                        f"{attempt} attempts)")
+                yield self.sim.timeout(policy.backoff_ns(attempt))
+                continue
+            return result
+
     # -- verbs as processes ----------------------------------------------------------
     def table_write_proc(self, table: FTable, rows: np.ndarray | bytes):
         """Process: upload ``rows`` (array or raw image) to the buffer pool."""
+        result = yield from self._with_policy_proc(
+            lambda: self._table_write_once_proc(table, rows), "table_write")
+        return result
+
+    def _table_write_once_proc(self, table: FTable, rows: np.ndarray | bytes):
         conn = self._require_conn()
         if isinstance(rows, np.ndarray):
             table.validate_rows(rows)
@@ -425,6 +476,13 @@ class FarviewClient:
     def table_read_proc(self, table: FTable, offset: int = 0,
                         length: int | None = None):
         """Process: raw RDMA read; returns the bytes landed in the buffer."""
+        result = yield from self._with_policy_proc(
+            lambda: self._table_read_once_proc(table, offset, length),
+            "table_read")
+        return result
+
+    def _table_read_once_proc(self, table: FTable, offset: int,
+                              length: int | None):
         conn = self._require_conn()
         conn.qp.buffer.reset()
         total = yield from self.node.serve_read(conn, table, offset, length)
@@ -435,6 +493,11 @@ class FarviewClient:
         if isinstance(table, VersionedTable):
             result = yield from self.scan_versioned_proc(table, query)
             return result
+        result = yield from self._with_policy_proc(
+            lambda: self._far_view_once_proc(table, query), "far_view")
+        return result
+
+    def _far_view_once_proc(self, table: FTable, query: Query):
         conn = self._require_conn()
         build, build_token = self._pin_join_build(query)
         try:
@@ -772,6 +835,15 @@ class FarviewClient:
                                            stats, lease_manager,
                                            refuse_join_offload=True)
                 return self._scan_versioned_planned(vt, query, epoch, plan)
+            except RegionFailedError:
+                # The dynamic region died; under auto the ship path is
+                # the automatic fallback — raw segment reads need no
+                # region at all.
+                if placement != "auto":
+                    raise
+                plan = self.plan_versioned(vt, query, epoch, "ship",
+                                           stats, lease_manager)
+                return self._scan_versioned_planned(vt, query, epoch, plan)
             plan.explain.actual_ns = elapsed
             result.explain = plan.explain
             return result, elapsed
@@ -894,6 +966,14 @@ class FarviewClient:
             return self._far_view_planned_once(table, query, placement,
                                                stats, lease_manager,
                                                refuse_join_offload=True)
+        except RegionFailedError:
+            # A dead region cannot host any pipeline; under auto,
+            # degrade gracefully to the ship path (raw reads + client
+            # software need no region).
+            if placement != "auto":
+                raise
+            return self._far_view_planned_once(table, query, "ship",
+                                               stats, lease_manager)
 
     def _far_view_planned_once(self, table: FTable, query: Query,
                                placement: str, stats, lease_manager,
@@ -1036,6 +1116,56 @@ class ClusterQueryResult:
         return sum(r.report.bytes_scanned for r in self.shard_results)
 
 
+@dataclass
+class _JoinReplica:
+    """A broadcast build-table copy on one node, stamped with the node's
+    incarnation at write time (a later crash makes the stamp stale — the
+    copy is gone and must never be probed against)."""
+
+    table: FTable
+    incarnation: int = 0
+
+
+#: Sentinel a shard executor returns (instead of raising) when every
+#: candidate replica of its shard is gone and the caller opted into
+#: degraded results.  Filtered out by :meth:`ClusterClient._gather`.
+_SHARD_LOST = object()
+
+
+class _ConnLock:
+    """FIFO mutex serializing shard requests on one per-node connection.
+
+    Replica failover can route two shards' requests of the same scatter
+    onto the same node, but a connection's landing buffer holds one
+    request at a time (reset + read) — interleaving would corrupt both
+    results.  The uncontended path takes and releases the lock
+    synchronously (no events, no yields), so the no-fault baselines are
+    bit-for-bit unaffected.
+    """
+
+    __slots__ = ("sim", "locked", "waiters")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.locked = False
+        self.waiters: deque = deque()
+
+    def acquire(self):
+        """Process: returns holding the lock (synchronously when free)."""
+        if not self.locked:
+            self.locked = True
+            return
+        ticket = self.sim.event()
+        self.waiters.append(ticket)
+        yield ticket  # woken by release(), lock handed over directly
+
+    def release(self) -> None:
+        if self.waiters:
+            self.waiters.popleft().succeed()
+        else:
+            self.locked = False
+
+
 class ClusterClient:
     """Scatter-gather router: one query thread over a sharded pool.
 
@@ -1060,14 +1190,28 @@ class ClusterClient:
         self._clients = [FarviewClient(node, buffer_capacity)
                          for node in cluster.nodes]
         #: Broadcast join build replicas: build name -> node index ->
-        #: the node-local copy of the dimension table.  Replicas are
-        #: immutable (plain tables only) so they stay valid until the
-        #: build table is dropped.
-        self._join_replicas: dict[str, dict[int, FTable]] = {}
+        #: the node-local copy of the dimension table (with the node's
+        #: incarnation at write time).  Replicas are immutable (plain
+        #: tables only) so they stay valid until the build table is
+        #: dropped — or the node crashes, which invalidates the entry.
+        self._join_replicas: dict[str, dict[int, _JoinReplica]] = {}
         #: In-flight broadcasts by build name: concurrent joins against
         #: the same dimension table share one broadcast process instead
         #: of racing the cache and leaking the loser's replicas.
         self._join_broadcasts: dict[str, object] = {}
+        #: Optional :class:`~repro.core.faults.RetryPolicy`, applied per
+        #: shard request by the scatter router (backoff between retries
+        #: on the same candidate, post-completion deadline check).
+        #: ``None`` (default) keeps the exact pre-fault-layer path.
+        self.retry_policy: RetryPolicy | None = None
+        #: When True, a read that loses *every* replica of a shard
+        #: raises :class:`DegradedResultError` carrying the partial
+        #: merge of the surviving shards instead of the bare failure.
+        self.allow_degraded = False
+        #: One lock per per-node connection: failover may put two shard
+        #: requests of one scatter on the same node, and its landing
+        #: buffer serves one request at a time.
+        self._conn_locks = [_ConnLock(self.sim) for _ in cluster.nodes]
 
     @property
     def num_nodes(self) -> int:
@@ -1121,6 +1265,7 @@ class ClusterClient:
         indices = partition_indices(rows, schema, spec,
                                     self.cluster.num_nodes)
         shards: list[TableShard] = []
+        replica_allocs: list[tuple[int, FTable]] = []
         try:
             for node_index, idx in enumerate(indices):
                 if len(idx) == 0:
@@ -1130,8 +1275,27 @@ class ClusterClient:
                 client.alloc_table_mem(shard_table)
                 # Track the shard before the write so a mid-upload failure
                 # still rolls its allocation back.
-                shards.append(TableShard(node_index, shard_table))
+                shard = TableShard(node_index, shard_table)
+                shards.append(shard)
                 client.table_write(shard_table, rows[idx])
+                shard.incarnation = client.node.incarnation
+                # k-replica placement: byte-identical copies on the next
+                # ring nodes.  Replicas bypass the per-node catalogs
+                # (like broadcast join copies) — only the cluster-level
+                # placement knows about them.
+                reps: list[ShardReplica] = []
+                for rep_node in replica_nodes(node_index,
+                                              self.cluster.num_nodes,
+                                              spec.replicas):
+                    rclient = self._clients[rep_node]
+                    rtable = FTable(f"{name}@{node_index}r{rep_node}",
+                                    schema, len(idx))
+                    rclient.node.alloc_table_mem(rclient.connection, rtable)
+                    replica_allocs.append((rep_node, rtable))
+                    rclient.table_write(rtable, rows[idx])
+                    reps.append(ShardReplica(rep_node, rtable,
+                                             rclient.node.incarnation))
+                shard.replicas = tuple(reps)
             sharded = ShardedTable(name, schema, len(rows), spec, shards)
             self.catalog.register(sharded)
         except Exception:
@@ -1147,6 +1311,9 @@ class ClusterClient:
                     client.free_table_mem(shard.table)
                 else:
                     client.node.free_table_mem(client.connection, shard.table)
+            for rep_node, rtable in replica_allocs:
+                rclient = self._clients[rep_node]
+                rclient.node.free_table_mem(rclient.connection, rtable)
             raise
         return sharded
 
@@ -1161,10 +1328,13 @@ class ClusterClient:
         """
         for shard in sharded.shards:
             self._clients[shard.node_index].drop_table(shard.table)
+            for rep in getattr(shard, "replicas", ()):
+                rclient = self._clients[rep.node_index]
+                rclient.node.free_table_mem(rclient.connection, rep.table)
         for node_index, replica in self._join_replicas.pop(
                 sharded.name, {}).items():
             client = self._clients[node_index]
-            client.node.free_table_mem(client.connection, replica)
+            client.node.free_table_mem(client.connection, replica.table)
         self._join_broadcasts.pop(sharded.name, None)
         self.catalog.deregister(sharded.name)
 
@@ -1188,62 +1358,110 @@ class ClusterClient:
             raise QueryError(
                 "cluster joins need the build table registered in the "
                 "cluster catalog (create it with create_table)")
-        cached = self._join_replicas.get(build.name)
-        if cached is not None:
-            return cached
-        inflight = self._join_broadcasts.get(build.name)
-        if inflight is None:
-            inflight = self.sim.process(
-                self._broadcast_build_proc(build),
-                name=f"cluster.broadcast[{build.name}]")
-            self._join_broadcasts[build.name] = inflight
-        replicas = yield inflight
-        return replicas
+        for _round in range(self.num_nodes + 2):
+            cached = self._join_replicas.get(build.name)
+            if cached is not None:
+                # Invalidate entries written to a node that crashed
+                # since: its pool memory is gone, and a stale copy must
+                # never be probed against (never serve wrong bytes).
+                for idx in [i for i, rep in cached.items()
+                            if self.cluster.nodes[i].incarnation
+                            != rep.incarnation]:
+                    del cached[idx]
+            targets = tuple(
+                i for i in range(self.num_nodes)
+                if not self.cluster.nodes[i].failed
+                and (cached is None or i not in cached))
+            if cached is not None and not targets:
+                return cached
+            inflight = self._join_broadcasts.get(build.name)
+            if inflight is None:
+                inflight = self.sim.process(
+                    self._broadcast_build_proc(build, targets),
+                    name=f"cluster.broadcast[{build.name}]")
+                self._join_broadcasts[build.name] = inflight
+            try:
+                yield inflight
+            except FaultError:
+                # A node died mid-broadcast.  The loop re-evaluates:
+                # the dead node drops out of the next round's targets
+                # (re-replication onto the survivors only).
+                pass
+        raise NodeFailedError(
+            f"could not broadcast {build.name!r}: nodes kept failing")
 
-    def _broadcast_build_proc(self, build: ShardedTable):
-        """Process: the broadcast itself (one in flight per build name)."""
-        replicas: dict[int, FTable] = {}
+    def _broadcast_build_proc(self, build: ShardedTable,
+                              targets: tuple[int, ...]):
+        """Process: the broadcast itself (one in flight per build name),
+        writing one replica onto each node in ``targets``."""
+        replicas: dict[int, _JoinReplica] = {}
         try:
             data = yield from self.table_read_proc(build)
             procs = []
-            for node_index, client in enumerate(self._clients):
+            for node_index in targets:
+                client = self._clients[node_index]
                 replica = FTable(f"{build.name}@bcast{node_index}",
                                  build.schema, build.num_rows)
                 client.node.alloc_table_mem(client.connection, replica)
-                replicas[node_index] = replica
+                replicas[node_index] = _JoinReplica(
+                    replica, client.node.incarnation)
                 procs.append(self.sim.process(
                     client.node.serve_write(client.connection, replica,
                                             data),
                     name=f"cluster.broadcast[{replica.name}]"))
-            yield self.sim.all_of(procs)
+            if procs:
+                yield self.sim.all_of(procs)
         except BaseException:
             # A failed broadcast (e.g. a node out of pool memory) must
             # not leave a dead in-flight handle behind — later joins
             # would wait on it forever — nor leak partial replicas.
             self._join_broadcasts.pop(build.name, None)
-            for node_index, replica in replicas.items():
-                if replica.allocated:
+            for node_index, rep in replicas.items():
+                if rep.table.allocated:
                     client = self._clients[node_index]
-                    client.node.free_table_mem(client.connection, replica)
+                    client.node.free_table_mem(client.connection, rep.table)
             raise
         # Publish cache and retire the in-flight handle in one step (no
         # yields between), so callers see exactly one of the two.  A
         # drop_table mid-broadcast removes the in-flight handle; the
-        # orphaned replicas are then freed instead of cached.
+        # orphaned replicas are then freed instead of cached.  Merge
+        # (not replace): a re-replication round after a crash must keep
+        # the survivors' still-valid entries.
         if self._join_broadcasts.pop(build.name, None) is not None:
-            self._join_replicas[build.name] = replicas
-        else:
-            for node_index, replica in replicas.items():
-                client = self._clients[node_index]
-                client.node.free_table_mem(client.connection, replica)
+            cached = self._join_replicas.setdefault(build.name, {})
+            cached.update(replicas)
+            return cached
+        for node_index, rep in replicas.items():
+            client = self._clients[node_index]
+            client.node.free_table_mem(client.connection, rep.table)
         return replicas
 
-    @staticmethod
-    def _localize_join(shard_query: Query, replicas: dict[int, FTable],
+    def _localize_join(self, shard_query: Query,
+                       replicas: dict[int, _JoinReplica],
                        node_index: int) -> Query:
-        """Swap the node-local build replica into one shard's fragment."""
-        spec = replace(shard_query.join, build_table=replicas[node_index])
+        """Swap the node-local build replica into one shard's fragment.
+
+        Raises :class:`NodeFailedError` when the node has no live
+        replica (crashed since the broadcast) — the shard executor then
+        fails over to the next candidate node.
+        """
+        rep = replicas.get(node_index)
+        if rep is None or not self._node_usable(node_index,
+                                                rep.incarnation):
+            raise NodeFailedError(
+                f"no live build replica on node {node_index}")
+        spec = replace(shard_query.join, build_table=rep.table)
         return replace(shard_query, join=spec)
+
+    def _node_usable(self, node_index: int,
+                     incarnation: int | None = None) -> bool:
+        """Is the node up — and, if ``incarnation`` is given, still the
+        same incarnation that wrote the data we want to read?  (A crash
+        wipes pool memory: same index, new incarnation, empty node.)"""
+        node = self.cluster.nodes[node_index]
+        if node.failed:
+            return False
+        return incarnation is None or node.incarnation == incarnation
 
     def _read_join_build(self, query: Query):
         """Gather + decode a shipped join's build side (timed reads)."""
@@ -1331,30 +1549,77 @@ class ClusterClient:
                     for shard in sharded.shards]
         return self._commit_all(sharded, by_shard)
 
+    @staticmethod
+    def _guarded_proc(gen):
+        """Process: run ``gen``, capturing any Farview error as a value.
+
+        The two-phase writes scatter their prepares under this wrapper
+        so one crashed shard cannot fail the whole AllOf before the
+        other prepares report — phase 2 then aborts cleanly
+        (:meth:`_commit_or_abort`) instead of leaving some shards
+        prepared and others not.
+        """
+        try:
+            value = yield from gen
+        except FarviewError as exc:
+            return ("err", exc)
+        return ("ok", value)
+
+    def _commit_or_abort(self, sharded: VersionedShardedTable,
+                         outcomes: list) -> int:
+        """Phase 2 of the epoch broadcast: commit everywhere, or abort.
+
+        On any failed prepare the abort frees the prepared delta
+        segments of the shards that *did* succeed (best effort — a dead
+        node has nothing left to free), verifies no shard epoch moved,
+        and re-raises the first failure.  A crash mid-write therefore
+        never splits cluster epochs: either every shard commits in the
+        atomic phase 2, or none does.
+        """
+        failures = [value for tag, value in outcomes if tag == "err"]
+        if not failures:
+            return self._commit_all(sharded,
+                                    [value for _tag, value in outcomes])
+        for (tag, value), shard in zip(outcomes, sharded.shards):
+            if tag != "ok":
+                continue
+            _kind, segment, _num_rows, _visible = value
+            if segment is None:
+                continue
+            client = self._clients[shard.node_index]
+            try:
+                client.node.free_table_mem(client.connection, segment)
+            except FarviewError:
+                pass
+        sharded.check_epochs()
+        raise failures[0]
+
     def update_where_proc(self, sharded: VersionedShardedTable,
                           predicate: Predicate | None, assignments: dict):
         """Process: scatter the offloaded read-modify-write, then commit
         every shard's epoch at once (two-phase broadcast)."""
         procs = [
             self.sim.process(
-                self._clients[s.node_index]._prepare_update_proc(
-                    s.table, predicate, assignments),
+                self._guarded_proc(
+                    self._clients[s.node_index]._prepare_update_proc(
+                        s.table, predicate, assignments)),
                 name=f"cluster.update[{s.table.name}]")
             for s in sharded.shards]
-        prepared = yield self.sim.all_of(procs)
-        return self._commit_all(sharded, list(prepared))
+        outcomes = yield self.sim.all_of(procs)
+        return self._commit_or_abort(sharded, list(outcomes))
 
     def delete_where_proc(self, sharded: VersionedShardedTable,
                           predicate: Predicate | None):
         """Process: scatter the offloaded delete, then commit all shards."""
         procs = [
             self.sim.process(
-                self._clients[s.node_index]._prepare_delete_proc(
-                    s.table, predicate),
+                self._guarded_proc(
+                    self._clients[s.node_index]._prepare_delete_proc(
+                        s.table, predicate)),
                 name=f"cluster.delete[{s.table.name}]")
             for s in sharded.shards]
-        prepared = yield self.sim.all_of(procs)
-        return self._commit_all(sharded, list(prepared))
+        outcomes = yield self.sim.all_of(procs)
+        return self._commit_or_abort(sharded, list(outcomes))
 
     def compact_proc(self, sharded: VersionedShardedTable):
         """Process: fold every shard's delta chain (epoch unchanged)."""
@@ -1457,15 +1722,82 @@ class ClusterClient:
         return result, self.sim.now - start
 
     # -- verbs as processes --------------------------------------------------
+    def _shard_exec_proc(self, shard: TableShard, make_proc,
+                         allow_degraded: bool):
+        """Process: run one shard's request with failover + retries.
+
+        Tries the primary, then each replica in fixed ring order
+        (deterministic: which copy serves is a pure function of which
+        nodes are up).  Within a candidate, typed fault errors retry
+        under :attr:`retry_policy` with capped exponential backoff as
+        long as the node stays usable; a completion past the policy
+        deadline is discarded and counted as a timeout.  When every
+        candidate is exhausted: raise the last fault error, or return
+        :data:`_SHARD_LOST` when ``allow_degraded``.
+        """
+        policy = self.retry_policy
+        last_exc: Exception | None = None
+        for candidate in shard.candidates():
+            if not self._node_usable(candidate.node_index,
+                                     candidate.incarnation):
+                last_exc = NodeFailedError(
+                    f"node {candidate.node_index} is down or lost shard "
+                    f"{candidate.table.name!r}")
+                continue
+            attempt = 0
+            lock = self._conn_locks[candidate.node_index]
+            while True:
+                attempt += 1
+                start = self.sim.now
+                try:
+                    yield from lock.acquire()
+                    try:
+                        result = yield from make_proc(candidate)
+                    finally:
+                        lock.release()
+                except FaultError as exc:
+                    last_exc = exc
+                    if (policy is not None
+                            and attempt < policy.max_attempts
+                            and self._node_usable(candidate.node_index,
+                                                  candidate.incarnation)):
+                        yield self.sim.timeout(policy.backoff_ns(attempt))
+                        continue
+                    break  # fail over to the next candidate
+                if (policy is not None and policy.deadline_ns is not None
+                        and self.sim.now - start > policy.deadline_ns):
+                    last_exc = RequestTimeoutError(
+                        f"shard request {candidate.table.name!r} took "
+                        f"{self.sim.now - start:.0f} ns (deadline "
+                        f"{policy.deadline_ns:.0f} ns)")
+                    if attempt < policy.max_attempts:
+                        yield self.sim.timeout(policy.backoff_ns(attempt))
+                        continue
+                    break
+                return result
+        if allow_degraded:
+            return _SHARD_LOST
+        if last_exc is None:
+            last_exc = NodeFailedError(
+                f"shard {shard.table.name!r} has no live candidates")
+        raise last_exc
+
     def table_read_proc(self, sharded: ShardedTable):
         """Process: scatter raw reads, gather bytes in shard order.
 
         Under ``chunk`` partitioning the concatenation is the original
-        table image; other schemes return shard-order bytes.
+        table image; other schemes return shard-order bytes.  A shard
+        whose primary is down reads from a replica (byte-identical by
+        construction), so the gathered image never changes under
+        failover.
         """
         procs = [
             self.sim.process(
-                self._clients[s.node_index].table_read_proc(s.table),
+                self._shard_exec_proc(
+                    s,
+                    lambda candidate: self._clients[candidate.node_index]
+                    .table_read_proc(candidate.table),
+                    False),
                 name=f"cluster.read[{s.table.name}]")
             for s in sharded.shards]
         chunks = yield self.sim.all_of(procs)
@@ -1476,25 +1808,33 @@ class ClusterClient:
 
         Queries with a join broadcast the build side first (cached after
         the first execution), then every shard probes its fact rows
-        against the node-local replica.
+        against the node-local replica.  Each shard request fails over
+        across its replica candidates (:meth:`_shard_exec_proc`); the
+        join fragment is localized per candidate node lazily, so a
+        failover probes against the surviving node's build copy.
         """
         if isinstance(sharded, VersionedShardedTable):
             result = yield from self.scan_versioned_proc(sharded, query)
             return result
         plan = plan_scatter(query)
         start = self.sim.now
-        shard_queries = {s.node_index: plan.shard_query
-                         for s in sharded.shards}
+        replicas = None
         if query.join is not None:
             replicas = yield from self._ensure_join_replicas_proc(
                 query.join.build_table)
-            shard_queries = {
-                idx: self._localize_join(plan.shard_query, replicas, idx)
-                for idx in shard_queries}
+
+        def make(candidate):
+            if replicas is None:
+                q = plan.shard_query
+            else:
+                q = self._localize_join(plan.shard_query, replicas,
+                                        candidate.node_index)
+            return self._clients[candidate.node_index].far_view_proc(
+                candidate.table, q)
+
         procs = [
             self.sim.process(
-                self._clients[s.node_index].far_view_proc(
-                    s.table, shard_queries[s.node_index]),
+                self._shard_exec_proc(s, make, self.allow_degraded),
                 name=f"cluster.farview[{s.table.name}]")
             for s in sharded.shards]
         shard_results = yield self.sim.all_of(procs)
@@ -1502,14 +1842,26 @@ class ClusterClient:
                             self.sim.now - start)
 
     def _gather(self, sharded: ShardedTable, query: Query,
-                plan: ScatterPlan, shard_results: list[QueryResult],
+                plan: ScatterPlan, shard_results: list,
                 elapsed_ns: float) -> ClusterQueryResult:
-        """Client-side merge step of the scatter-gather execution."""
-        parts = [r.rows() for r in shard_results]
+        """Client-side merge step of the scatter-gather execution.
+
+        Shard slots holding :data:`_SHARD_LOST` (every replica gone,
+        degraded mode) are excluded from the merge; the partial result
+        then travels on a :class:`DegradedResultError` so a caller can
+        never mistake it for a complete answer.
+        """
+        lost = tuple(i for i, r in enumerate(shard_results)
+                     if r is _SHARD_LOST)
+        survivors = [r for r in shard_results if r is not _SHARD_LOST]
+        if not survivors:
+            raise NodeFailedError(
+                f"every shard of {sharded.name!r} is unavailable")
+        parts = [r.rows() for r in survivors]
         stacked = np.concatenate(parts)
         if plan.mode == "group":
             assert query.group_by is not None
-            merged = merge_group_rows(stacked, shard_results[0].schema,
+            merged = merge_group_rows(stacked, survivors[0].schema,
                                       sharded.schema, list(query.group_by),
                                       plan.shard_specs, plan.partial_plans)
             schema = group_output_schema(
@@ -1522,14 +1874,21 @@ class ClusterClient:
             schema = aggregate_output_schema(
                 sharded.schema, [p.spec for p in plan.partial_plans])
         elif plan.mode == "distinct":
-            schema = shard_results[0].schema
+            schema = survivors[0].schema
             merged = merge_distinct_rows(stacked, schema,
                                          query.distinct_columns)
         else:
-            schema = shard_results[0].schema
+            schema = survivors[0].schema
             merged = stacked
-        return ClusterQueryResult(schema=schema, shard_results=shard_results,
-                                  response_time_ns=elapsed_ns, merged=merged)
+        result = ClusterQueryResult(schema=schema, shard_results=survivors,
+                                    response_time_ns=elapsed_ns,
+                                    merged=merged)
+        if lost:
+            raise DegradedResultError(
+                f"{len(lost)} of {len(shard_results)} shards of "
+                f"{sharded.name!r} unavailable", partial=result,
+                failed_shards=lost)
+        return result
 
     # -- blocking conveniences -----------------------------------------------
     def table_read(self, sharded: ShardedTable):
@@ -1604,6 +1963,13 @@ class ClusterClient:
             return self._far_view_planned_once(sharded, query, placement,
                                                stats, lease_manager,
                                                refuse_join_offload=True)
+        except RegionFailedError:
+            # A shard's dynamic region died; under auto, degrade to the
+            # ship path — scatter raw reads need no regions.
+            if placement != "auto":
+                raise
+            return self._far_view_planned_once(sharded, query, "ship",
+                                               stats, lease_manager)
 
     def _far_view_planned_once(self, sharded: ShardedTable, query: Query,
                                placement: str, stats, lease_manager,

@@ -103,20 +103,43 @@ class FarviewCluster:
 
 
 @dataclass
+class ShardReplica:
+    """One extra copy of a shard: a byte-identical :class:`FTable` on
+    another node, stamped with that node's incarnation at write time (a
+    mismatch means the node crashed since — the copy is gone)."""
+
+    node_index: int
+    table: FTable
+    incarnation: int = 0
+
+
+@dataclass
 class TableShard:
     """One node's fragment of a sharded table.
 
     The global-row → shard mapping is recomputable from the table's
     :class:`~repro.core.partition.PartitionSpec` (placement is
     deterministic), so only the shard handle itself is kept here.
+    ``incarnation`` records the primary node's incarnation when the shard
+    was written; ``replicas`` hold the k-1 failover copies in fixed ring
+    order (:func:`~repro.core.partition.replica_nodes`) — the scatter
+    router tries candidates in that order, so which copy serves a request
+    is deterministic.
     """
 
     node_index: int
     table: FTable
+    incarnation: int = 0
+    replicas: tuple[ShardReplica, ...] = ()
 
     @property
     def num_rows(self) -> int:
         return self.table.num_rows
+
+    def candidates(self) -> tuple[ShardReplica, ...]:
+        """Primary-first candidate list for executing against this shard."""
+        primary = ShardReplica(self.node_index, self.table, self.incarnation)
+        return (primary,) + self.replicas
 
 
 class ShardedTable:

@@ -33,7 +33,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Sequence
 
-from ..common.errors import QueryError, RegionUnavailableError
+from ..common.errors import FaultError, QueryError, RegionUnavailableError
 from ..sim.engine import Event, Simulator
 from .api import FarviewClient
 from .node import FarviewNode
@@ -75,7 +75,7 @@ class RegionLeaseManager:
         """
         best: int | None = None
         for i, node in enumerate(self.nodes):
-            if node.free_regions <= 0:
+            if node.failed or node.free_regions <= 0:
                 continue
             if best is None:
                 best = i
@@ -104,10 +104,13 @@ class RegionLeaseManager:
                     client = FarviewClient(self.nodes[index],
                                            self.buffer_capacity)
                     client.open_connection()
-                except RegionUnavailableError:
+                except (RegionUnavailableError, FaultError):
                     # A region counted free but could not be acquired
-                    # (e.g. a draining state): wait like the all-busy
-                    # case rather than spinning on the same node.
+                    # (e.g. a draining state), or the node died between
+                    # the pick and the open: wait like the all-busy case
+                    # rather than spinning — and never swallow the
+                    # handoff we may be holding, which would starve the
+                    # rest of the queue.
                     pass
                 else:
                     self.leases_granted += 1
@@ -132,11 +135,19 @@ class RegionLeaseManager:
         if entry is None:
             raise QueryError("client was not leased from this manager's pool")
         _, index = entry
-        client.close_connection()
-        self.leases_per_node[index] -= 1
-        if self._waiters:
-            self._handoffs += 1
-            self._waiters.popleft().succeed()
+        try:
+            try:
+                client.close_connection()
+            except FaultError:
+                # The node died while leased: nothing left to close
+                # server-side.  The accounting and wake-up below must
+                # still run, or the queue starves.
+                pass
+        finally:
+            self.leases_per_node[index] -= 1
+            if self._waiters:
+                self._handoffs += 1
+                self._waiters.popleft().succeed()
 
     def with_lease(self, fn):
         """Process: borrow a client, run ``fn`` (a process function taking

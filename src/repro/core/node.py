@@ -26,8 +26,10 @@ import numpy as np
 
 from ..common import calibration as cal
 from ..common.config import FarviewConfig
-from ..common.errors import ConnectionError_, OperatorError
-from ..fpga.region import DynamicRegion, RegionManager
+from ..common.errors import (ConnectionError_, FarviewError, NodeFailedError,
+                             OperatorError, ProtectionFault, RegionFailedError,
+                             TranslationFault)
+from ..fpga.region import DynamicRegion, RegionManager, RegionState
 from ..fpga.resource_model import ResourceModel
 from ..memory.mmu import Mmu
 from ..network.link import Link
@@ -45,6 +47,20 @@ from .versioning import (ROWID_COLUMN, VersionView, delete_schema,
 DEFAULT_CLIENT_BUFFER = 8 * 1024 * 1024
 
 _domain_ids = itertools.count(1)
+
+
+class _StreamAbort:
+    """Failure sentinel a dying burst producer hands its consumer.
+
+    Failing the producer *process* would leave the consumer blocked on
+    ``store.get()`` forever (a real deadlock, not a modeled one); pushing
+    the error through the queue keeps the stream's control flow intact.
+    """
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
 
 
 @dataclass
@@ -93,11 +109,35 @@ class FarviewNode:
                                              name="fv-req-engine")
         self.connections: dict[int, Connection] = {}
         self.queries_served = 0
+        #: Fail-stop fault state: a failed node rejects every verb with
+        #: :class:`NodeFailedError`; ``incarnation`` bumps on each crash so
+        #: clients can tell pre-crash contents (lost) from fresh writes.
+        self.failed = False
+        self.incarnation = 0
+
+    # -- fault injection (fail-stop with amnesia) --------------------------------
+    def fail(self) -> None:
+        """Crash the node.  In-flight streams abort with a typed error;
+        everything in the pool is considered lost (incarnation bump)."""
+        self.failed = True
+        self.incarnation += 1
+
+    def recover(self) -> None:
+        """Bring the node back — logically empty, under the incarnation
+        assigned at crash time.  Clients must re-create state; stale
+        handles are rejected by their recorded incarnation."""
+        self.failed = False
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise NodeFailedError(
+                f"node is down (incarnation {self.incarnation})")
 
     # -- connection management (§4.2 openConnection) ----------------------------
     def open_connection(self,
                         buffer_capacity: int = DEFAULT_CLIENT_BUFFER
                         ) -> Connection:
+        self._check_alive()
         qp = QueuePair(self.sim, buffer_capacity,
                        credits=self.config.network.initial_credits)
         self.link.register_flow(qp.qp_id)
@@ -123,13 +163,32 @@ class FarviewNode:
     # -- memory allocation (§4.2 allocTableMem / freeTableMem) ---------------------
     def alloc_table_mem(self, conn: Connection, table: FTable) -> int:
         conn.require_open()
+        self._check_alive()
         table.vaddr = self.mmu.alloc(conn.domain, table.size_bytes)
+        table.domain = conn.domain
         return table.vaddr
 
     def free_table_mem(self, conn: Connection, table: FTable) -> None:
         conn.require_open()
         self.mmu.free(conn.domain, table.require_allocated())
         table.vaddr = None
+        table.domain = None
+
+    def _require_access(self, conn: Connection, table: FTable) -> None:
+        """Enforce §4.4 isolation: a connection only reaches tables its
+        own protection domain allocated (:class:`ProtectionFault`
+        otherwise); a handle whose owning domain died with its
+        connection no longer translates (:class:`TranslationFault`)."""
+        owner = table.domain
+        if owner is None or owner == conn.domain:
+            return
+        if self.mmu.has_domain(owner):
+            raise ProtectionFault(
+                f"table {table.name!r} belongs to protection domain "
+                f"{owner}, not {conn.domain}")
+        raise TranslationFault(
+            f"table {table.name!r} was mapped in domain {owner}, which "
+            f"was destroyed with its connection")
 
     # -- request front-end ------------------------------------------------------------
     def _request_front_end(self):
@@ -145,6 +204,8 @@ class FarviewNode:
     def serve_write(self, conn: Connection, table: FTable, data: bytes):
         """Process: client writes ``data`` into the table's memory."""
         conn.require_open()
+        self._check_alive()
+        self._require_access(conn, table)
         vaddr = table.require_allocated()
         if len(data) > table.size_bytes:
             raise OperatorError(
@@ -154,7 +215,11 @@ class FarviewNode:
             self.sim, self.link, conn.qp, data,
             per_packet_overhead_ns=self.config.network.per_packet_overhead_ns)
         yield from self._request_front_end()
+        self._check_alive()
         yield self.mmu.write(conn.domain, vaddr, data)
+        # A crash during the write means the ack never left the node; the
+        # bytes are lost with the incarnation either way.
+        self._check_alive()
         return len(data)
 
     # -- RDMA READ (raw buffer-cache read) ---------------------------------------------------
@@ -162,6 +227,8 @@ class FarviewNode:
                    offset: int = 0, length: int | None = None):
         """Process: stream raw table bytes to the client buffer."""
         conn.require_open()
+        self._check_alive()
+        self._require_access(conn, table)
         vaddr = table.require_allocated()
         if length is None:
             length = table.size_bytes - offset
@@ -176,6 +243,8 @@ class FarviewNode:
         yield from self._stream_memory(conn, vaddr + offset, length,
                                        streamer.send)
         total = yield from streamer.finish()
+        # A crash before the final ack means the response never completed.
+        self._check_alive()
         return total
 
     def _stream_memory(self, conn: Connection, vaddr: int, length: int,
@@ -188,6 +257,8 @@ class FarviewNode:
             chunk = yield store.get()
             if chunk is None:
                 break
+            if type(chunk) is _StreamAbort:
+                raise chunk.exc
             yield from sink_send(chunk)
         yield producer  # surface any producer failure
 
@@ -195,8 +266,22 @@ class FarviewNode:
                         store: Store):
         cursor = 0
         while cursor < length:
+            if self.failed:
+                # Fail-stop mid-stream: hand the consumer a typed abort
+                # instead of more data (never partial-then-silent).
+                yield store.put(_StreamAbort(NodeFailedError(
+                    f"node crashed mid-stream (incarnation "
+                    f"{self.incarnation})")))
+                return
             n = min(self.mmu.burst_bytes, length - cursor)
-            data = yield self.mmu.read(conn.domain, vaddr + cursor, n)
+            try:
+                data = yield self.mmu.read(conn.domain, vaddr + cursor, n)
+            except FarviewError as exc:
+                # A memory fault mid-stream must reach the consumer as a
+                # typed abort — failing only the producer would leave the
+                # consumer parked on an empty store forever.
+                yield store.put(_StreamAbort(exc))
+                return
             yield store.put(data)
             cursor += n
         yield store.put(None)
@@ -210,6 +295,11 @@ class FarviewNode:
         client's buffer.
         """
         conn.require_open()
+        self._check_alive()
+        if conn.region.state is RegionState.FAILED:
+            raise RegionFailedError(
+                f"region {conn.region.index} has failed")
+        self._require_access(conn, table)
         vaddr = table.require_allocated()
         report = ExecutionReport(signature=compiled.signature,
                                  ingest_mode=compiled.ingest_mode)
@@ -253,6 +343,7 @@ class FarviewNode:
         if tail:
             yield from sender.send(tail)
         total = yield from sender.finish()
+        self._check_alive()
 
         self._collect_overflow(compiled, report)
         report.bytes_shipped = total
@@ -300,6 +391,9 @@ class FarviewNode:
                                name=f"region{conn.region.index}.ingest")
 
         def sink(chunk: bytes):
+            if conn.region.state is RegionState.FAILED:
+                raise RegionFailedError(
+                    f"region {conn.region.index} failed mid-pipeline")
             yield ingest.transfer(len(chunk))
             report.bytes_scanned += len(chunk)
             out = compiled.pipeline.process_chunk(chunk)
@@ -365,6 +459,10 @@ class FarviewNode:
         ``bytes_scanned`` therefore covers base + every delta segment.
         """
         conn.require_open()
+        self._check_alive()
+        if conn.region.state is RegionState.FAILED:
+            raise RegionFailedError(
+                f"region {conn.region.index} has failed")
         base_vaddr = view.base.require_allocated()
         report = ExecutionReport(signature=compiled.signature,
                                  ingest_mode=compiled.ingest_mode)
@@ -412,6 +510,9 @@ class FarviewNode:
         progress = {"streamed": 0, "fed": 0}
 
         def sink(chunk: bytes):
+            if conn.region.state is RegionState.FAILED:
+                raise RegionFailedError(
+                    f"region {conn.region.index} failed mid-pipeline")
             # Base bytes pace the ingest; the merge unit emits the
             # corresponding share of the visible stream at line rate.
             yield ingest.transfer(len(chunk))
@@ -434,6 +535,7 @@ class FarviewNode:
         if tail:
             yield from sender.send(tail)
         total = yield from sender.finish()
+        self._check_alive()
 
         self._collect_overflow(compiled, report)
         report.bytes_shipped = total
@@ -448,6 +550,7 @@ class FarviewNode:
         """Process: timed DRAM reads of every segment of ``view``."""
         images: dict[str, bytes] = {}
         for seg in view.segment_tables:
+            self._check_alive()
             data = yield self.mmu.read(conn.domain, seg.require_allocated(),
                                        seg.size_bytes)
             images[seg.name] = data
@@ -469,6 +572,7 @@ class FarviewNode:
         when nothing matched (the commit is then a pure epoch bump).
         """
         conn.require_open()
+        self._check_alive()
         schema = view.schema
         coerced = {name: encode_value(schema.column(name), value)
                    for name, value in assignments.items()}
@@ -492,6 +596,7 @@ class FarviewNode:
         self.alloc_table_mem(conn, segment)
         yield self.mmu.write(conn.domain, segment.vaddr,
                              dschema.to_bytes(drows))
+        self._check_alive()
         return segment, ids[mask]
 
     def serve_delete_delta(self, conn: Connection, view: VersionView,
@@ -502,6 +607,7 @@ class FarviewNode:
         image carries only the matched row ids.
         """
         conn.require_open()
+        self._check_alive()
         images = yield from self._read_view_images(conn, view)
         rows, ids = view.materialize(lambda t: images[t.name])
         mask = (predicate.evaluate(rows) if predicate is not None
@@ -515,6 +621,7 @@ class FarviewNode:
         self.alloc_table_mem(conn, segment)
         yield self.mmu.write(conn.domain, segment.vaddr,
                              dschema.to_bytes(drows))
+        self._check_alive()
         return segment, ids[mask]
 
     def serve_compact(self, conn: Connection, view: VersionView,
@@ -527,6 +634,7 @@ class FarviewNode:
         concurrent pinned scans keep their snapshot.
         """
         conn.require_open()
+        self._check_alive()
         images = yield from self._read_view_images(conn, view)
         rows, ids = view.materialize(lambda t: images[t.name])
         if len(rows) == 0:
@@ -538,6 +646,7 @@ class FarviewNode:
         self.alloc_table_mem(conn, new_base)
         yield self.mmu.write(conn.domain, new_base.vaddr,
                              view.schema.to_bytes(rows))
+        self._check_alive()
         return new_base, ids
 
     @staticmethod

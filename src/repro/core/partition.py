@@ -50,11 +50,16 @@ class PartitionSpec:
 
     ``scheme`` is one of :data:`SCHEMES`; ``key`` names the partitioning
     column (required for ``hash`` and ``range``, meaningless for
-    ``chunk``).
+    ``chunk``).  ``replicas`` is the copy count *k* per shard: shard *s*'s
+    extra copies land on nodes ``(s+1) % N, (s+2) % N, …``
+    (:func:`replica_nodes`), so a single node crash leaves every shard a
+    live replica whenever ``k >= 2``.  Replication is capped at the node
+    count when a table is created.
     """
 
     scheme: str = "chunk"
     key: Optional[str] = None
+    replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -66,6 +71,9 @@ class PartitionSpec:
                 f"{self.scheme} partitioning needs a key column")
         if self.scheme == "chunk" and self.key is not None:
             raise QueryError("chunk partitioning does not take a key column")
+        if self.replicas < 1:
+            raise QueryError(
+                f"replicas must be >= 1, got {self.replicas}")
 
     @property
     def order_preserving(self) -> bool:
@@ -75,8 +83,22 @@ class PartitionSpec:
         return self.scheme == "chunk"
 
     def describe(self) -> str:
-        return (self.scheme if self.key is None
+        base = (self.scheme if self.key is None
                 else f"{self.scheme}({self.key})")
+        return base if self.replicas == 1 else f"{base} x{self.replicas}"
+
+
+def replica_nodes(shard: int, num_nodes: int, replicas: int) -> tuple[int, ...]:
+    """Nodes holding the extra copies of ``shard`` (primary excluded).
+
+    Deterministic ring placement — ``(shard + i) % num_nodes`` for
+    ``i = 1 .. replicas-1`` — so every client derives identical placement
+    from the catalog, and any ``replicas - 1`` node crashes leave a copy.
+    """
+    if num_nodes <= 0:
+        raise QueryError(f"need at least one node, got {num_nodes}")
+    count = min(replicas, num_nodes) - 1
+    return tuple((shard + i) % num_nodes for i in range(1, count + 1))
 
 
 def shard_assignment(rows: np.ndarray, schema: Schema, spec: PartitionSpec,

@@ -23,6 +23,7 @@ class FTable:
     schema: Schema
     num_rows: int
     vaddr: int | None = None          # set by alloc_table_mem
+    domain: int | None = None         # owning protection domain (§4.4)
     encrypted: bool = False
     key: bytes | None = None
     nonce: bytes | None = None

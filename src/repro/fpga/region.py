@@ -11,7 +11,8 @@ from __future__ import annotations
 import enum
 
 from ..common.config import OperatorStackConfig
-from ..common.errors import OperatorError, RegionUnavailableError
+from ..common.errors import (OperatorError, RegionFailedError,
+                             RegionUnavailableError)
 from ..sim.engine import Simulator
 
 
@@ -19,6 +20,9 @@ class RegionState(enum.Enum):
     FREE = "free"
     CONFIGURING = "configuring"
     READY = "ready"
+    #: The region hardware failed (fault injection): it serves nothing and
+    #: is never allocated until repaired.
+    FAILED = "failed"
 
 
 class DynamicRegion:
@@ -32,6 +36,7 @@ class DynamicRegion:
         self.loaded_pipeline: str | None = None
         self.owner_qp: int | None = None
         self.reconfigurations = 0
+        self.failures = 0
 
     def assign(self, qp_id: int) -> None:
         if self.state is not RegionState.FREE:
@@ -40,9 +45,31 @@ class DynamicRegion:
         self.owner_qp = qp_id
 
     def release(self) -> None:
+        if self.state is RegionState.FAILED:
+            # A failed region drops its owner but stays failed until
+            # repaired — it must never be handed to the next connection.
+            self.loaded_pipeline = None
+            self.owner_qp = None
+            return
         self.state = RegionState.FREE
         self.loaded_pipeline = None
         self.owner_qp = None
+
+    def fail(self) -> None:
+        """Fault injection: the region hardware dies mid-pipeline.  Any
+        resident pipeline is lost; queries touching it raise
+        :class:`~repro.common.errors.RegionFailedError`."""
+        self.state = RegionState.FAILED
+        self.loaded_pipeline = None
+        self.failures += 1
+
+    def repair(self) -> None:
+        """Fault injection: bring a failed region back (empty — the owner,
+        if still connected, reconfigures on its next query)."""
+        if self.state is not RegionState.FAILED:
+            return
+        self.state = (RegionState.FREE if self.owner_qp is None
+                      else RegionState.READY)
 
     def load_pipeline(self, pipeline_name: str):
         """Process: partial reconfiguration of this region (ms-scale).
@@ -50,6 +77,8 @@ class DynamicRegion:
         Loading the pipeline that is already resident is free — the paper's
         pipelines are precompiled bitstreams cached per query shape.
         """
+        if self.state is RegionState.FAILED:
+            raise RegionFailedError(f"region {self.index} has failed")
         if self.owner_qp is None:
             raise OperatorError(f"region {self.index} has no owner")
         if self.state is RegionState.CONFIGURING:
@@ -59,6 +88,10 @@ class DynamicRegion:
             return
         self.state = RegionState.CONFIGURING
         yield self.sim.timeout(self.config.reconfiguration_ns)
+        if self.state is RegionState.FAILED:
+            # The region died during reconfiguration.
+            raise RegionFailedError(
+                f"region {self.index} failed mid-reconfiguration")
         self.loaded_pipeline = pipeline_name
         self.state = RegionState.READY
         self.reconfigurations += 1

@@ -138,6 +138,19 @@ class Process(Event):
         except StopIteration as stop:
             self._finish(stop.value)
             return
+        except Exception as exc:
+            # The process died: fail its completion event so waiters
+            # (AllOf compositions, processes yielding on it) receive the
+            # exception at their resume point instead of it escaping the
+            # event loop and tearing down unrelated processes.
+            # run_process re-raises it for top-level callers.
+            self._value = exc
+            self._ok = False
+            self.triggered = True
+            if self._callbacks:
+                self.sim._immediate_all(self._callbacks, self)
+                self._callbacks.clear()
+            return
         if type(target) is not Event and not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "

@@ -1,0 +1,229 @@
+"""Stateful chaos testing: random faults interleaved with queries.
+
+A Hypothesis rule machine drives a replicated 4-node cluster through
+random crash / recover / link-degrade transitions interleaved with raw
+reads, scatter-gather scans, broadcast joins, and versioned writes and
+snapshot scans.  The oracle mirrors ``tests/test_core_versioning.py``'s
+machines: a serial numpy model plus a per-epoch byte history, and every
+*successful* operation must return bytes sha256-identical to the
+quiesced no-fault replay — under chaos, a query may fail with a typed
+:class:`FaultError`, but it may never return different bytes or hang.
+
+Availability itself is part of the oracle for the replicated plain
+table: with ring replicas (``k=2``, replica of shard *s* on node
+``s+1``) a scan must *succeed* whenever each shard still has a usable
+copy — node up and never crashed since the copy was written (fail-stop
+with amnesia: a crash invalidates the incarnation its shards and
+replicas were stamped with) — and must fail typed whenever some shard
+has none.
+"""
+
+import hashlib
+import os
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.config import FarviewConfig, MemoryConfig
+from repro.common.errors import FaultError
+from repro.common.records import Column, Schema, default_schema
+from repro.core.api import ClusterClient
+from repro.core.cluster import FarviewCluster
+from repro.core.faults import FaultInjector
+from repro.core.partition import PartitionSpec
+from repro.core.query import JoinSpec, Query, select_star
+from repro.operators.selection import Compare
+from repro.sim.engine import Simulator
+from repro.workloads.generator import make_rows, selection_workload
+
+KB = 1024
+MB = 1024 * KB
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+NUM_NODES = 4
+
+TEST_CONFIG = FarviewConfig(memory=MemoryConfig(
+    channels=2, channel_capacity=8 * MB, page_size=64 * KB))
+
+
+def sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ChaosMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.cluster = FarviewCluster(self.sim, NUM_NODES, TEST_CONFIG)
+        self.cc = ClusterClient(self.cluster)
+        self.cc.open_connection()
+        self.injector = FaultInjector(self.cluster)
+        #: Nodes currently down / with a degraded link.
+        self.down: set[int] = set()
+        self.degraded: set[int] = set()
+        #: Nodes that have crashed at least once: their incarnation no
+        #: longer matches anything written at table-creation time.
+        self.crashed_ever: set[int] = set()
+
+        # Replicated plain table (scans, raw reads) + dimension (joins).
+        wl = selection_workload(512, 0.5, seed=31 + CHAOS_SEED)
+        self.fact = self.cc.create_table("fact", wl.schema, wl.rows,
+                                         PartitionSpec(replicas=2))
+        self.fact_query = select_star(wl.predicate)
+        dim_schema = Schema([Column("id", "int64"), Column("rate", "float64")])
+        dim_rows = dim_schema.empty(64)
+        dim_rows["id"] = np.arange(64)
+        dim_rows["rate"] = np.arange(64) * 0.5
+        self.dim = self.cc.create_table("dim", dim_schema, dim_rows,
+                                        PartitionSpec(replicas=2))
+        self.join_query = Query(join=JoinSpec(self.dim, "id", "a", ("rate",)),
+                                label="chaos-join")
+        # Versioned table (k=1 chunk shards) for writes + pinned scans.
+        self.schema = default_schema()
+        rows = make_rows(self.schema, 48, seed=32 + CHAOS_SEED)
+        rows["a"] = np.arange(48)
+        self.vst = self.cc.create_versioned_table("v", self.schema, rows)
+        self.model = rows.copy()
+        self.history = {0: self.schema.to_bytes(rows)}
+        self.scan_query = Query(projection=tuple(self.schema.names),
+                                label="chaos-scan")
+
+        # No-fault references (also warms pipelines + broadcast cache).
+        self.fact_sha = sha(self.cc.far_view(self.fact,
+                                             self.fact_query)[0].data)
+        self.join_sha = sha(self.cc.far_view(self.fact,
+                                             self.join_query)[0].data)
+        self.image_sha = sha(self.cc.table_read(self.fact)[0])
+
+    # -- availability oracle ----------------------------------------------
+    def _copy_usable(self, node: int) -> bool:
+        return node not in self.down and node not in self.crashed_ever
+
+    def _fact_available(self) -> bool:
+        """Every shard has a usable copy (primary or its ring replica)."""
+        return all(self._copy_usable(s) or self._copy_usable((s + 1)
+                                                            % NUM_NODES)
+                   for s in range(NUM_NODES))
+
+    # -- fault transitions -------------------------------------------------
+    @rule(node=st.integers(min_value=0, max_value=NUM_NODES - 1))
+    def crash(self, node):
+        if node in self.down:
+            return
+        self.injector.crash(node)
+        self.down.add(node)
+        self.crashed_ever.add(node)
+
+    @rule(node=st.integers(min_value=0, max_value=NUM_NODES - 1))
+    def recover(self, node):
+        if node not in self.down:
+            return
+        self.injector.recover(node)
+        self.down.remove(node)
+
+    @rule(node=st.integers(min_value=0, max_value=NUM_NODES - 1))
+    def degrade_link(self, node):
+        if node in self.degraded:
+            return
+        self.injector.degrade_link(node, latency_add_ns=1_000.0,
+                                   rate_factor=0.5, loss=0.05)
+        self.degraded.add(node)
+
+    @rule(node=st.integers(min_value=0, max_value=NUM_NODES - 1))
+    def restore_link(self, node):
+        if node not in self.degraded:
+            return
+        self.injector.restore_link(node)
+        self.degraded.remove(node)
+
+    # -- queries under chaos ----------------------------------------------
+    @rule()
+    def scan_fact(self):
+        try:
+            result, _ = self.cc.far_view(self.fact, self.fact_query)
+        except FaultError:
+            assert not self._fact_available(), \
+                "scan failed although every shard had a usable copy"
+        else:
+            assert sha(result.data) == self.fact_sha, \
+                "chaos scan returned wrong bytes"
+
+    @rule()
+    def read_fact_image(self):
+        try:
+            data, _ = self.cc.table_read(self.fact)
+        except FaultError:
+            assert not self._fact_available()
+        else:
+            assert sha(data) == self.image_sha, \
+                "chaos raw read returned wrong bytes"
+
+    @rule()
+    def join_fact_dim(self):
+        """The broadcast join additionally needs build replicas (pruned
+        on crash, re-broadcast on recovery), so its availability is not
+        the plain-scan oracle; bytes still must be exact, and with no
+        fault history it must succeed."""
+        try:
+            result, _ = self.cc.far_view(self.fact, self.join_query)
+        except FaultError:
+            assert self.down or self.crashed_ever, \
+                "join failed with no fault in the system"
+        else:
+            assert sha(result.data) == self.join_sha, \
+                "chaos join returned wrong bytes"
+
+    @rule(cut=st.integers(min_value=0, max_value=60),
+          value=st.integers(min_value=-99, max_value=99))
+    def versioned_update(self, cut, value):
+        """Two-phase write: commits cluster-wide iff every node is up;
+        a down node aborts the batch with epochs intact (the versioned
+        shards are unreplicated, but their bytes survive recovery)."""
+        epoch_before = self.vst.epoch
+        try:
+            epoch, _ = self.cc.update_where(self.vst,
+                                            Compare("a", "<", cut),
+                                            {"c": value})
+        except FaultError:
+            assert self.down, "write aborted with all nodes up"
+            assert self.vst.epoch == epoch_before
+        else:
+            assert not self.down, "write committed despite a down node"
+            assert epoch == epoch_before + 1
+            self.model = self.model.copy()
+            self.model["c"][self.model["a"] < cut] = value
+            self.history[epoch] = self.schema.to_bytes(self.model)
+
+    @rule(data=st.data())
+    def versioned_scan_pinned_epoch(self, data):
+        """Every successful snapshot scan must be sha256-identical to
+        the quiesced serial replay at its pinned epoch."""
+        epoch = data.draw(st.integers(0, self.vst.epoch))
+        try:
+            result, _ = self.cc.scan_versioned(self.vst, self.scan_query,
+                                               as_of=epoch)
+        except FaultError:
+            assert self.down, "snapshot scan failed with all nodes up"
+        else:
+            assert sha(result.data) == sha(self.history[epoch]), \
+                f"chaos snapshot at epoch {epoch} diverged from replay"
+
+    # -- invariants ---------------------------------------------------------
+    @invariant()
+    def epochs_never_split(self):
+        assert all(s.table.epoch == self.vst.epoch
+                   for s in self.vst.shards), \
+            "cluster epochs split under chaos"
+
+    @invariant()
+    def fault_state_is_consistent(self):
+        for i, node in enumerate(self.cluster.nodes):
+            assert node.failed == (i in self.down)
+            assert node.link.degraded == (i in self.degraded)
+
+
+ChaosMachine.TestCase.settings = settings(
+    max_examples=8, stateful_step_count=12, deadline=None)
+TestChaosMachine = ChaosMachine.TestCase

@@ -304,3 +304,77 @@ def test_release_of_foreign_client_is_rejected():
     foreign.open_connection()
     with pytest.raises(QueryError, match="pool"):
         manager.release(foreign)
+
+
+# -- exception safety under faults (PR 6) -----------------------------------
+
+def test_failing_tenant_wakes_fifo_waiters():
+    """A tenant whose body raises must not strand the queue: the lease
+    is released and the oldest waiter is woken, in FIFO order."""
+    sim, node = make_node(regions=1)
+    manager = RegionLeaseManager(node)
+    order = []
+
+    def failing(client):
+        yield sim.timeout(1.0)
+        raise RuntimeError("tenant exploded")
+
+    def tenant(tag):
+        def body(client):
+            order.append((tag, sim.now))
+            yield sim.timeout(1.0)
+            return tag
+        result = yield from manager.with_lease(body)
+        return result
+
+    def main():
+        crash = sim.process(manager.with_lease(failing), "crasher")
+        waiter_a = sim.process(tenant("a"), "tenant-a")
+        waiter_b = sim.process(tenant("b"), "tenant-b")
+        yield waiter_a
+        yield waiter_b
+        assert not crash.ok and isinstance(crash.value, RuntimeError)
+
+    sim.run_process(main())
+    assert [tag for tag, _ in order] == ["a", "b"]
+    assert manager.queued == 0
+    assert node.free_regions == 1
+    assert manager.leases_per_node == [0]
+
+
+def test_node_crash_mid_lease_releases_and_fails_over():
+    """Crashing the leased node must not poison release(): the close is
+    best-effort, the accounting is corrected, waiters are woken, and the
+    next acquire lands on a surviving node."""
+    from repro.core.faults import FaultInjector
+
+    sim, cluster = make_cluster(num_nodes=2, regions=1)
+    manager = RegionLeaseManager(cluster)
+
+    def main():
+        victim = yield from manager.acquire()
+        victim_index = cluster.nodes.index(victim.node)
+        # Fill the pool so the next tenant genuinely queues.
+        other = yield from manager.acquire()
+        waiter = sim.process(manager.acquire(), "queued-acquire")
+        yield sim.timeout(1.0)
+        assert manager.queued == 1
+
+        FaultInjector(cluster).crash(victim_index)
+        # close_connection now raises NodeFailedError server-side;
+        # release must swallow it, fix the books, and wake the waiter.
+        manager.release(victim)
+        assert manager.leases_per_node[victim_index] == 0
+        # The victim's region died with it, so free the survivor's too:
+        # the woken waiter must land there, never on the dead node.
+        manager.release(other)
+        woken = yield waiter
+        assert not woken.node.failed, "waiter was leased onto a dead node"
+        manager.release(woken)
+        # With the victim down and the pool idle, acquire skips it.
+        replacement = yield from manager.acquire()
+        assert not replacement.node.failed
+        return True
+
+    assert sim.run_process(main()) is True
+    assert sum(manager.leases_per_node) == 1  # only `replacement` held

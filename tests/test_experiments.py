@@ -12,6 +12,7 @@ from repro.experiments import (
     fig13_scaleout,
     fig14_pushdown,
     fig15_updates,
+    fig17_availability,
     table1_resources,
 )
 
@@ -180,6 +181,23 @@ def test_fig16_build_sweep_crossover_and_scaleout():
     latency = scale.series_named("FV-join")
     assert latency.y_at(2) < latency.y_at(1)
     assert latency.y_at(4) < latency.y_at(2)
+
+
+def test_fig17_replication_buys_availability():
+    # The runner asserts the byte-exactness and zero-loss claims inline;
+    # here: a scaled-down sweep keeps the expected availability ordering.
+    fig17a, fig17b = fig17_availability.run_fault_sweep(
+        crash_counts=(0, 2), num_nodes=2)
+    for panel in (fig17a, fig17b):
+        assert {s.name for s in panel.series} == {"k=1", "k=2"}
+    k1, k2 = (fig17a.series_named(n) for n in ("k=1", "k=2"))
+    assert k2.y_at(0) > 0 and k1.y_at(0) > 0       # no-fault sanity
+    assert k2.y_at(2) >= k1.y_at(2)                # replicas never hurt
+
+    fig17c = fig17_availability.run_availability(node_counts=(1, 2))
+    k1c, k2c = (fig17c.series_named(n) for n in ("k=1", "k=2"))
+    assert k2c.y_at(2) == 100.0                    # headline: zero loss
+    assert k1c.y_at(2) < 100.0                     # unreplicated loses
 
 
 def test_experiment_result_rendering():
