@@ -65,6 +65,9 @@ BASELINE_WALL_S: dict[str, float] = {
     # fig16 first appeared with end-to-end joins (PR 5); same
     # first-measurement convention.
     "fig16_joins": 0.0647,
+    # fig18 first appeared with the SQL compiler (PR 7); same
+    # first-measurement convention.
+    "fig18_minitpch": 0.3084,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -80,6 +83,7 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig14_pushdown": 885469.9437036433,
     "fig15_updates": 506161.7501241565,
     "fig16_joins": 594298.7022225005,
+    "fig18_minitpch": 21283121.9340407,
 }
 
 #: Pinned expectations for the ``--check`` gate: the SMOKE-size runs are
@@ -97,6 +101,7 @@ SMOKE_BASELINE_SIM_NS: dict[str, float] = {
     "fig14_pushdown": 318579.70370370464,
     "fig15_updates": 41392.16197529016,
     "fig16_joins": 367966.41580253653,
+    "fig18_minitpch": 20622244.33744394,
 }
 
 SMOKE_BASELINE_SHA256: dict[str, str] = {
@@ -116,6 +121,8 @@ SMOKE_BASELINE_SHA256: dict[str, str] = {
         "5d47718a640b4ca9f901fab0aa143c9a3bd4714bf5fb6ab11783c2ac98d1d721",
     "fig16_joins":
         "2733ae049451805796db2e74753a169d14e1fa099bdd8fa913e939df1b40bd9b",
+    "fig18_minitpch":
+        "b8da4d18be479d97c94cff4477226501bbabc64aec141a004513f5a3355b961e",
 }
 
 
@@ -524,6 +531,67 @@ def run_fig16_joins(table_kb: int):
     }
 
 
+def run_fig18_minitpch(num_lineitem: int, num_nodes: int = 4):
+    """Mini TPC-H through the SQL compiler (fig 18).
+
+    The measured phase runs every fig18 query class (Q1, Q1-HAVING,
+    Q3, Q6) as SQL text under all three placements on an
+    ``num_nodes``-node pool — tokenizer, IR, binder, lowered DAG,
+    scatter-gather, client merge kernels.  The digest covers the
+    canonical result bytes of every (query, placement) cell, and each
+    cell is asserted sha256-identical to the serial
+    :mod:`repro.baselines.sql_model` re-execution (computed outside the
+    measured phase).
+    """
+    from repro.baselines.sql_model import model_sha256
+    from repro.core.api import ClusterClient, canonical_result_bytes
+    from repro.core.cluster import FarviewCluster
+    from repro.experiments.fig18_minitpch import QUERIES, make_tables
+
+    num_orders = max(16, num_lineitem // 5)
+    num_customers = max(8, num_orders // 3)
+    tables = make_tables(num_lineitem, num_orders, num_customers)
+    expected = {label: model_sha256(stmt, tables)
+                for label, stmt in QUERIES}
+
+    sim = Simulator()
+    strategies = ("offload", "ship", "auto")
+    clients = {}
+    for strategy in strategies:
+        client = ClusterClient(FarviewCluster(sim, num_nodes,
+                                              _bench_config()))
+        client.open_connection()
+        for name, (schema, rows) in tables.items():
+            client.create_table(name, schema, rows)
+        clients[strategy] = client
+    for _label, stmt in QUERIES:                  # deploy pass (cold)
+        for strategy in strategies:
+            clients[strategy].sql(stmt, placement=strategy)
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    chunks = []
+    for label, stmt in QUERIES:
+        for strategy in strategies:
+            result, _elapsed = clients[strategy].sql(stmt,
+                                                     placement=strategy)
+            image = canonical_result_bytes(result)
+            assert _digest(image) == expected[label], (
+                f"{label} under {strategy} diverged from the serial "
+                f"model")
+            chunks.append(image)
+    wall = time.perf_counter() - t0
+    table_bytes = sum(len(rows) * schema.row_width
+                      for schema, rows in tables.values())
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(*chunks),
+        "table_bytes": len(strategies) * len(QUERIES) * table_bytes,
+        "nodes": num_nodes,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -535,6 +603,7 @@ FULL = {
     "fig14_pushdown": lambda: run_fig14_pushdown(1024),
     "fig15_updates": lambda: run_fig15_updates(1024),
     "fig16_joins": lambda: run_fig16_joins(256),
+    "fig18_minitpch": lambda: run_fig18_minitpch(4096, num_nodes=4),
 }
 
 SMOKE = {
@@ -546,6 +615,7 @@ SMOKE = {
     "fig14_pushdown": lambda: run_fig14_pushdown(64),
     "fig15_updates": lambda: run_fig15_updates(64),
     "fig16_joins": lambda: run_fig16_joins(64),
+    "fig18_minitpch": lambda: run_fig18_minitpch(1024, num_nodes=2),
 }
 
 

@@ -14,6 +14,7 @@ bandwidth ceiling.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..common import calibration as cal
@@ -94,6 +95,13 @@ class CpuCostModel:
 
     def aggregate_update_ns(self, num_tuples: int) -> float:
         return num_tuples * cal.CPU_AGG_UPDATE_COST_PER_TUPLE_NS
+
+    def sort_ns(self, num_tuples: int) -> float:
+        """Comparison sort at n·log2(n) key comparisons (ORDER BY)."""
+        if num_tuples <= 1:
+            return 0.0
+        return (num_tuples * math.log2(num_tuples)
+                * self.config.select_cost_per_tuple_ns)
 
     def regex_ns(self, nbytes: int) -> float:
         """RE2 scan cost over the string payload (§6.6)."""

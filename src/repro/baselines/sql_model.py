@@ -1,0 +1,343 @@
+"""Serial reference model for compiled SQL — the differential oracle.
+
+``execute_model`` re-runs a SELECT statement on plain numpy arrays with
+naive serial kernels: python row loops, dict-based hash joins, stdlib
+``re`` for LIKE/REGEXP, first-seen dict grouping, and python's stable
+sorts.  It shares the compiler *front end* (``parse_sql`` +
+``bind_select`` name resolution, so column renaming and output schemas
+agree by construction) but none of the execution machinery — no
+simulator, no operator chains, no cluster scatter/gather, no
+``sw_ops`` kernels.  The mini-TPC-H conformance suite and
+``fig18_minitpch`` pin every engine result's sha256 against this model.
+
+Bit-exactness contract (what makes a sha comparison meaningful):
+
+* Grouped sums accumulate sequentially in global row order as python
+  floats — IEEE-identical to the engine's per-group sequential
+  accumulator.
+* Ungrouped sums use ``np.sum`` (pairwise summation), matching the
+  engine's whole-column batch accumulation.
+* Sort is a stable last-to-first multi-key pass; python's
+  ``reverse=True`` preserves the order of equal keys, matching the
+  engine's negated-rank stable argsort.  Sort keys must be numeric
+  (char-column ordering is not modeled).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+import numpy as np
+
+from ..common.errors import OperatorError
+from ..common.records import Schema
+from ..core.compile import (BoundAggregate, BoundDistinct, BoundEval,
+                            BoundFilter, BoundLimit, BoundSort, ParsedWrite,
+                            bind_select, parse_sql)
+from ..core.ir import Arith, Col, Lit
+from ..operators.join import join_output_schema
+from ..operators.selection import And, Compare, Not, Or
+
+__all__ = ["execute_model", "model_sha256"]
+
+
+class _Handle:
+    """Catalog stand-in: just a name and a schema for ``bind_select``."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+
+
+class _Catalog:
+    def __init__(self, tables: dict):
+        self._tables = tables
+
+    def lookup(self, name: str) -> _Handle:
+        if name not in self._tables:
+            raise OperatorError(
+                f"reference model has no table {name!r}; known: "
+                f"{sorted(self._tables)}")
+        return _Handle(name, self._tables[name][0])
+
+
+# -- scalar evaluation ---------------------------------------------------------
+
+def _pred_row(pred, row) -> bool:
+    if isinstance(pred, Compare):
+        value = pred.value
+        if isinstance(value, str):
+            value = value.encode()
+        x = row[pred.column]
+        if pred.op == "<":
+            return bool(x < value)
+        if pred.op == "<=":
+            return bool(x <= value)
+        if pred.op == ">":
+            return bool(x > value)
+        if pred.op == ">=":
+            return bool(x >= value)
+        if pred.op == "==":
+            return bool(x == value)
+        if pred.op == "!=":
+            return bool(x != value)
+        raise OperatorError(f"unknown comparison {pred.op!r}")
+    if isinstance(pred, And):
+        return _pred_row(pred.left, row) and _pred_row(pred.right, row)
+    if isinstance(pred, Or):
+        return _pred_row(pred.left, row) or _pred_row(pred.right, row)
+    if isinstance(pred, Not):
+        return not _pred_row(pred.inner, row)
+    raise OperatorError(f"unknown predicate node {type(pred).__name__}")
+
+
+def _eval_scalar(expr, row):
+    """Evaluate one expression on one row with python arithmetic.
+
+    Mirrors the engine's vectorized promotion rule: ``/`` always in
+    float64, other operators in float when either side is float, else
+    exact integers.
+    """
+    if isinstance(expr, Col):
+        return row[expr.name]
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Arith):
+        left = _eval_scalar(expr.left, row)
+        right = _eval_scalar(expr.right, row)
+        if expr.op == "/":
+            return float(left) / float(right)
+        is_float = any(isinstance(v, (float, np.floating))
+                       for v in (left, right))
+        if is_float:
+            left, right = float(left), float(right)
+        else:
+            left, right = int(left), int(right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        raise OperatorError(f"unknown arithmetic op {expr.op!r}")
+    raise OperatorError(f"unknown expression node {type(expr).__name__}")
+
+
+def _mask(rows: np.ndarray, keep: list) -> np.ndarray:
+    return rows[np.asarray(keep, dtype=bool)] if len(rows) else rows
+
+
+# -- naive relational kernels --------------------------------------------------
+
+def _dict_join(schema: Schema, rows: np.ndarray,
+               build_schema: Schema, build_rows: np.ndarray,
+               build_key: str, probe_key: str,
+               payload: list[str]) -> tuple[Schema, np.ndarray]:
+    """Inner join through a python dict keyed on the serialized key image;
+    unique build keys, probe-order output, payload collision renaming."""
+    table: dict[bytes, int] = {}
+    bkeys = build_rows[build_key]
+    for i in range(len(build_rows)):
+        key = bkeys[i].tobytes()
+        if key in table:
+            raise OperatorError(
+                f"duplicate build key at row {i}: the small table must "
+                f"have unique join keys")
+        table[key] = i
+    out_schema = join_output_schema(schema, build_schema, payload)
+    probe_idx: list[int] = []
+    build_idx: list[int] = []
+    pkeys = rows[probe_key]
+    for i in range(len(rows)):
+        j = table.get(pkeys[i].tobytes())
+        if j is not None:
+            probe_idx.append(i)
+            build_idx.append(j)
+    out = out_schema.empty(len(probe_idx))
+    payload_names = list(out_schema.names[len(schema.names):])
+    for name in schema.names:
+        out[name] = rows[name][probe_idx] if probe_idx else out[name]
+    for out_name, src_name in zip(payload_names, payload):
+        out[out_name] = (build_rows[src_name][build_idx]
+                         if build_idx else out[out_name])
+    return out_schema, out
+
+
+def _distinct(schema: Schema, rows: np.ndarray,
+              key_columns: list[str]) -> np.ndarray:
+    seen: set[tuple] = set()
+    keep: list[bool] = []
+    for i in range(len(rows)):
+        key = tuple(rows[name][i].tobytes() for name in key_columns)
+        keep.append(key not in seen)
+        seen.add(key)
+    return _mask(rows, keep)
+
+
+def _aggregate(schema: Schema, rows: np.ndarray, group_by: list[str],
+               aggregates: list) -> tuple[Schema, np.ndarray]:
+    value_columns = sorted({s.column for s in aggregates
+                            if not (s.func == "count" and s.column == "*")})
+    if not group_by:
+        out_schema = Schema([s.output_column(schema) for s in aggregates])
+        if len(rows) == 0:
+            return out_schema, out_schema.empty(0)
+        out = out_schema.empty(1)
+        for spec in aggregates:
+            if spec.func == "count":
+                out[spec.alias][0] = len(rows)
+                continue
+            col = rows[spec.column]
+            if spec.func == "sum":
+                out[spec.alias][0] = float(np.sum(col))
+            elif spec.func == "avg":
+                out[spec.alias][0] = float(np.sum(col)) / len(rows)
+            elif spec.func == "min":
+                out[spec.alias][0] = col.min()
+            else:
+                out[spec.alias][0] = col.max()
+        return out_schema, out
+    out_schema = Schema([schema.column(k) for k in group_by]
+                        + [s.output_column(schema) for s in aggregates])
+    order: list[tuple] = []
+    first_row: dict[tuple, int] = {}
+    state: dict[tuple, dict] = {}
+    for i in range(len(rows)):
+        key = tuple(rows[name][i].tobytes() for name in group_by)
+        st = state.get(key)
+        if st is None:
+            st = {"count": 0, "sums": [0.0] * len(value_columns),
+                  "mins": [None] * len(value_columns),
+                  "maxs": [None] * len(value_columns)}
+            state[key] = st
+            first_row[key] = i
+            order.append(key)
+        st["count"] += 1
+        for j, name in enumerate(value_columns):
+            v = float(rows[name][i])
+            st["sums"][j] += v
+            if st["mins"][j] is None or v < st["mins"][j]:
+                st["mins"][j] = v
+            if st["maxs"][j] is None or v > st["maxs"][j]:
+                st["maxs"][j] = v
+    out = out_schema.empty(len(order))
+    for i, key in enumerate(order):
+        st = state[key]
+        src = first_row[key]
+        for name in group_by:
+            out[name][i] = rows[name][src]
+        for spec in aggregates:
+            j = (value_columns.index(spec.column)
+                 if spec.column in value_columns else 0)
+            if spec.func == "count":
+                out[spec.alias][i] = st["count"]
+            elif spec.func == "sum":
+                out[spec.alias][i] = st["sums"][j]
+            elif spec.func == "avg":
+                out[spec.alias][i] = st["sums"][j] / st["count"]
+            elif spec.func == "min":
+                out[spec.alias][i] = st["mins"][j]
+            else:
+                out[spec.alias][i] = st["maxs"][j]
+    return out_schema, out
+
+
+def _sort(rows: np.ndarray, keys: list[tuple[str, bool]]) -> np.ndarray:
+    if len(rows) == 0:
+        return rows
+    idx = list(range(len(rows)))
+    for name, ascending in reversed(keys):
+        col = rows[name]
+        idx.sort(key=lambda i: col[i], reverse=not ascending)
+    return rows[idx]
+
+
+def _run_query(query, schema: Schema, rows: np.ndarray,
+               tables: dict) -> tuple[Schema, np.ndarray]:
+    """Re-execute one offloadable chain in the engine's fixed operator
+    order: regex -> selection -> join -> projection -> distinct |
+    group-by | aggregate."""
+    if query.regex is not None:
+        pattern = re.compile(query.regex.pattern.encode(), re.DOTALL)
+        values = rows[query.regex.column]
+        rows = _mask(rows, [pattern.search(bytes(values[i])) is not None
+                            for i in range(len(rows))])
+    if query.predicate is not None:
+        rows = _mask(rows, [_pred_row(query.predicate, rows[i])
+                            for i in range(len(rows))])
+    if query.join is not None:
+        # ``build_table`` is the bound catalog handle, not a bare name.
+        build_schema, build_rows = tables[query.join.build_table.name]
+        schema, rows = _dict_join(schema, rows, build_schema, build_rows,
+                                  query.join.build_key, query.join.probe_key,
+                                  list(query.join.payload))
+    if query.projection is not None:
+        out_schema = schema.project(list(query.projection))
+        out = out_schema.empty(len(rows))
+        for name in query.projection:
+            out[name] = rows[name]
+        schema, rows = out_schema, out
+    if query.distinct:
+        keys = list(query.distinct_columns or schema.names)
+        rows = _distinct(schema, rows, keys)
+    if query.group_by is not None or query.aggregates:
+        schema, rows = _aggregate(schema, rows,
+                                  list(query.group_by or ()),
+                                  list(query.aggregates))
+    return schema, rows
+
+
+# -- entry points --------------------------------------------------------------
+
+def execute_model(statement: str, tables: dict
+                  ) -> tuple[Schema, np.ndarray]:
+    """Run one SELECT against ``tables`` (``{name: (schema, rows)}``).
+
+    Returns ``(schema, rows)`` — the exact bytes the engine must
+    produce on every placement and cluster size.
+    """
+    parsed = parse_sql(statement)
+    if isinstance(parsed, ParsedWrite):
+        raise OperatorError("the reference model only executes SELECT")
+    bound = bind_select(parsed, _Catalog(tables))
+    schema = tables[bound.table][0]
+    rows = tables[bound.table][1]
+    schema, rows = _run_query(bound.query, schema, rows, tables)
+    for arm in bound.arms:
+        build_schema, build_rows = tables[arm.table]
+        if arm.query is not None:
+            build_schema, build_rows = _run_query(
+                arm.query, build_schema, build_rows, tables)
+        schema, rows = _dict_join(schema, rows, build_schema, build_rows,
+                                  arm.build_key, arm.probe_key,
+                                  list(arm.payload))
+    for op in bound.ops:
+        if isinstance(op, BoundEval):
+            out = op.schema.empty(len(rows))
+            for expr, name in op.items:
+                col = out[name]
+                for i in range(len(rows)):
+                    col[i] = _eval_scalar(expr, rows[i])
+            schema, rows = op.schema, out
+        elif isinstance(op, BoundFilter):
+            rows = _mask(rows, [_pred_row(op.predicate, rows[i])
+                                for i in range(len(rows))])
+        elif isinstance(op, BoundAggregate):
+            schema, rows = _aggregate(schema, rows, list(op.group_by),
+                                      list(op.aggregates))
+        elif isinstance(op, BoundDistinct):
+            rows = _distinct(schema, rows, list(schema.names))
+        elif isinstance(op, BoundSort):
+            rows = _sort(rows, list(op.keys))
+        elif isinstance(op, BoundLimit):
+            rows = rows[:op.count]
+        else:
+            raise OperatorError(f"unknown bound op {type(op).__name__}")
+    return schema, rows
+
+
+def model_sha256(statement: str, tables: dict) -> str:
+    """sha256 of the model's canonical result bytes for ``statement``."""
+    schema, rows = execute_model(statement, tables)
+    return hashlib.sha256(schema.to_bytes(rows)).hexdigest()

@@ -197,6 +197,31 @@ def software_join(rows: np.ndarray, schema: Schema,
     return out
 
 
+def software_sort(rows: np.ndarray, keys: list[tuple[str, bool]]
+                  ) -> np.ndarray:
+    """Deterministic multi-key sort (ORDER BY's client-side kernel).
+
+    Stable lexicographic sort: iterate the keys last-to-first, each pass
+    a stable argsort.  Descending keys are handled by negating the
+    *rank* of each value (``np.unique`` inverse), not the value itself,
+    so char and float columns order correctly without overflow.
+    """
+    if len(rows) == 0:
+        return rows
+    idx = np.arange(len(rows))
+    for name, ascending in reversed(keys):
+        codes = np.unique(rows[name][idx], return_inverse=True)[1]
+        if not ascending:
+            codes = -codes
+        idx = idx[np.argsort(codes, kind="stable")]
+    return rows[idx]
+
+
+def software_limit(rows: np.ndarray, count: int) -> np.ndarray:
+    """LIMIT: the first ``count`` rows of the (already ordered) input."""
+    return rows[:count]
+
+
 def software_regex(rows: np.ndarray, column: str,
                    pattern: str) -> np.ndarray:
     """RE2-equivalent filter over a char column."""

@@ -34,6 +34,7 @@ from .experiments import (
     fig15_updates,
     fig16_joins,
     fig17_availability,
+    fig18_minitpch,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -77,6 +78,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
     "fig17": ("Figure 17 (extension): availability under fault injection — "
               "crashes, replication, failover",
               lambda: _as_list(fig17_availability.run())),
+    "fig18": ("Figure 18 (extension): mini TPC-H through the SQL "
+              "compiler — Q1/Q3/Q6 on a 4-node pool, sha-pinned against "
+              "the serial model",
+              lambda: _as_list(fig18_minitpch.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.

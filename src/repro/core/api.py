@@ -348,6 +348,178 @@ def canonical_result_bytes(result) -> bytes:
     return result.schema.to_bytes(rows)
 
 
+@dataclass
+class CompiledQueryResult:
+    """Result of a compiled (extended) SQL statement.
+
+    Mirrors :class:`HybridQueryResult`: ``rows()``/``data`` are the
+    final canonical rows after every stage of the lowered DAG (head
+    scan, join arms, client kernels); ``explain`` is the per-stage
+    :class:`~repro.core.planner.DagPlan`; ``response_time_ns`` includes
+    the modeled client compute time.
+    """
+
+    schema: Schema
+    merged: np.ndarray = field(repr=False)
+    response_time_ns: float = 0.0
+    explain: Optional[object] = None            # DagPlan
+    client_cost: Optional[CostBreakdown] = None
+    #: Bytes that crossed the wire to the client, summed over every
+    #: stage (head scan, build reads) — the compiled analogue of
+    #: :attr:`HybridQueryResult.shipped_bytes`.
+    shipped_bytes: int = 0
+
+    def rows(self) -> np.ndarray:
+        return self.merged
+
+    @property
+    def data(self) -> bytes:
+        """Canonical result bytes (single-node offload layout)."""
+        return self.schema.to_bytes(self.merged)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.merged)
+
+
+def _run_stage(client, handle, query: Query, placement: str,
+               stats, dag, name: str):
+    """Execute one offloadable stage of a compiled DAG and record its
+    placement decision.  ``placement="offload"`` pins the legacy path;
+    ship/auto price the stage independently through the planner — the
+    per-stage composition IS the DAG generalization of
+    :func:`~repro.core.planner.plan_placement`."""
+    from .planner import StagePlan
+
+    if placement == "offload":
+        result, _ = client.far_view(handle, query)
+        dag.stages.append(StagePlan(name, "offload", note="pinned"))
+        return result
+    result, _ = client.far_view_planned(handle, query, placement, stats)
+    explain = getattr(result, "explain", None)
+    chosen = explain.chosen if explain is not None else placement
+    dag.stages.append(StagePlan(name, chosen, explain=explain))
+    return result
+
+
+def _execute_compiled(client, parsed, placement: str, stats):
+    """Execute an extended (compiled) SELECT on either client.
+
+    Stage 0 runs the head :class:`~repro.core.query.Query`; each
+    :class:`~repro.core.compile.BoundArm` reads its build side (raw, or
+    through its own placed Query) and joins client-side; the remaining
+    bound kernels (expression projection, aggregation, HAVING filter,
+    DISTINCT, ORDER BY, LIMIT) run in client software with their
+    modeled cost advancing the simulator clock — the same measurement
+    endpoint as :func:`_execute_planned`.
+    """
+    from ..baselines.sw_ops import (software_aggregate, software_distinct,
+                                    software_groupby, software_join,
+                                    software_limit, software_select,
+                                    software_sort)
+    from ..operators.join import join_output_schema
+    from .compile import (BoundAggregate, BoundDistinct, BoundEval,
+                          BoundFilter, BoundLimit, BoundSort, bind_select)
+    from .cost_model import HASHMAP_GROWTH_THRESHOLD
+    from .ir import eval_expr
+    from .planner import DagPlan, StagePlan
+
+    def stage_shipped(stage_result) -> int:
+        report = getattr(stage_result, "report", None)
+        if report is not None:
+            return report.bytes_shipped
+        return getattr(stage_result, "shipped_bytes",
+                       getattr(stage_result, "bytes_shipped", 0))
+
+    bound = bind_select(parsed, client.catalog)
+    cpu = getattr(client, "_cpu", None) or client._clients[0]._cpu
+    sim = client.sim
+    start = sim.now
+    cost = CostBreakdown()
+    cost.add("setup", cpu.setup_ns())
+    dag = DagPlan(requested=placement)
+
+    result = _run_stage(client, bound.base, bound.query, placement, stats,
+                        dag, "scan")
+    rows = result.rows()
+    schema = result.schema
+    shipped_total = stage_shipped(result)
+
+    for arm in bound.arms:
+        stage_name = f"build({arm.table})"
+        if arm.query is None:
+            build_rows, shipped = client._read_build_rows(arm.build)
+            build_schema = arm.build.schema
+            cost.add("read", cpu.read_ns(shipped))
+            shipped_total += shipped
+            dag.stages.append(StagePlan(stage_name, "ship",
+                                        note="raw build read"))
+        else:
+            build_result = _run_stage(client, arm.build, arm.query,
+                                      placement, stats, dag, stage_name)
+            build_rows = build_result.rows()
+            build_schema = build_result.schema
+            shipped_total += stage_shipped(build_result)
+        cost.add("hash", cpu.hash_ns(
+            len(build_rows),
+            growing=len(build_rows) > HASHMAP_GROWTH_THRESHOLD))
+        cost.add("hash", cpu.hash_ns(len(rows), growing=False))
+        rows = software_join(rows, schema, build_rows, build_schema,
+                             arm.build_key, arm.probe_key,
+                             list(arm.payload))
+        schema = join_output_schema(schema, build_schema,
+                                    list(arm.payload))
+
+    for op in bound.ops:
+        if isinstance(op, BoundEval):
+            cost.add("project", cpu.select_ns(len(rows)))
+            out = op.schema.empty(len(rows))
+            for expr, name in op.items:
+                out[name] = eval_expr(expr, rows, schema)
+            rows, schema = out, op.schema
+        elif isinstance(op, BoundFilter):
+            cost.add("predicate", cpu.select_ns(len(rows)))
+            rows = software_select(rows, op.predicate)
+        elif isinstance(op, BoundAggregate):
+            if op.group_by:
+                output = software_groupby(rows, schema, list(op.group_by),
+                                          list(op.aggregates))
+                cost.add("hash", cpu.hash_ns(
+                    len(rows), growing=output.map_resizes > 0))
+                cost.add("aggregate", cpu.aggregate_update_ns(len(rows)))
+                rows = output.rows
+                schema = group_output_schema(schema, list(op.group_by),
+                                             list(op.aggregates))
+            else:
+                cost.add("aggregate", cpu.aggregate_update_ns(len(rows)))
+                rows = software_aggregate(rows, schema,
+                                          list(op.aggregates))
+                schema = aggregate_output_schema(schema,
+                                                 list(op.aggregates))
+        elif isinstance(op, BoundDistinct):
+            output = software_distinct(rows, schema, list(schema.names))
+            cost.add("hash", cpu.hash_ns(len(rows),
+                                         growing=output.map_resizes > 0))
+            rows = output.rows
+        elif isinstance(op, BoundSort):
+            cost.add("sort", cpu.sort_ns(len(rows)))
+            rows = software_sort(rows, list(op.keys))
+        elif isinstance(op, BoundLimit):
+            rows = software_limit(rows, op.count)
+        else:
+            raise QueryError(f"unknown bound operator {type(op).__name__}")
+
+    cost.add("write", cpu.write_ns(len(rows) * schema.row_width))
+    sim.run_process(_client_compute(sim, cost.total_ns), "client-compute")
+    elapsed = sim.now - start
+    dag.actual_ns = elapsed
+    compiled = CompiledQueryResult(schema=schema, merged=rows,
+                                   response_time_ns=elapsed, explain=dag,
+                                   client_cost=cost,
+                                   shipped_bytes=shipped_total)
+    return compiled, elapsed
+
+
 class FarviewClient:
     """A query thread on a compute node, connected to a Farview node."""
 
@@ -995,14 +1167,17 @@ class FarviewClient:
             read_build=lambda: self._read_join_build(query))
 
     def _read_join_build(self, query: Query):
-        """Fetch + decode a shipped join's build side (timed raw read).
+        """Fetch + decode a shipped join's build side (timed raw read)."""
+        return self._read_build_rows(query.join.build_table)
+
+    def _read_build_rows(self, build):
+        """Raw read + decode of a build-side table.
 
         A versioned build reads every segment of the chain pinned at the
         current epoch and merges client-side (the same oracle
         :meth:`read_version_proc` provides); a plain table is one raw
         RDMA read.  Returns ``(build_rows, bytes_shipped)``.
         """
-        build = query.join.build_table
         if isinstance(build, VersionedTable):
             (rows, _ids, shipped), _ = self._run(
                 self.read_version_proc(build), "read_build")
@@ -1062,6 +1237,9 @@ class FarviewClient:
         table = self.catalog.lookup(parsed.table)
         if isinstance(parsed, ParsedWrite):
             return self._execute_write(table, parsed)
+        if getattr(parsed, "extended", False):
+            placement = placement or parsed.placement or "offload"
+            return _execute_compiled(self, parsed, placement, stats)
         query = parsed.query
         if parsed.join is not None:
             build = self.catalog.lookup(parsed.join.table)
@@ -1465,7 +1643,10 @@ class ClusterClient:
 
     def _read_join_build(self, query: Query):
         """Gather + decode a shipped join's build side (timed reads)."""
-        build = query.join.build_table
+        return self._read_build_rows(query.join.build_table)
+
+    def _read_build_rows(self, build):
+        """Scatter-gathered raw read + decode of a build-side table."""
         if not isinstance(build, ShardedTable):
             raise QueryError(
                 "cluster joins need the build table registered in the "
@@ -2038,6 +2219,9 @@ class ClusterClient:
         if isinstance(parsed, ParsedWrite):
             return _dispatch_sql_write(self, sharded, parsed,
                                        VersionedShardedTable)
+        if getattr(parsed, "extended", False):
+            placement = placement or parsed.placement or "offload"
+            return _execute_compiled(self, parsed, placement, stats)
         query = parsed.query
         if parsed.join is not None:
             build = self.catalog.lookup(parsed.join.table)

@@ -466,3 +466,52 @@ def run_client_steps(rows: np.ndarray, schema: Schema, steps: list[str],
         else:
             raise QueryError(f"unknown client step {step!r}")
     return rows, schema
+
+
+# ---------------------------------------------------------------------------
+# DAG placement (the compiled multi-stage path)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StagePlan:
+    """One independently placed stage of a compiled query DAG.
+
+    ``explain`` is the stage's own :class:`ExplainPlan` when the planner
+    priced it (ship/auto), ``None`` when the placement was pinned by the
+    requested mode (the ``note`` says which).
+    """
+
+    name: str                           # "scan", "build(<table>)", op name
+    placement: str                      # "offload" | "ship" | "hybrid" | "client"
+    explain: Optional[ExplainPlan] = None
+    note: str = ""
+
+
+@dataclass
+class DagPlan:
+    """The placement decision record for a compiled (extended) statement.
+
+    Generalizes :class:`ExplainPlan` from a prefix split of one operator
+    chain to per-stage decisions over the lowered DAG: the head scan and
+    every join-arm build read are placed independently (each through
+    :func:`plan_placement`), the remaining client kernels always run at
+    the client.
+    """
+
+    requested: str
+    stages: list[StagePlan] = field(default_factory=list)
+    actual_ns: Optional[float] = None
+
+    def render(self) -> str:
+        lines = [f"DAG placement plan (requested={self.requested}):"]
+        for stage in self.stages:
+            line = f"  {stage.name:<18} -> {stage.placement}"
+            if stage.note:
+                line += f"  ({stage.note})"
+            lines.append(line)
+            if stage.explain is not None:
+                for sub in stage.explain.render().splitlines():
+                    lines.append("    " + sub)
+        if self.actual_ns is not None:
+            lines.append(f"  actual: {self.actual_ns / 1000:.1f} us")
+        return "\n".join(lines)

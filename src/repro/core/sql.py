@@ -1,750 +1,65 @@
-"""A SQL front end for the offloadable query fragment.
+"""SQL front end for the Farview client (§4.2's "query compiler").
 
-The paper positions its data API as a target for "the query compiler in
-Farview" and leaves that compiler as future work (§4.2).  This module
-covers the front half: a from-scratch tokenizer + recursive-descent parser
-for the SQL fragment Farview can offload, producing
-:class:`~repro.core.query.Query` descriptors for the pipeline compiler.
+This module is the stable import surface; the implementation lives in
+the compiler layers underneath:
 
-Supported grammar (case-insensitive keywords)::
+* :mod:`repro.core.ir` — the typed relational-algebra DAG (Scan, Join,
+  Filter, Aggregate/Having, Project-with-expressions, Distinct, Sort,
+  Limit) plus scalar expression nodes and SQL rendering.
+* :mod:`repro.core.compile` — tokenizer, recursive-descent parser
+  producing the IR, the lowering pass onto the engine's operator
+  chains, and :func:`bind_select`, the name-resolution / type-check
+  pass for statements beyond the single-chain grammar.
+
+Grammar (see ``docs/SQL.md`` for the full reference)::
 
     statement := query | insert | update | delete
     query     := [hint] SELECT [DISTINCT] select_list FROM ident
-                 [join_clause] [WHERE disjunction]
-                 [GROUP BY column_list] [';']
-    join_clause := [INNER] JOIN ident ON column '=' column
-    insert    := INSERT INTO ident VALUES tuple (',' tuple)* [';']
-    update    := UPDATE ident SET assignment (',' assignment)*
-                 [WHERE disjunction] [';']
-    delete    := DELETE FROM ident [WHERE disjunction] [';']
-    tuple     := '(' literal (',' literal)* ')'
-    assignment := column '=' literal
-    hint      := '/*+' PLACEMENT '(' (AUTO|OFFLOAD|SHIP) ')' '*/'
+                 join_clause* [WHERE disjunction]
+                 [GROUP BY column_list] [HAVING having_disjunction]
+                 [ORDER BY order_list] [LIMIT integer] [';']
+    hint      := '/*+' 'placement' '(' ('auto'|'offload'|'ship') ')' '*/'
     select_list := '*' | select_item (',' select_item)*
-    select_item := aggregate | column
-    aggregate := (COUNT '(' '*' ')' | (SUM|MIN|MAX|AVG) '(' column ')')
-                 [AS ident]
+    select_item := aggregate | expression [AS ident]
+    aggregate := (COUNT '(' '*' ')' | func '(' expression ')') [AS ident]
+              where func := COUNT | SUM | MIN | MAX | AVG
+    join_clause := [INNER] JOIN ident ON column '=' column
+    expression := term (('+'|'-') term)*
+    term      := factor (('*'|'/') factor)*
+    factor    := ['-'] number | string | column | '(' expression ')'
     disjunction := conjunction (OR conjunction)*
-    conjunction := factor (AND factor)*
-    factor    := [NOT] ( '(' disjunction ')' | comparison )
+    conjunction := cond_factor (AND cond_factor)*
+    cond_factor := [NOT] ( '(' disjunction ')' | comparison )
     comparison := column op literal
-               |  column LIKE string        -- compiled to the regex engine
-               |  column REGEXP string
-    op        := '<' | '<=' | '>' | '>=' | '=' | '==' | '!=' | '<>'
-    literal   := integer | float | string
+               | column LIKE string | column REGEXP string
+    order_list := column [ASC|DESC] (',' column [ASC|DESC])*
+    op        := '=' | '==' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    insert    := INSERT INTO ident VALUES tuple (',' tuple)* [';']
+    update    := UPDATE ident SET ident '=' literal
+                 (',' ident '=' literal)* [where] [';']
+    delete    := DELETE FROM ident [where] [';']
 
-``LIKE`` patterns translate to the Farview regex operator (``%`` -> ``.*``,
-``_`` -> ``.``, everything else escaped, anchored at both ends as SQL
-semantics require).
-
-Examples from the paper::
-
-    SELECT S.a FROM S WHERE S.c > 3.14;              (§4.2)
-    SELECT * FROM S WHERE S.a < 17 AND S.b < 0.5;    (§6.4)
-    SELECT DISTINCT a FROM S;                        (§6.5)
-    SELECT a, SUM(b) FROM S GROUP BY a;              (§6.5)
-
-Table-qualified columns (``S.a``) are accepted and resolved against the
-single FROM table.
-
-The §7 extension's small-table join is a first-class statement::
-
-    SELECT fact.k, fact.v, dim.rate FROM fact JOIN dim ON fact.k = dim.k;
-
-The FROM table is the streamed *probe* side; the joined table is the
-*build* side read into the region's on-chip hash.  The ON clause must be
-an equality relating one column of each (qualifiers disambiguate; an
-unqualified name is resolved against the probe schema first).  Selected
-build columns become the join's payload — appended to matching probe
-tuples, renamed ``build_<name>`` on a collision — and selecting the
-build key yields the (equal) probe key column.  ``SELECT *`` appends
-every build column except the key.  The WHERE clause filters the probe
-stream *before* the join (the pipeline's operator order); GROUP BY /
-aggregates apply to probe columns.  Because the parser has no catalog,
-the join is resolved against the actual schemas by
-:func:`resolve_join_query`, which both clients call from ``sql()``.
-
-An optional optimizer-style hint before the SELECT pins the operator
-*placement* decided by :mod:`repro.core.planner` — ``offload`` (the
-default Farview path), ``ship`` (raw read + client software), or ``auto``
-(cost-based)::
-
-    /*+ placement(auto) */ SELECT * FROM S WHERE S.a < 17;
+Statements expressible in the original single-chain grammar (at most
+one join, no ORDER BY / LIMIT / HAVING, no expressions or aliases on
+plain columns) parse to the exact same :class:`ParsedQuery` the
+original parser produced and execute on the unchanged legacy path.
+Everything else is marked ``extended`` and routed through the IR
+binder (multi-way joins become chained build/probe stages; ORDER BY /
+LIMIT / expression projections become deterministic client-side
+kernels).
 """
 
-from __future__ import annotations
-
-import enum
-import re as _stdlib_re
-from dataclasses import dataclass
-
-from ..common.errors import QueryError
-from ..operators.aggregate import SUPPORTED_FUNCS, AggregateSpec
-from ..operators.selection import And, Compare, Not, Or, Predicate
-from .query import JoinSpec, Query, RegexFilter
-
-
-class SqlSyntaxError(QueryError):
-    """The SQL text could not be parsed."""
-
-
-# --------------------------------------------------------------------------
-# Tokenizer
-# --------------------------------------------------------------------------
-
-class _Kind(enum.Enum):
-    KEYWORD = "keyword"
-    IDENT = "ident"
-    NUMBER = "number"
-    STRING = "string"
-    OP = "op"
-    PUNCT = "punct"
-    END = "end"
-
-
-_KEYWORDS = {
-    "select", "distinct", "from", "where", "group", "by", "and", "or",
-    "not", "as", "like", "regexp", "count", "sum", "min", "max", "avg",
-    "insert", "into", "values", "update", "set", "delete",
-    "join", "inner", "on",
-}
-
-_TOKEN_RE = _stdlib_re.compile(r"""
-    (?P<ws>\s+)
-  | (?P<number>\d+\.\d+|\.\d+|\d+)
-  | (?P<string>'(?:[^']|'')*')
-  | (?P<op><=|>=|!=|<>|==|<|>|=)
-  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
-  | (?P<punct>[(),;*-])
-""", _stdlib_re.VERBOSE)
-
-
-@dataclass(frozen=True)
-class _Token:
-    kind: _Kind
-    text: str
-    pos: int
-
-    def is_keyword(self, word: str) -> bool:
-        return self.kind is _Kind.KEYWORD and self.text == word
-
-
-def _tokenize(sql: str) -> list[_Token]:
-    tokens: list[_Token] = []
-    pos = 0
-    while pos < len(sql):
-        match = _TOKEN_RE.match(sql, pos)
-        if match is None:
-            raise SqlSyntaxError(
-                f"unexpected character {sql[pos]!r} at offset {pos}")
-        pos = match.end()
-        if match.lastgroup == "ws":
-            continue
-        text = match.group()
-        if match.lastgroup == "ident":
-            lowered = text.lower()
-            if lowered in _KEYWORDS and "." not in text:
-                tokens.append(_Token(_Kind.KEYWORD, lowered, match.start()))
-            else:
-                tokens.append(_Token(_Kind.IDENT, text, match.start()))
-        elif match.lastgroup == "number":
-            tokens.append(_Token(_Kind.NUMBER, text, match.start()))
-        elif match.lastgroup == "string":
-            tokens.append(_Token(_Kind.STRING, text, match.start()))
-        elif match.lastgroup == "op":
-            tokens.append(_Token(_Kind.OP, text, match.start()))
-        else:
-            tokens.append(_Token(_Kind.PUNCT, text, match.start()))
-    tokens.append(_Token(_Kind.END, "", len(sql)))
-    return tokens
-
-
-# --------------------------------------------------------------------------
-# LIKE -> regex translation
-# --------------------------------------------------------------------------
-
-_REGEX_META = set(".^$*+?()[]{}|\\")
-
-
-def like_to_regex(pattern: str) -> str:
-    """Translate a SQL LIKE pattern into our regex syntax (full match)."""
-    out = ["^"]
-    for ch in pattern:
-        if ch == "%":
-            out.append(".*")
-        elif ch == "_":
-            out.append(".")
-        elif ch in _REGEX_META:
-            out.append("\\" + ch)
-        else:
-            out.append(ch)
-    out.append("$")
-    return "".join(out)
-
-
-# --------------------------------------------------------------------------
-# Parser
-# --------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class ParsedJoin:
-    """The unresolved join clause of a SELECT.
-
-    The parser has no catalog, so the ON sides and the select list are
-    kept as ``(qualifier, column)`` pairs; :func:`resolve_join_query`
-    turns them into a :class:`~repro.core.query.JoinSpec` once both
-    schemas are known.
-    """
-
-    table: str                              # build (dimension) table name
-    left: tuple[str | None, str]            # ON left side
-    right: tuple[str | None, str]           # ON right side
-    select: tuple[tuple[str | None, str], ...] = ()
-    star: bool = False
-
-
-@dataclass(frozen=True)
-class ParsedQuery:
-    """A parsed statement: the table name plus the offloadable Query.
-
-    ``placement`` carries the optional ``/*+ placement(...) */`` hint
-    (``None`` when the statement leaves the decision to the caller).
-    ``join`` is the unresolved JOIN clause; statements carrying one must
-    go through :func:`resolve_join_query` before execution.
-    """
-
-    table: str
-    query: Query
-    placement: str | None = None
-    join: ParsedJoin | None = None
-
-
-@dataclass(frozen=True)
-class ParsedWrite:
-    """A parsed write statement for the versioned write path.
-
-    ``kind`` is ``"insert"`` (``values`` holds the literal tuples),
-    ``"update"`` (``assignments`` holds ``column -> literal``), or
-    ``"delete"``.  ``predicate`` is the parsed WHERE clause (``None``
-    means every visible row).
-    """
-
-    kind: str
-    table: str
-    values: tuple[tuple[object, ...], ...] = ()
-    assignments: tuple[tuple[str, object], ...] = ()
-    predicate: Predicate | None = None
-
-
-#: Optimizer-style placement hint, accepted before the SELECT keyword.
-_HINT_RE = _stdlib_re.compile(
-    r"^\s*/\*\+\s*placement\s*\(\s*(auto|offload|ship)\s*\)\s*\*/",
-    _stdlib_re.IGNORECASE)
-
-
-def _strip_placement_hint(sql: str) -> tuple[str, str | None]:
-    match = _HINT_RE.match(sql)
-    if match is None:
-        return sql, None
-    return sql[match.end():], match.group(1).lower()
-
-
-class _Parser:
-    def __init__(self, sql: str):
-        sql, self.placement = _strip_placement_hint(sql)
-        self.sql = sql
-        self.tokens = _tokenize(sql)
-        self.index = 0
-
-    # -- token helpers ---------------------------------------------------------
-    def _peek(self) -> _Token:
-        return self.tokens[self.index]
-
-    def _advance(self) -> _Token:
-        token = self.tokens[self.index]
-        self.index += 1
-        return token
-
-    def _expect_keyword(self, word: str) -> None:
-        token = self._advance()
-        if not token.is_keyword(word):
-            raise SqlSyntaxError(
-                f"expected {word.upper()} at offset {token.pos}, got "
-                f"{token.text!r}")
-
-    def _expect_punct(self, text: str) -> None:
-        token = self._advance()
-        if token.kind is not _Kind.PUNCT or token.text != text:
-            raise SqlSyntaxError(
-                f"expected {text!r} at offset {token.pos}, got {token.text!r}")
-
-    def _column_name(self) -> str:
-        token = self._advance()
-        if token.kind is not _Kind.IDENT:
-            raise SqlSyntaxError(
-                f"expected a column name at offset {token.pos}, got "
-                f"{token.text!r}")
-        # Strip the table qualifier (single-table queries).
-        return token.text.split(".")[-1]
-
-    def _qualified_column(self) -> tuple[str | None, str]:
-        """A column reference keeping its table qualifier (join queries
-        need it to decide which side a name belongs to)."""
-        token = self._advance()
-        if token.kind is not _Kind.IDENT:
-            raise SqlSyntaxError(
-                f"expected a column name at offset {token.pos}, got "
-                f"{token.text!r}")
-        if "." in token.text:
-            qualifier, name = token.text.split(".", 1)
-            return qualifier, name
-        return None, token.text
-
-    # -- grammar ------------------------------------------------------------------
-    def parse(self) -> ParsedQuery | ParsedWrite:
-        token = self._peek()
-        if (token.is_keyword("insert") or token.is_keyword("update")
-                or token.is_keyword("delete")):
-            if self.placement is not None:
-                raise SqlSyntaxError(
-                    "a /*+ placement(...) */ hint applies to reads only; "
-                    "write statements always execute at the node")
-            if token.is_keyword("insert"):
-                return self._insert()
-            if token.is_keyword("update"):
-                return self._update()
-            return self._delete()
-        return self._select()
-
-    def _table_name(self) -> str:
-        token = self._advance()
-        if token.kind is not _Kind.IDENT:
-            raise SqlSyntaxError(
-                f"expected a table name at offset {token.pos}, got "
-                f"{token.text!r}")
-        return token.text.split(".")[-1]
-
-    def _finish_statement(self) -> None:
-        if self._peek().kind is _Kind.PUNCT and self._peek().text == ";":
-            self._advance()
-        if self._peek().kind is not _Kind.END:
-            token = self._peek()
-            raise SqlSyntaxError(
-                f"unexpected trailing input at offset {token.pos}: "
-                f"{token.text!r}")
-
-    def _literal(self) -> object:
-        token = self._advance()
-        negative = False
-        if token.kind is _Kind.PUNCT and token.text == "-":
-            negative = True
-            token = self._advance()
-        if token.kind is _Kind.NUMBER:
-            text = token.text
-            value: object = float(text) if "." in text else int(text)
-            return -value if negative else value
-        if negative:
-            raise SqlSyntaxError(
-                f"expected a number after '-' at offset {token.pos}")
-        if token.kind is _Kind.STRING:
-            return _unquote(token.text)
-        raise SqlSyntaxError(
-            f"expected a literal at offset {token.pos}, got {token.text!r}")
-
-    def _write_where(self) -> Predicate | None:
-        """Optional WHERE clause of a write statement (no regex stage)."""
-        if not self._peek().is_keyword("where"):
-            return None
-        self._advance()
-        predicate, regex = self._where()
-        if regex is not None:
-            raise SqlSyntaxError(
-                "LIKE/REGEXP is not supported in write statements (the "
-                "write verbs evaluate comparison predicates only)")
-        return predicate
-
-    def _insert(self) -> ParsedWrite:
-        self._expect_keyword("insert")
-        self._expect_keyword("into")
-        table = self._table_name()
-        self._expect_keyword("values")
-        tuples: list[tuple[object, ...]] = []
-        while True:
-            self._expect_punct("(")
-            values = [self._literal()]
-            while (self._peek().kind is _Kind.PUNCT
-                   and self._peek().text == ","):
-                self._advance()
-                values.append(self._literal())
-            self._expect_punct(")")
-            tuples.append(tuple(values))
-            if self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
-                self._advance()
-                continue
-            break
-        self._finish_statement()
-        return ParsedWrite(kind="insert", table=table, values=tuple(tuples))
-
-    def _update(self) -> ParsedWrite:
-        self._expect_keyword("update")
-        table = self._table_name()
-        self._expect_keyword("set")
-        assignments: list[tuple[str, object]] = []
-        seen: set[str] = set()
-        while True:
-            column = self._column_name()
-            token = self._advance()
-            if token.kind is not _Kind.OP or token.text not in ("=", "=="):
-                raise SqlSyntaxError(
-                    f"expected '=' at offset {token.pos}, got {token.text!r}")
-            if column in seen:
-                raise SqlSyntaxError(
-                    f"column {column!r} assigned twice in SET")
-            seen.add(column)
-            assignments.append((column, self._literal()))
-            if self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
-                self._advance()
-                continue
-            break
-        predicate = self._write_where()
-        self._finish_statement()
-        return ParsedWrite(kind="update", table=table,
-                           assignments=tuple(assignments),
-                           predicate=predicate)
-
-    def _delete(self) -> ParsedWrite:
-        self._expect_keyword("delete")
-        self._expect_keyword("from")
-        table = self._table_name()
-        predicate = self._write_where()
-        self._finish_statement()
-        return ParsedWrite(kind="delete", table=table, predicate=predicate)
-
-    def _select(self) -> ParsedQuery:
-        self._expect_keyword("select")
-        distinct = False
-        if self._peek().is_keyword("distinct"):
-            self._advance()
-            distinct = True
-        star, items, aggregates = self._select_list()
-        self._expect_keyword("from")
-        table = self._table_name()
-        join = self._join_clause(star, items)
-        predicate: Predicate | None = None
-        regex: RegexFilter | None = None
-        if self._peek().is_keyword("where"):
-            self._advance()
-            predicate, regex = self._where()
-        group_by: tuple[str, ...] | None = None
-        if self._peek().is_keyword("group"):
-            self._advance()
-            self._expect_keyword("by")
-            group_by = tuple(self._column_list())
-        self._finish_statement()
-        columns = [name for _qualifier, name in items]
-        query = self._build_query(star, columns, aggregates, distinct,
-                                  predicate, regex, group_by,
-                                  joined=join is not None)
-        return ParsedQuery(table=table, query=query,
-                           placement=self.placement, join=join)
-
-    def _join_clause(self, star: bool,
-                     items: list[tuple[str | None, str]]
-                     ) -> ParsedJoin | None:
-        """``[INNER] JOIN ident ON column '=' column`` after FROM."""
-        if self._peek().is_keyword("inner"):
-            self._advance()
-            self._expect_keyword("join")
-        elif self._peek().is_keyword("join"):
-            self._advance()
-        else:
-            return None
-        build = self._table_name()
-        self._expect_keyword("on")
-        left = self._qualified_column()
-        token = self._advance()
-        if token.kind is not _Kind.OP or token.text not in ("=", "=="):
-            raise SqlSyntaxError(
-                f"join ON clause must be an equality; got {token.text!r} "
-                f"at offset {token.pos}")
-        right = self._qualified_column()
-        return ParsedJoin(table=build, left=left, right=right,
-                          select=tuple(items), star=star)
-
-    def _select_list(self):
-        star = False
-        items: list[tuple[str | None, str]] = []
-        aggregates: list[AggregateSpec] = []
-        while True:
-            token = self._peek()
-            if token.kind is _Kind.PUNCT and token.text == "*":
-                self._advance()
-                star = True
-            elif (token.kind is _Kind.KEYWORD
-                  and token.text in SUPPORTED_FUNCS
-                  or token.is_keyword("count")):
-                aggregates.append(self._aggregate())
-            elif token.kind is _Kind.IDENT:
-                items.append(self._qualified_column())
-            else:
-                raise SqlSyntaxError(
-                    f"expected a select item at offset {token.pos}, got "
-                    f"{token.text!r}")
-            if self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
-                self._advance()
-                continue
-            return star, items, aggregates
-
-    def _aggregate(self) -> AggregateSpec:
-        func_token = self._advance()
-        func = func_token.text
-        self._expect_punct("(")
-        if func == "count" and self._peek().text == "*":
-            self._advance()
-            column = "*"
-        else:
-            column = self._column_name()
-        self._expect_punct(")")
-        alias = ""
-        if self._peek().is_keyword("as"):
-            self._advance()
-            alias_token = self._advance()
-            if alias_token.kind is not _Kind.IDENT:
-                raise SqlSyntaxError(
-                    f"expected an alias at offset {alias_token.pos}")
-            alias = alias_token.text
-        return AggregateSpec(func, column, alias)
-
-    def _column_list(self) -> list[str]:
-        columns = [self._column_name()]
-        while self._peek().kind is _Kind.PUNCT and self._peek().text == ",":
-            self._advance()
-            columns.append(self._column_name())
-        return columns
-
-    # -- WHERE clause -----------------------------------------------------------------
-    def _where(self) -> tuple[Predicate | None, RegexFilter | None]:
-        """Parse the disjunction; LIKE/REGEXP terms become the regex filter.
-
-        Farview's regex operator is a separate pipeline stage, so at most
-        one LIKE/REGEXP term is supported and it must be AND-combined with
-        the rest of the predicate (top level), mirroring how the pipeline
-        composes the two operators.
-        """
-        self._regex: RegexFilter | None = None
-        self._regex_depth_ok = True
-        predicate = self._disjunction(top_level=True)
-        return predicate, self._regex
-
-    def _disjunction(self, top_level: bool = False) -> Predicate | None:
-        left = self._conjunction(top_level)
-        while self._peek().is_keyword("or"):
-            self._advance()
-            right = self._conjunction(False)
-            if left is None or right is None:
-                raise SqlSyntaxError(
-                    "LIKE/REGEXP cannot appear under OR; the regex stage "
-                    "is AND-combined with the predicate")
-            left = Or(left, right)
-        return left
-
-    def _conjunction(self, top_level: bool) -> Predicate | None:
-        left = self._factor(top_level)
-        while self._peek().is_keyword("and"):
-            self._advance()
-            right = self._factor(top_level)
-            if left is None:
-                left = right
-            elif right is not None:
-                left = And(left, right)
-        return left
-
-    def _factor(self, top_level: bool) -> Predicate | None:
-        token = self._peek()
-        if token.is_keyword("not"):
-            self._advance()
-            inner = self._factor(False)
-            if inner is None:
-                raise SqlSyntaxError("NOT cannot apply to LIKE/REGEXP")
-            return Not(inner)
-        if token.kind is _Kind.PUNCT and token.text == "(":
-            self._advance()
-            inner = self._disjunction(top_level)
-            self._expect_punct(")")
-            return inner
-        return self._comparison(top_level)
-
-    def _comparison(self, top_level: bool) -> Predicate | None:
-        column = self._column_name()
-        token = self._advance()
-        if token.is_keyword("like") or token.is_keyword("regexp"):
-            if not top_level:
-                raise SqlSyntaxError(
-                    "LIKE/REGEXP must be a top-level AND term")
-            if self._regex is not None:
-                raise SqlSyntaxError(
-                    "only one LIKE/REGEXP term is supported per query")
-            pattern_token = self._advance()
-            if pattern_token.kind is not _Kind.STRING:
-                raise SqlSyntaxError(
-                    f"expected a string pattern at offset {pattern_token.pos}")
-            raw = _unquote(pattern_token.text)
-            pattern = like_to_regex(raw) if token.text == "like" else raw
-            self._regex = RegexFilter(column, pattern)
-            return None
-        if token.kind is not _Kind.OP:
-            raise SqlSyntaxError(
-                f"expected a comparison operator at offset {token.pos}, got "
-                f"{token.text!r}")
-        op = {"=": "==", "<>": "!="}.get(token.text, token.text)
-        return Compare(column, op, self._literal())
-
-    # -- assembly -----------------------------------------------------------------------
-    @staticmethod
-    def _build_query(star: bool, columns: list[str],
-                     aggregates: list[AggregateSpec], distinct: bool,
-                     predicate: Predicate | None, regex: RegexFilter | None,
-                     group_by: tuple[str, ...] | None,
-                     joined: bool = False) -> Query:
-        if star and (columns or aggregates):
-            raise SqlSyntaxError("'*' cannot be mixed with other select items")
-        if not star and not columns and not aggregates:
-            raise SqlSyntaxError("empty select list")
-        if distinct and aggregates:
-            raise SqlSyntaxError("DISTINCT cannot be combined with aggregates")
-        if group_by is not None:
-            if not aggregates:
-                raise SqlSyntaxError("GROUP BY requires aggregate functions")
-            missing = [c for c in columns if c not in group_by]
-            if missing:
-                raise SqlSyntaxError(
-                    f"non-aggregated columns {missing} must appear in "
-                    f"GROUP BY")
-        elif aggregates and columns:
-            raise SqlSyntaxError(
-                "plain columns next to aggregates need a GROUP BY")
-        projection = None
-        if (not star and columns and group_by is None and not aggregates
-                and not joined):
-            # Join queries leave the projection to resolve_join_query:
-            # the select list may name build-side (payload) columns.
-            projection = tuple(columns)
-        return Query(
-            projection=projection,
-            predicate=predicate,
-            regex=regex,
-            distinct=distinct,
-            distinct_columns=None,  # DISTINCT applies to the projection
-            group_by=group_by,
-            aggregates=tuple(aggregates),
-            label="sql")
-
-
-def _unquote(text: str) -> str:
-    return text[1:-1].replace("''", "'")
-
-
-def resolve_join_query(parsed: ParsedQuery, probe_schema,
-                       build_table) -> Query:
-    """Resolve a parsed JOIN statement against the actual schemas.
-
-    ``probe_schema`` is the FROM table's schema; ``build_table`` is the
-    catalog handle of the joined table (anything with ``schema`` — a
-    plain :class:`~repro.core.table.FTable`, a sharded handle, or a
-    versioned table).  Decides which ON side is the probe key, splits
-    the select list into probe projection and build payload, and
-    returns the executable :class:`~repro.core.query.Query` carrying a
-    :class:`~repro.core.query.JoinSpec`.
-    """
-    from dataclasses import replace
-
-    pj = parsed.join
-    if pj is None:
-        return parsed.query
-    build_schema = build_table.schema
-    probe_name, build_name = parsed.table, pj.table
-
-    def side(qualifier: str | None, name: str) -> str:
-        if qualifier is not None and qualifier not in (probe_name,
-                                                       build_name):
-            raise SqlSyntaxError(
-                f"unknown table qualifier {qualifier!r}; the query joins "
-                f"{probe_name!r} with {build_name!r}")
-        if qualifier == probe_name:
-            if name not in probe_schema.names:
-                raise SqlSyntaxError(
-                    f"unknown column {probe_name}.{name}")
-            return "probe"
-        if qualifier == build_name:
-            if name not in build_schema.names:
-                raise SqlSyntaxError(
-                    f"unknown column {build_name}.{name}")
-            return "build"
-        if name in probe_schema.names:
-            return "probe"      # probe side wins an ambiguous bare name
-        if name in build_schema.names:
-            return "build"
-        raise SqlSyntaxError(
-            f"unknown column {name!r}: in neither {probe_name!r} nor "
-            f"{build_name!r}")
-
-    left_side, right_side = side(*pj.left), side(*pj.right)
-    if {left_side, right_side} != {"probe", "build"}:
-        raise SqlSyntaxError(
-            f"join ON must relate one column of {probe_name!r} to one "
-            f"column of {build_name!r}")
-    probe_key = pj.left[1] if left_side == "probe" else pj.right[1]
-    build_key = pj.left[1] if left_side == "build" else pj.right[1]
-
-    grouped = (parsed.query.group_by is not None
-               or bool(parsed.query.aggregates))
-    if pj.star:
-        payload = [n for n in build_schema.names if n != build_key]
-        projection = None
-    else:
-        payload = []
-        names: list[str] = []
-        probe_names = set(probe_schema.names)
-        for qualifier, name in pj.select:
-            if side(qualifier, name) == "probe":
-                names.append(name)
-                continue
-            if name == build_key:
-                # The build key equals the probe key after an inner join.
-                names.append(probe_key)
-                continue
-            if name not in payload:
-                payload.append(name)
-            names.append(name if name not in probe_names
-                         else f"build_{name}")
-        # GROUP BY / aggregate statements keep projection=None (exactly
-        # as _build_query does without a join): the grouping stage needs
-        # the aggregate input columns a select-list projection would
-        # drop.
-        projection = tuple(names) if names and not grouped else None
-    if not payload:
-        # A semi-join shape: no build column selected beyond the key (or
-        # SELECT * over the build side).  The operator must carry at
-        # least one payload column; borrow one — the projection (or the
-        # aggregation) drops it from the result.
-        extra = [n for n in build_schema.names if n != build_key]
-        if not extra:
-            raise SqlSyntaxError(
-                f"joined table {build_name!r} has no columns besides the "
-                f"key {build_key!r}; nothing to join in")
-        payload.append(extra[0])
-    return replace(parsed.query, projection=projection,
-                   join=JoinSpec(build_table, build_key, probe_key,
-                                 tuple(payload)))
-
-
-def parse_sql(sql: str) -> ParsedQuery | ParsedWrite:
-    """Parse one SQL statement.
-
-    SELECTs return a :class:`ParsedQuery` (table + offloadable Query);
-    INSERT / UPDATE / DELETE return a :class:`ParsedWrite` for the
-    versioned write path.
-    """
-    if not sql or not sql.strip():
-        raise SqlSyntaxError("empty statement")
-    return _Parser(sql).parse()
+from .compile import (ParsedJoin, ParsedQuery, ParsedWrite, SqlSyntaxError,
+                      bind_select, like_to_regex, parse_sql,
+                      resolve_join_query)
+
+__all__ = [
+    "ParsedJoin",
+    "ParsedQuery",
+    "ParsedWrite",
+    "SqlSyntaxError",
+    "bind_select",
+    "like_to_regex",
+    "parse_sql",
+    "resolve_join_query",
+]

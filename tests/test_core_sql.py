@@ -392,8 +392,90 @@ def test_join_resolution_errors():
     "SELECT a FROM f JOIN d",                     # missing ON
     "SELECT a FROM f JOIN d ON a < b",            # non-equality
     "SELECT a FROM f INNER d ON a = b",           # INNER without JOIN
-    "SELECT a FROM f JOIN d ON a = b JOIN e ON c = d",  # one join only
 ])
 def test_join_syntax_errors(bad):
     with pytest.raises(SqlSyntaxError):
         parse_sql(bad)
+
+
+def test_multi_join_parses_to_chained_stages():
+    """Multi-way joins are no longer a syntax error: they parse to an
+    extended statement whose IR chains one Join node per stage."""
+    from repro.core.ir import Join, Scan
+
+    parsed = parse_sql(
+        "SELECT a FROM f JOIN d ON a = b JOIN e ON c = k")
+    assert parsed.extended
+    join2 = parsed.ir.child          # Project -> Join(e) -> Join(d) -> Scan
+    join1 = join2.child
+    assert isinstance(join2, Join) and join2.table == "e"
+    assert isinstance(join1, Join) and join1.table == "d"
+    assert isinstance(join1.child, Scan) and join1.child.table == "f"
+
+
+# ---------------------------------------------------------------------------
+# Error quality: positions, fragments, golden messages
+# ---------------------------------------------------------------------------
+
+def _error_for(statement: str) -> SqlSyntaxError:
+    with pytest.raises(SqlSyntaxError) as excinfo:
+        parse_sql(statement)
+    return excinfo.value
+
+
+def test_error_carries_position_and_fragment():
+    err = _error_for("SELECT a FROM t WHERE a ** 3")
+    assert err.position == len("SELECT a FROM t WHERE a ")
+    assert err.fragment == "*"
+    assert f"offset {err.position}" in str(err)
+
+
+def test_error_position_survives_placement_hint():
+    """Positions are measured in the *original* statement, so stripping
+    the ``/*+ placement(...) */`` hint must not shift them."""
+    plain = "SELECT a FROM t WHERE a ** 3"
+    hinted = "/*+ placement(ship) */ " + plain
+    assert _error_for(hinted).position == (_error_for(plain).position
+                                           + len("/*+ placement(ship) */ "))
+
+
+@pytest.mark.parametrize("statement,message", [
+    ("SELECT *, a FROM t", "'\\*' cannot be mixed with other select items"),
+    ("SELECT *, * FROM t", "'\\*' cannot be mixed with other select items"),
+    ("SELECT a, * FROM t", "'\\*' cannot be mixed with other select items"),
+    ("SELECT a FROM t ORDER BY", "expected a column"),
+    ("SELECT a FROM t LIMIT x", "LIMIT expects"),
+    ("SELECT a FROM t LIMIT -1", "LIMIT expects"),
+    ("SELECT a FROM t HAVING COUNT(*) > 1", "HAVING requires GROUP BY"),
+    ("SELECT a, COUNT(*) FROM t",
+     "plain columns next to aggregates need a GROUP BY"),
+])
+def test_golden_error_messages(statement, message):
+    with pytest.raises(SqlSyntaxError, match=message):
+        parse_sql(statement)
+
+
+def test_expression_item_without_alias_rejected_at_bind_time():
+    """``SELECT (a + 1) FROM t`` parses (the IR is valid) but binding
+    demands a deterministic output name."""
+    from repro.core.compile import bind_select
+    from repro.common.records import Column, Schema
+
+    class _Handle:
+        def __init__(self, name, schema):
+            self.name, self.schema = name, schema
+
+    class _Catalog:
+        def lookup(self, name):
+            return _Handle(name, Schema([Column("a", "int64")]))
+
+    parsed = parse_sql("SELECT (a + 1) FROM t ORDER BY a")
+    with pytest.raises(SqlSyntaxError,
+                       match="expression select items need an AS alias"):
+        bind_select(parsed, _Catalog())
+
+
+def test_star_mixing_rejected_under_distinct_too():
+    with pytest.raises(SqlSyntaxError,
+                       match="cannot be mixed with other select items"):
+        parse_sql("SELECT DISTINCT *, a FROM t")

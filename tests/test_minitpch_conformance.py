@@ -1,0 +1,125 @@
+"""Mini TPC-H conformance: compiled SQL vs the serial reference model.
+
+Every fig18 query class (Q1, Q1-with-HAVING, Q3, Q6) must produce
+sha256-identical canonical bytes
+
+* on a single node under placement offload / ship / auto,
+* scatter-gathered over 2- and 4-node pools under all three placements,
+* and against a versioned snapshot read (the FROM table rebuilt as a
+  delta chain whose visible rows equal the plain table),
+
+where "identical" is pinned against
+:mod:`repro.baselines.sql_model` — a serial numpy/python re-execution
+that shares none of the engine's operator, simulator, or cluster code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.baselines.sql_model import execute_model, model_sha256
+from repro.core.api import (ClusterClient, FarviewClient,
+                            canonical_result_bytes)
+from repro.core.cluster import FarviewCluster
+from repro.core.node import FarviewNode
+from repro.core.table import FTable
+from repro.experiments.fig18_minitpch import QUERIES, make_tables
+from repro.operators.selection import Compare
+from repro.sim.engine import Simulator
+from repro.workloads import tpch
+
+#: Small enough for the python model's row loops, large enough that
+#: every group/join/sort sees real multiplicity.
+NUM_LINEITEM, NUM_ORDERS, NUM_CUSTOMERS = 600, 120, 40
+
+PLACEMENTS = ("offload", "ship", "auto")
+
+
+@pytest.fixture(scope="module")
+def tables() -> dict:
+    return make_tables(NUM_LINEITEM, NUM_ORDERS, NUM_CUSTOMERS)
+
+
+def sha(result) -> str:
+    return hashlib.sha256(canonical_result_bytes(result)).hexdigest()
+
+
+def single_client(tables: dict) -> FarviewClient:
+    client = FarviewClient(FarviewNode(Simulator()))
+    client.open_connection()
+    for name, (schema, rows) in tables.items():
+        table = FTable(name, schema, len(rows))
+        client.alloc_table_mem(table)
+        client.table_write(table, rows)
+    return client
+
+
+def cluster_client(tables: dict, num_nodes: int) -> ClusterClient:
+    client = ClusterClient(FarviewCluster(Simulator(), num_nodes))
+    client.open_connection()
+    for name, (schema, rows) in tables.items():
+        client.create_table(name, schema, rows)
+    return client
+
+
+@pytest.mark.parametrize("label,statement", QUERIES,
+                         ids=[label for label, _ in QUERIES])
+def test_placements_and_pools_match_model(tables, label, statement):
+    """query x {single, cluster2, cluster4} x {offload, ship, auto}."""
+    expected = model_sha256(statement, tables)
+    got = {}
+    client = single_client(tables)
+    for placement in PLACEMENTS:
+        result, _ = client.sql(statement, placement=placement)
+        got[f"single/{placement}"] = sha(result)
+    for num_nodes in (2, 4):
+        cc = cluster_client(tables, num_nodes)
+        for placement in PLACEMENTS:
+            result, _ = cc.sql(statement, placement=placement)
+            got[f"cluster{num_nodes}/{placement}"] = sha(result)
+    mismatches = {k: v for k, v in got.items() if v != expected}
+    assert not mismatches, (
+        f"{label} diverged from the serial model {expected}: {mismatches}")
+
+
+@pytest.mark.parametrize("label,statement", QUERIES,
+                         ids=[label for label, _ in QUERIES])
+def test_versioned_snapshot_read_matches_model(tables, label, statement):
+    """The FROM table rebuilt as a version chain (head + insert + a
+    no-op update epoch) must scan to the same bytes as the plain table."""
+    expected = model_sha256(statement, tables)
+    client = FarviewClient(FarviewNode(Simulator()))
+    client.open_connection()
+    for name, (schema, rows) in tables.items():
+        if name == "lineitem":
+            head = len(rows) // 2
+            vt = client.create_versioned_table(name, schema, rows[:head])
+            client.insert(vt, rows[head:])
+            client.update_where(vt, Compare("orderkey", "<", -1),
+                                {"quantity": 0})          # no-op epoch
+        else:
+            table = FTable(name, schema, len(rows))
+            client.alloc_table_mem(table)
+            client.table_write(table, rows)
+    for placement in PLACEMENTS:
+        result, _ = client.sql(statement, placement=placement)
+        assert sha(result) == expected, (
+            f"{label} versioned scan under {placement} diverged from "
+            f"the serial model")
+
+
+def test_model_row_counts_are_sensible(tables):
+    """Sanity on the oracle itself: the workload exercises real
+    multiplicity (groups collapse rows, Q3's top-k truncates, Q6's band
+    selects a narrow slice)."""
+    _, q1 = execute_model(tpch.q1_sql(), tables)
+    assert 2 <= len(q1) <= 9                   # 3x3 flag/status groups
+    _, q3 = execute_model(tpch.q3_sql(), tables)
+    assert 1 <= len(q3) <= 10                  # LIMIT 10 caps the top-k
+    _, q6 = execute_model(tpch.q6_sql(), tables)
+    assert len(q6) == 1                        # single aggregate row
+    schema, having = execute_model(tpch.q1_having_sql(), tables)
+    assert len(having) <= len(q1)
+    assert "count_order" in schema.names
