@@ -68,6 +68,9 @@ BASELINE_WALL_S: dict[str, float] = {
     # fig18 first appeared with the SQL compiler (PR 7); same
     # first-measurement convention.
     "fig18_minitpch": 0.3084,
+    # fig19 first appeared with partition-aware joins (PR 8); same
+    # first-measurement convention.
+    "fig19_shuffle": 1.1323,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -84,6 +87,7 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig15_updates": 506161.7501241565,
     "fig16_joins": 594298.7022225005,
     "fig18_minitpch": 21283121.9340407,
+    "fig19_shuffle": 12098753.244444625,
 }
 
 #: Pinned expectations for the ``--check`` gate: the SMOKE-size runs are
@@ -102,6 +106,7 @@ SMOKE_BASELINE_SIM_NS: dict[str, float] = {
     "fig15_updates": 41392.16197529016,
     "fig16_joins": 367966.41580253653,
     "fig18_minitpch": 20622244.33744394,
+    "fig19_shuffle": 12034620.086913591,
 }
 
 SMOKE_BASELINE_SHA256: dict[str, str] = {
@@ -123,6 +128,8 @@ SMOKE_BASELINE_SHA256: dict[str, str] = {
         "2733ae049451805796db2e74753a169d14e1fa099bdd8fa913e939df1b40bd9b",
     "fig18_minitpch":
         "b8da4d18be479d97c94cff4477226501bbabc64aec141a004513f5a3355b961e",
+    "fig19_shuffle":
+        "9471431a2046a1fe0a0dd8bb5cb4965fe6e29ea574e1727e4cd1e089d7c7e282",
 }
 
 
@@ -592,6 +599,79 @@ def run_fig18_minitpch(num_lineitem: int, num_nodes: int = 4):
     }
 
 
+def run_fig19_shuffle(table_kb: int, num_nodes: int = 4):
+    """Partition-aware joins: broadcast vs shuffle vs co-located (fig 19).
+
+    Three cold clusters share one simulator; each holds the same fact
+    table hash-partitioned on the join key with k=2 ring replicas.  The
+    measured phase runs ``fact JOIN build`` under a forced broadcast, a
+    forced repartition shuffle, and — with the build hash-partitioned on
+    the same key — the auto planner's co-located strategy, each cell
+    paying its cold build movement and pipeline deploy.  The digest
+    covers the canonical (seq-sorted) result bytes of all three cells,
+    every cell asserted sha256-identical to the serial model; the
+    co-located cell must move zero replica bytes and the shuffle must
+    put fewer build bytes on the wire than the broadcast.
+    """
+    from repro.core.api import ClusterClient
+    from repro.core.cluster import FarviewCluster
+    from repro.core.partition import PartitionSpec
+    from repro.experiments.fig19_shuffle import (DIM_SCHEMA, FACT_SCHEMA,
+                                                 JOINED_SCHEMA,
+                                                 canonical_sha, join_query,
+                                                 make_dim, make_fact,
+                                                 serial_model)
+
+    fact_rows = table_kb * KB // FACT_SCHEMA.row_width
+    build_rows = max(64, fact_rows // 4)
+    fact = make_fact(fact_rows, key_range=build_rows)
+    dim = make_dim(build_rows)
+    expected = canonical_sha(JOINED_SCHEMA, serial_model(fact, dim))
+    fact_spec = PartitionSpec("hash", key="key", replicas=2)
+
+    sim = Simulator()
+    cells = []
+    for strategy, dim_spec in (
+            ("broadcast", PartitionSpec(replicas=1)),
+            ("shuffle", PartitionSpec(replicas=1)),
+            (None, PartitionSpec("hash", key="id", replicas=1))):
+        client = ClusterClient(FarviewCluster(sim, num_nodes,
+                                              _bench_config()))
+        client.open_connection()
+        dim_sharded = client.create_table("dim", DIM_SCHEMA, dim,
+                                          partition=dim_spec)
+        fact_sharded = client.create_table("fact", FACT_SCHEMA, fact,
+                                           partition=fact_spec)
+        cells.append((strategy, client, fact_sharded, dim_sharded))
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    chunks, moved = [], {}
+    for strategy, client, fact_sharded, dim_sharded in cells:
+        result, _elapsed = client.far_view(fact_sharded,
+                                           join_query(dim_sharded),
+                                           join_strategy=strategy)
+        label = strategy or result.join_strategy
+        assert canonical_sha(result.schema, result.rows()) == expected, \
+            f"{label} join diverged from the serial model"
+        moved[label] = client.replica_bytes_moved
+        rows = result.rows()
+        chunks.append(result.schema.to_bytes(
+            rows[rows["seq"].argsort(kind="stable")]))
+    wall = time.perf_counter() - t0
+    assert "colocated" in moved, "hash x hash cell did not co-locate"
+    assert moved["colocated"] == 0, "co-located join moved replica bytes"
+    assert moved["shuffle"] < moved["broadcast"], \
+        f"shuffle moved no fewer build bytes than broadcast: {moved}"
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(*chunks),
+        "table_bytes": len(cells) * fact_rows * FACT_SCHEMA.row_width,
+        "nodes": num_nodes,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -604,6 +684,7 @@ FULL = {
     "fig15_updates": lambda: run_fig15_updates(1024),
     "fig16_joins": lambda: run_fig16_joins(256),
     "fig18_minitpch": lambda: run_fig18_minitpch(4096, num_nodes=4),
+    "fig19_shuffle": lambda: run_fig19_shuffle(512, num_nodes=4),
 }
 
 SMOKE = {
@@ -616,6 +697,7 @@ SMOKE = {
     "fig15_updates": lambda: run_fig15_updates(64),
     "fig16_joins": lambda: run_fig16_joins(64),
     "fig18_minitpch": lambda: run_fig18_minitpch(1024, num_nodes=2),
+    "fig19_shuffle": lambda: run_fig19_shuffle(64, num_nodes=4),
 }
 
 

@@ -35,6 +35,7 @@ from .experiments import (
     fig16_joins,
     fig17_availability,
     fig18_minitpch,
+    fig19_shuffle,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -82,6 +83,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
               "compiler — Q1/Q3/Q6 on a 4-node pool, sha-pinned against "
               "the serial model",
               lambda: _as_list(fig18_minitpch.run())),
+    "fig19": ("Figure 19 (extension): partition-aware joins — "
+              "repartition shuffle vs broadcast, co-located zero-copy "
+              "cells by partitioning scheme",
+              lambda: _as_list(fig19_shuffle.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.
@@ -94,6 +99,7 @@ _PANELS = {
     "fig15a": "fig15", "fig15b": "fig15",
     "fig16a": "fig16", "fig16b": "fig16",
     "fig17a": "fig17", "fig17b": "fig17", "fig17c": "fig17",
+    "fig19a": "fig19", "fig19b": "fig19",
 }
 
 

@@ -108,12 +108,14 @@ from ..operators.aggregate import AggregateSpec
 from ..operators.crypto import AesCtr
 from ..operators.selection import Predicate
 from .catalog import Catalog
-from .cost_model import PlanStats, delta_merge_cost_ns
-from .planner import (ExplainPlan, PlacementPlan, plan_placement,
-                      run_client_steps)
-from .cluster import (FarviewCluster, ScatterPlan, ShardedTable, ShardReplica,
-                      TableShard, aggregate_output_schema,
-                      group_output_schema, merge_aggregate_rows,
+from .cost_model import (PlacementCostModel, PlanStats, delta_merge_cost_ns,
+                         estimate_chain)
+from .planner import (ExplainPlan, PlacementPlan, operator_chain,
+                      plan_placement, run_client_steps)
+from .cluster import (JOIN_STRATEGIES, FarviewCluster, ScatterPlan,
+                      ShardedTable, ShardReplica, TableShard,
+                      aggregate_output_schema, group_output_schema,
+                      join_strategies, merge_aggregate_rows,
                       merge_distinct_rows, merge_group_rows, plan_scatter)
 from .faults import RetryPolicy
 from .node import Connection, ExecutionReport, FarviewNode
@@ -393,12 +395,19 @@ def _run_stage(client, handle, query: Query, placement: str,
 
     if placement == "offload":
         result, _ = client.far_view(handle, query)
-        dag.stages.append(StagePlan(name, "offload", note="pinned"))
+        note = "pinned"
+        strat = getattr(result, "join_strategy", None)
+        if strat is not None:
+            note = f"pinned, join={strat}"
+        dag.stages.append(StagePlan(name, "offload", note=note))
         return result
     result, _ = client.far_view_planned(handle, query, placement, stats)
     explain = getattr(result, "explain", None)
     chosen = explain.chosen if explain is not None else placement
-    dag.stages.append(StagePlan(name, chosen, explain=explain))
+    strat = (explain.join_strategy if explain is not None else None) \
+        or getattr(result, "join_strategy", None)
+    dag.stages.append(StagePlan(name, chosen, explain=explain,
+                                note=f"join={strat}" if strat else ""))
     return result
 
 
@@ -1271,6 +1280,9 @@ class ClusterQueryResult:
     response_time_ns: float
     merged: np.ndarray = field(repr=False)
     explain: Optional[ExplainPlan] = None  # set by the placement planner
+    #: Resolved scatter strategy of a join query (``broadcast`` /
+    #: ``colocated`` / ``shuffle``), ``None`` for join-less queries.
+    join_strategy: Optional[str] = None
 
     def rows(self) -> np.ndarray:
         return self.merged
@@ -1302,6 +1314,27 @@ class _JoinReplica:
 
     table: FTable
     incarnation: int = 0
+
+
+@dataclass
+class _EmptyShardResult:
+    """Fabricated zero-row result for a fact shard whose join-build
+    partition holds no rows.
+
+    Under co-located and shuffle joins the build side is partitioned on
+    the join key, so a fact shard facing an empty build partition cannot
+    produce output (inner join: nothing to match).  The pool cannot even
+    host a zero-byte build table (the MMU rejects empty allocations), so
+    the client answers these shards locally — zero requests, zero bytes
+    on the wire — shaped like a :class:`QueryResult` as far as
+    :meth:`ClusterClient._gather` is concerned.
+    """
+
+    schema: Schema
+    report: ExecutionReport
+
+    def rows(self) -> np.ndarray:
+        return self.schema.empty(0)
 
 
 #: Sentinel a shard executor returns (instead of raising) when every
@@ -1377,6 +1410,21 @@ class ClusterClient:
         #: the same dimension table share one broadcast process instead
         #: of racing the cache and leaking the loser's replicas.
         self._join_broadcasts: dict[str, object] = {}
+        #: Repartition-shuffle fragment cache: ``"{build}->{fact}"`` ->
+        #: ``(partition, node_index)`` -> the node-local fragment of the
+        #: build's rows whose keys hash to ``partition`` (primary on node
+        #: ``partition`` plus the fact table's failover ring).
+        self._shuffle_fragments: dict[
+            str, dict[tuple[int, int], _JoinReplica]] = {}
+        #: In-flight shuffles by cache key (same dedupe as broadcasts).
+        self._shuffle_jobs: dict[str, object] = {}
+        #: Hash partitions of each shuffled build that hold no rows —
+        #: their fact shards probe nothing and are answered client-side.
+        self._shuffle_empty: dict[str, frozenset[int]] = {}
+        #: Build-side bytes written into pool memory for join placement
+        #: (broadcast replicas + shuffle fragments).  Co-located joins
+        #: leave this untouched — the fig19 zero-replica-bytes assertion.
+        self.replica_bytes_moved = 0
         #: Optional :class:`~repro.core.faults.RetryPolicy`, applied per
         #: shard request by the scatter router (backoff between retries
         #: on the same candidate, post-completion deadline check).
@@ -1474,7 +1522,20 @@ class ClusterClient:
                     reps.append(ShardReplica(rep_node, rtable,
                                              rclient.node.incarnation))
                 shard.replicas = tuple(reps)
-            sharded = ShardedTable(name, schema, len(rows), spec, shards)
+            shard_ranges: dict[int, tuple[float, float]] = {}
+            if spec.scheme == "range":
+                # Plan-time pruning metadata: each shard's observed key
+                # span (recomputable from the deterministic placement,
+                # cached here so pruning needs no reads).
+                for node_index, idx in enumerate(indices):
+                    if len(idx) == 0:
+                        continue
+                    values = rows[idx][spec.key].astype(np.float64)
+                    shard_ranges[node_index] = (float(values.min()),
+                                                float(values.max()))
+            sharded = ShardedTable(name, schema, len(rows), spec, shards,
+                                   num_partitions=self.cluster.num_nodes,
+                                   shard_ranges=shard_ranges)
             self.catalog.register(sharded)
         except Exception:
             # All-or-nothing: free any shards already written so a failed
@@ -1514,6 +1575,17 @@ class ClusterClient:
             client = self._clients[node_index]
             client.node.free_table_mem(client.connection, replica.table)
         self._join_broadcasts.pop(sharded.name, None)
+        # Shuffle fragments are keyed per (build, fact) pairing — free
+        # every pairing this table participates in, on either side.
+        for key in [k for k in self._shuffle_fragments
+                    if sharded.name in k.split("->")]:
+            for (_part, node_index), rep in self._shuffle_fragments.pop(
+                    key).items():
+                if rep.table.allocated:
+                    client = self._clients[node_index]
+                    client.node.free_table_mem(client.connection, rep.table)
+            self._shuffle_jobs.pop(key, None)
+            self._shuffle_empty.pop(key, None)
         self.catalog.deregister(sharded.name)
 
     # -- broadcast joins ------------------------------------------------------
@@ -1589,6 +1661,8 @@ class ClusterClient:
                     name=f"cluster.broadcast[{replica.name}]"))
             if procs:
                 yield self.sim.all_of(procs)
+            for rep in replicas.values():
+                self.replica_bytes_moved += rep.table.size_bytes
         except BaseException:
             # A failed broadcast (e.g. a node out of pool memory) must
             # not leave a dead in-flight handle behind — later joins
@@ -1640,6 +1714,244 @@ class ClusterClient:
         if node.failed:
             return False
         return incarnation is None or node.incarnation == incarnation
+
+    # -- partition-aware joins: strategy resolution, shuffle, co-location ----
+    def _resolve_join_strategy(self, sharded, query: Query,
+                               requested: str | None = None
+                               ) -> Optional[str]:
+        """Resolve the scatter strategy for a join query.
+
+        An explicit ``requested`` strategy is validated against the
+        feasible set (:func:`~repro.core.cluster.join_strategies`) and a
+        typed error explains an infeasible request.  Under ``None``
+        (auto) the cheapest build-movement cost wins
+        (:meth:`~repro.core.cost_model.PlacementCostModel.
+        join_movement_ns`, zero for placements already cached), with
+        ties broken toward the strategy that moves least.
+        """
+        if query.join is None:
+            if requested is not None:
+                raise QueryError(
+                    f"join_strategy={requested!r} given but the query has "
+                    f"no join")
+            return None
+        feasible = join_strategies(sharded, query)
+        if requested is not None:
+            if requested not in JOIN_STRATEGIES:
+                raise QueryError(
+                    f"unknown join strategy {requested!r}; choose from "
+                    f"{JOIN_STRATEGIES}")
+            if requested not in feasible:
+                raise QueryError(
+                    f"join strategy {requested!r} is infeasible for "
+                    f"{sharded.name!r}: feasible strategies are "
+                    f"{feasible} (colocated needs both sides "
+                    f"hash-partitioned on the join key with matching "
+                    f"shard counts; shuffle needs the probe side "
+                    f"hash-partitioned on the probe key)")
+            return requested
+        if len(feasible) == 1:
+            return feasible[0]
+        build = query.join.build_table
+        model = PlacementCostModel(self.cluster.config,
+                                   self._clients[0]._cpu)
+        copies = min(sharded.partition.replicas, self.num_nodes)
+        costs: dict[str, float] = {}
+        for strat in feasible:
+            if strat == "colocated":
+                costs[strat] = 0.0
+            elif strat == "broadcast":
+                cached = self._join_replicas.get(build.name)
+                costs[strat] = (0.0 if cached else model.join_movement_ns(
+                    "broadcast", build.size_bytes, self.num_nodes))
+            else:  # shuffle
+                key = f"{build.name}->{sharded.name}"
+                cached = self._shuffle_fragments.get(key)
+                costs[strat] = (0.0 if cached else model.join_movement_ns(
+                    "shuffle", build.size_bytes, sharded.num_partitions,
+                    copies=copies))
+        order = {"colocated": 0, "shuffle": 1, "broadcast": 2}
+        return min(feasible, key=lambda s: (costs[s], order[s]))
+
+    def _ensure_shuffle_fragments_proc(self, build, sharded, build_key: str):
+        """Process: repartition a join's build side onto the fact shards.
+
+        The node→node shuffle path: gather the build's bytes (ordinary
+        scatter raw reads), re-key every row with the same splitmix64
+        ``hash_key_batch`` the fact placement used, and write partition
+        ``s``'s fragment onto node ``s`` plus the fact table's failover
+        ring — all timed through the normal wire/ingest model.
+        Fragments are cached per ``(build, fact)`` pairing; like the
+        broadcast cache, entries written to a node that crashed since
+        are invalidated and re-shuffled onto the survivors.
+        """
+        if isinstance(build, (VersionedTable, VersionedShardedTable)):
+            raise QueryError(
+                "versioned build sides are single-node only; materialize "
+                "the dimension table into a plain cluster table to join "
+                "against it pool-wide")
+        if not isinstance(build, ShardedTable):
+            raise QueryError(
+                "cluster joins need the build table registered in the "
+                "cluster catalog (create it with create_table)")
+        key = f"{build.name}->{sharded.name}"
+        for _round in range(self.num_nodes + 2):
+            cached = self._shuffle_fragments.get(key)
+            if cached is not None:
+                for fkey in [fk for fk, rep in cached.items()
+                             if self.cluster.nodes[fk[1]].incarnation
+                             != rep.incarnation]:
+                    del cached[fkey]
+            empty = self._shuffle_empty.get(key, frozenset())
+            targets: list[tuple[int, int]] = []
+            for shard in sharded.shards:
+                partition = shard.node_index
+                if cached is not None and partition in empty:
+                    continue
+                ring = (partition,) + replica_nodes(
+                    partition, self.num_nodes, sharded.partition.replicas)
+                for node_index in ring:
+                    if self.cluster.nodes[node_index].failed:
+                        continue
+                    if cached is None or (partition, node_index) not in cached:
+                        targets.append((partition, node_index))
+            if cached is not None and not targets:
+                return cached
+            inflight = self._shuffle_jobs.get(key)
+            if inflight is None:
+                inflight = self.sim.process(
+                    self._shuffle_build_proc(build, sharded, build_key, key,
+                                             tuple(targets)),
+                    name=f"cluster.shuffle[{key}]")
+                self._shuffle_jobs[key] = inflight
+            try:
+                yield inflight
+            except FaultError:
+                # A node died mid-shuffle.  The loop re-evaluates: the
+                # dead node drops out of the next round's targets.
+                pass
+        raise NodeFailedError(
+            f"could not shuffle {build.name!r} onto {sharded.name!r}: "
+            f"nodes kept failing")
+
+    def _shuffle_build_proc(self, build: ShardedTable, sharded, build_key: str,
+                            key: str, targets: tuple[tuple[int, int], ...]):
+        """Process: the shuffle itself (one in flight per pairing),
+        writing the per-partition fragments named by ``targets``."""
+        written: dict[tuple[int, int], _JoinReplica] = {}
+        try:
+            data = yield from self.table_read_proc(build)
+            rows = build.schema.from_bytes(data)
+            spec = PartitionSpec("hash", key=build_key)
+            parts = partition_indices(rows, build.schema, spec,
+                                      sharded.num_partitions)
+            self._shuffle_empty[key] = frozenset(
+                p for p, idx in enumerate(parts) if len(idx) == 0)
+            by_node: dict[int, list[tuple[int, np.ndarray]]] = {}
+            for partition, node_index in targets:
+                idx = parts[partition]
+                if len(idx) == 0:
+                    continue
+                by_node.setdefault(node_index, []).append(
+                    (partition, rows[idx]))
+            procs = [
+                self.sim.process(
+                    self._write_fragments_proc(build, node_index, frags,
+                                               written),
+                    name=f"cluster.shuffle[{key}->n{node_index}]")
+                for node_index, frags in sorted(by_node.items())]
+            if procs:
+                yield self.sim.all_of(procs)
+        except BaseException:
+            # Mirror the broadcast cleanup: never leave a dead in-flight
+            # handle or partially written fragments behind.
+            self._shuffle_jobs.pop(key, None)
+            for (_part, node_index), rep in written.items():
+                if rep.table.allocated:
+                    client = self._clients[node_index]
+                    client.node.free_table_mem(client.connection, rep.table)
+            raise
+        if self._shuffle_jobs.pop(key, None) is not None:
+            cached = self._shuffle_fragments.setdefault(key, {})
+            cached.update(written)
+            return cached
+        for (_part, node_index), rep in written.items():
+            client = self._clients[node_index]
+            client.node.free_table_mem(client.connection, rep.table)
+        return written
+
+    def _write_fragments_proc(self, build: ShardedTable, node_index: int,
+                              frags: list, written: dict):
+        """Process: write one node's shuffle fragments back-to-back.
+
+        One link per node: a node receiving several fragments (its own
+        partition plus the ring failover copies landing on it) pays each
+        write's fixed cost serially — the term that keeps broadcast
+        competitive for small builds under k-replication.
+        """
+        client = self._clients[node_index]
+        for partition, fragment_rows in frags:
+            table = FTable(f"{build.name}@shf{partition}n{node_index}",
+                           build.schema, len(fragment_rows))
+            client.node.alloc_table_mem(client.connection, table)
+            written[(partition, node_index)] = _JoinReplica(
+                table, client.node.incarnation)
+            yield from client.node.serve_write(
+                client.connection, table,
+                build.schema.to_bytes(fragment_rows))
+            self.replica_bytes_moved += table.size_bytes
+
+    def _localize_colocated(self, shard_query: Query, build: ShardedTable,
+                            partition: int, node_index: int) -> Query:
+        """Swap the build's co-located shard (or the ring replica living
+        on the candidate node) into one fact shard's fragment."""
+        for shard in build.shards:
+            if shard.node_index != partition:
+                continue
+            for candidate in shard.candidates():
+                if (candidate.node_index == node_index
+                        and self._node_usable(node_index,
+                                              candidate.incarnation)):
+                    spec = replace(shard_query.join,
+                                   build_table=candidate.table)
+                    return replace(shard_query, join=spec)
+            break
+        raise NodeFailedError(
+            f"no live co-located build shard for partition {partition} "
+            f"on node {node_index}")
+
+    def _localize_shuffle(self, shard_query: Query, fragments: dict,
+                          partition: int, node_index: int) -> Query:
+        """Swap the node-local shuffle fragment into one shard's
+        fragment; a missing or stale fragment fails over."""
+        rep = fragments.get((partition, node_index))
+        if rep is None or not self._node_usable(node_index,
+                                                rep.incarnation):
+            raise NodeFailedError(
+                f"no live shuffle fragment for partition {partition} on "
+                f"node {node_index}")
+        spec = replace(shard_query.join, build_table=rep.table)
+        return replace(shard_query, join=spec)
+
+    def _scatter_output_schema(self, sharded, plan: ScatterPlan) -> Schema:
+        """The per-shard result schema of one scatter fragment — used to
+        fabricate empty shard results without a node round-trip."""
+        shard_query = plan.shard_query
+        chain = operator_chain(shard_query)
+        if not chain:
+            return sharded.schema
+        steps = estimate_chain(chain, shard_query, sharded.schema, 0,
+                               PlanStats())
+        return steps[-1].schema_out
+
+    def _empty_shard_result(self, sharded, plan: ScatterPlan):
+        """A zero-row stand-in for a fact shard whose build partition
+        holds no rows: an inner join cannot match anything there, so no
+        request is scattered (pool memory cannot even hold a zero-byte
+        build table)."""
+        schema = self._scatter_output_schema(sharded, plan)
+        return _EmptyShardResult(schema,
+                                 ExecutionReport(signature="empty-partition"))
 
     def _read_join_build(self, query: Query):
         """Gather + decode a shipped join's build side (timed reads)."""
@@ -1984,42 +2296,93 @@ class ClusterClient:
         chunks = yield self.sim.all_of(procs)
         return b"".join(chunks)
 
-    def far_view_proc(self, sharded: ShardedTable, query: Query):
+    def far_view_proc(self, sharded: ShardedTable, query: Query,
+                      join_strategy: str | None = None):
         """Process: scatter the shard fragment, gather + merge results.
 
-        Queries with a join broadcast the build side first (cached after
-        the first execution), then every shard probes its fact rows
-        against the node-local replica.  Each shard request fails over
-        across its replica candidates (:meth:`_shard_exec_proc`); the
-        join fragment is localized per candidate node lazily, so a
-        failover probes against the surviving node's build copy.
+        Queries with a join place the build side first under the
+        resolved strategy (:meth:`_resolve_join_strategy`):
+        ``broadcast`` caches one full replica per node, ``shuffle``
+        repartitions the build node→node on the fact's splitmix64
+        placement hash, ``colocated`` moves nothing (both sides already
+        hash-partitioned on the join key).  Each shard request fails
+        over across its replica candidates (:meth:`_shard_exec_proc`);
+        the join fragment is localized per candidate node lazily, so a
+        failover probes against the surviving node's build copy.  Fact
+        shards facing an empty build partition are answered client-side
+        (inner join: nothing can match), and range-partitioned tables
+        skip shards the predicate statically excludes
+        (:func:`~repro.core.cluster.prune_scatter_shards`).
         """
         if isinstance(sharded, VersionedShardedTable):
+            if join_strategy not in (None, "broadcast"):
+                raise QueryError(
+                    "versioned cluster scans broadcast their build side; "
+                    f"join_strategy={join_strategy!r} is not available")
             result = yield from self.scan_versioned_proc(sharded, query)
             return result
-        plan = plan_scatter(query)
+        strategy = self._resolve_join_strategy(sharded, query, join_strategy)
+        plan = plan_scatter(query, sharded, join_strategy=strategy)
         start = self.sim.now
+        build = query.join.build_table if query.join is not None else None
         replicas = None
-        if query.join is not None:
-            replicas = yield from self._ensure_join_replicas_proc(
-                query.join.build_table)
+        fragments = None
+        if strategy == "broadcast":
+            replicas = yield from self._ensure_join_replicas_proc(build)
+        elif strategy == "shuffle":
+            fragments = yield from self._ensure_shuffle_fragments_proc(
+                build, sharded, query.join.build_key)
+        empty_parts: frozenset[int] = frozenset()
+        if strategy == "colocated":
+            present = {b.node_index for b in build.shards}
+            empty_parts = frozenset(p for p in range(sharded.num_partitions)
+                                    if p not in present)
+        elif strategy == "shuffle":
+            empty_parts = self._shuffle_empty.get(
+                f"{build.name}->{sharded.name}", frozenset())
 
-        def make(candidate):
-            if replicas is None:
-                q = plan.shard_query
-            else:
-                q = self._localize_join(plan.shard_query, replicas,
-                                        candidate.node_index)
-            return self._clients[candidate.node_index].far_view_proc(
-                candidate.table, q)
+        def make_for(shard):
+            partition = shard.node_index
 
-        procs = [
-            self.sim.process(
-                self._shard_exec_proc(s, make, self.allow_degraded),
-                name=f"cluster.farview[{s.table.name}]")
-            for s in sharded.shards]
-        shard_results = yield self.sim.all_of(procs)
-        return self._gather(sharded, query, plan, list(shard_results),
+            def make(candidate):
+                if strategy == "broadcast":
+                    q = self._localize_join(plan.shard_query, replicas,
+                                            candidate.node_index)
+                elif strategy == "colocated":
+                    q = self._localize_colocated(plan.shard_query, build,
+                                                 partition,
+                                                 candidate.node_index)
+                elif strategy == "shuffle":
+                    q = self._localize_shuffle(plan.shard_query, fragments,
+                                               partition,
+                                               candidate.node_index)
+                else:
+                    q = plan.shard_query
+                return self._clients[candidate.node_index].far_view_proc(
+                    candidate.table, q)
+
+            return make
+
+        pruned = set(plan.pruned_nodes)
+        slots: list = []
+        procs: list = []
+        for s in sharded.shards:
+            if s.node_index in pruned:
+                continue
+            if s.node_index in empty_parts:
+                slots.append(self._empty_shard_result(sharded, plan))
+                continue
+            procs.append(self.sim.process(
+                self._shard_exec_proc(s, make_for(s), self.allow_degraded),
+                name=f"cluster.farview[{s.table.name}]"))
+            slots.append(None)
+        if procs:
+            live = iter((yield self.sim.all_of(procs)))
+            shard_results = [next(live) if slot is None else slot
+                             for slot in slots]
+        else:
+            shard_results = slots
+        return self._gather(sharded, query, plan, shard_results,
                             self.sim.now - start)
 
     def _gather(self, sharded: ShardedTable, query: Query,
@@ -2063,7 +2426,8 @@ class ClusterClient:
             merged = stacked
         result = ClusterQueryResult(schema=schema, shard_results=survivors,
                                     response_time_ns=elapsed_ns,
-                                    merged=merged)
+                                    merged=merged,
+                                    join_strategy=plan.join_strategy)
         if lost:
             raise DegradedResultError(
                 f"{len(lost)} of {len(shard_results)} shards of "
@@ -2079,28 +2443,61 @@ class ClusterClient:
                                     "cluster.table_read")
         return data, self.sim.now - start
 
-    def far_view(self, sharded: ShardedTable, query: Query):
+    def far_view(self, sharded: ShardedTable, query: Query,
+                 join_strategy: str | None = None):
         """Scatter-gather offloaded query; returns
-        (ClusterQueryResult, elapsed_ns)."""
+        (ClusterQueryResult, elapsed_ns).
+
+        ``join_strategy`` pins a join's build placement (one of
+        :data:`~repro.core.cluster.JOIN_STRATEGIES`); ``None`` lets the
+        cost model choose.
+        """
         start = self.sim.now
-        result = self.sim.run_process(self.far_view_proc(sharded, query),
-                                      "cluster.far_view")
+        result = self.sim.run_process(
+            self.far_view_proc(sharded, query, join_strategy=join_strategy),
+            "cluster.far_view")
         return result, self.sim.now - start
 
     # -- cost-based placement (offload vs ship-to-compute) -------------------
     def plan(self, sharded: ShardedTable, query: Query,
              placement: str = "auto", stats: PlanStats | None = None,
              lease_manager=None,
-             refuse_join_offload: bool = False) -> PlacementPlan:
+             refuse_join_offload: bool = False,
+             join_strategy: str | None = None) -> PlacementPlan:
         """Plan ``query`` over the pool: offload, ship, or hybrid.
 
         Estimates use pool-level cardinalities with per-shard streaming
         parallelism; the region-residency check samples the first
         shard's region (shards are deployed symmetrically).  An optional
         ``lease_manager`` folds per-shard lease contention into the
-        offload side.
+        offload side.  Join queries fold the resolved scatter strategy
+        in: partitioned strategies size the per-node build at ``1/N``,
+        an uncached shuffle charges its wire movement against the
+        offload side, and the chosen strategy lands on the
+        :class:`~repro.core.planner.ExplainPlan` (``ship`` when the
+        join stays client-side).
         """
         first = sharded.shards[0]
+        strategy = None
+        join_transfer_ns = 0.0
+        join_build_shards = 1
+        if query.join is not None and not isinstance(
+                sharded, VersionedShardedTable):
+            strategy = self._resolve_join_strategy(sharded, query,
+                                                   join_strategy)
+            if strategy in ("colocated", "shuffle"):
+                join_build_shards = sharded.num_partitions
+            if strategy == "shuffle":
+                build = query.join.build_table
+                if f"{build.name}->{sharded.name}" \
+                        not in self._shuffle_fragments:
+                    model = PlacementCostModel(
+                        self.cluster.config,
+                        self._clients[first.node_index]._cpu)
+                    join_transfer_ns = model.join_movement_ns(
+                        "shuffle", build.size_bytes, sharded.num_partitions,
+                        copies=min(sharded.partition.replicas,
+                                   self.num_nodes))
         return plan_placement(
             query, first.table, self.cluster.nodes[0].config,
             placement=placement, stats=stats,
@@ -2111,12 +2508,15 @@ class ClusterClient:
             shards=len(sharded.shards), total_rows=sharded.num_rows,
             buffer_capacity=(self._clients[first.node_index]
                              ._buffer_capacity),
-            refuse_join_offload=refuse_join_offload)
+            refuse_join_offload=refuse_join_offload,
+            join_strategy=strategy, join_transfer_ns=join_transfer_ns,
+            join_build_shards=join_build_shards)
 
     def far_view_planned(self, sharded: ShardedTable, query: Query,
                          placement: str = "auto",
                          stats: PlanStats | None = None,
-                         lease_manager=None):
+                         lease_manager=None,
+                         join_strategy: str | None = None):
         """Scatter-gather execution under cost-based placement.
 
         Full offload is the legacy :meth:`far_view` path (byte- and
@@ -2135,7 +2535,8 @@ class ClusterClient:
             return self.far_view(sharded, query)
         try:
             return self._far_view_planned_once(sharded, query, placement,
-                                               stats, lease_manager)
+                                               stats, lease_manager,
+                                               join_strategy=join_strategy)
         except JoinBuildOverflowError:
             # Same fallback as the single-node client: a build load that
             # overflowed below nominal capacity reroutes to the client.
@@ -2143,23 +2544,31 @@ class ClusterClient:
                 raise
             return self._far_view_planned_once(sharded, query, placement,
                                                stats, lease_manager,
-                                               refuse_join_offload=True)
+                                               refuse_join_offload=True,
+                                               join_strategy=join_strategy)
         except RegionFailedError:
             # A shard's dynamic region died; under auto, degrade to the
             # ship path — scatter raw reads need no regions.
             if placement != "auto":
                 raise
             return self._far_view_planned_once(sharded, query, "ship",
-                                               stats, lease_manager)
+                                               stats, lease_manager,
+                                               join_strategy=join_strategy)
 
     def _far_view_planned_once(self, sharded: ShardedTable, query: Query,
                                placement: str, stats, lease_manager,
-                               refuse_join_offload: bool = False):
+                               refuse_join_offload: bool = False,
+                               join_strategy: str | None = None):
         plan = self.plan(sharded, query, placement, stats, lease_manager,
-                         refuse_join_offload=refuse_join_offload)
+                         refuse_join_offload=refuse_join_offload,
+                         join_strategy=join_strategy)
         cpu = self._clients[sharded.shards[0].node_index]._cpu
         if plan.full_offload:
-            result, elapsed = self.far_view(sharded, query)
+            strat = (plan.explain.join_strategy
+                     if plan.explain.join_strategy in JOIN_STRATEGIES
+                     else None)
+            result, elapsed = self.far_view(sharded, query,
+                                            join_strategy=strat)
             plan.explain.actual_ns = elapsed
             result.explain = plan.explain
             return result, elapsed

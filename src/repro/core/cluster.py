@@ -55,11 +55,19 @@ from ..common.records import Schema
 from ..operators.aggregate import (AggregateSpec, PARTIAL_MERGE, PartialPlan,
                                    decompose_partials)
 from ..operators.hashing import hash_key_batch
+from ..operators.selection import And, Compare, Not, Or
 from ..sim.engine import Simulator
 from .node import FarviewNode
 from .partition import PartitionSpec
 from .query import Query
 from .table import FTable
+
+#: Scatter-level strategies for executing a distributed join's build
+#: side.  ``ship`` (client-side software join) is the fourth strategy of
+#: the costed decision but lives at the placement-planner level
+#: (:func:`~repro.core.planner.plan_placement` prices it as the split
+#: below the join), not at the scatter level.
+JOIN_STRATEGIES = ("broadcast", "colocated", "shuffle")
 
 
 class FarviewCluster:
@@ -152,7 +160,9 @@ class ShardedTable:
     """
 
     def __init__(self, name: str, schema: Schema, num_rows: int,
-                 partition: PartitionSpec, shards: Sequence[TableShard]):
+                 partition: PartitionSpec, shards: Sequence[TableShard],
+                 num_partitions: int | None = None,
+                 shard_ranges: dict[int, tuple[float, float]] | None = None):
         if not shards:
             raise CatalogError(
                 f"sharded table {name!r} needs at least one non-empty shard")
@@ -161,6 +171,15 @@ class ShardedTable:
         self.num_rows = num_rows
         self.partition = partition
         self.shards = list(shards)
+        #: The modulus of the partition function (the cluster node count
+        #: at create time) — two hash-partitioned tables co-locate equal
+        #: keys iff their moduli match.  Empty shards are skipped in
+        #: ``shards``, so this cannot be derived from ``len(shards)``.
+        self.num_partitions = (num_partitions if num_partitions is not None
+                               else max(s.node_index for s in self.shards) + 1)
+        #: Per-shard observed ``[min, max]`` of the partition key (range
+        #: scheme only) — the plan-time shard-pruning metadata.
+        self.shard_ranges = dict(shard_ranges) if shard_ranges else {}
 
     @property
     def size_bytes(self) -> int:
@@ -175,6 +194,126 @@ class ShardedTable:
                 f"{self.num_shards} shards, {self.partition.describe()})")
 
 
+# -- partition-aware join strategy feasibility --------------------------------
+
+def hash_partitioned_on(table, key: str) -> bool:
+    """Is ``table`` a sharded table hash-partitioned on exactly ``key``?"""
+    part = getattr(table, "partition", None)
+    return (part is not None and part.scheme == "hash" and part.key == key
+            and isinstance(table, ShardedTable))
+
+
+def colocated_compatible(fact, build, probe_key: str, build_key: str) -> bool:
+    """Can ``fact JOIN build`` run shard-local with zero data movement?
+
+    Requires both sides hash-partitioned on their join key with the same
+    partition modulus *and* byte-compatible key columns (the splitmix64
+    placement hash runs over the key's byte image, so equal values only
+    co-locate when their serialized widths match).  Versioned tables are
+    excluded — their visible rows are a merge over the delta chain, not
+    the shard's raw byte image.
+    """
+    if getattr(fact, "epoch", None) is not None \
+            or getattr(build, "epoch", None) is not None:
+        return False
+    if not (hash_partitioned_on(fact, probe_key)
+            and hash_partitioned_on(build, build_key)):
+        return False
+    if fact.num_partitions != build.num_partitions:
+        return False
+    fcol = fact.schema.column(probe_key)
+    bcol = build.schema.column(build_key)
+    return fcol.width == bcol.width and fcol.kind == bcol.kind
+
+
+def join_strategies(sharded, query: Query) -> tuple[str, ...]:
+    """Feasible scatter strategies for this query's join.
+
+    ``broadcast`` is always feasible (the PR-5 path).  When the fact
+    side is hash-partitioned on the probe key, the build side can be
+    repartitioned node→node on the same splitmix64 hash (``shuffle``);
+    when the build side is *also* hash-partitioned on the join key with
+    a compatible shard map, the join runs shard-local with zero replica
+    bytes (``colocated``).
+    """
+    if query.join is None:
+        return ()
+    feasible = ["broadcast"]
+    build = query.join.build_table
+    if (hash_partitioned_on(sharded, query.join.probe_key)
+            and getattr(sharded, "epoch", None) is None
+            and isinstance(build, ShardedTable)
+            and getattr(build, "epoch", None) is None):
+        feasible.append("shuffle")
+        if colocated_compatible(sharded, build, query.join.probe_key,
+                                query.join.build_key):
+            feasible.append("colocated")
+    return tuple(feasible)
+
+
+# -- plan-time range pruning ---------------------------------------------------
+
+def _interval_may_match(pred, key: str, lo: float, hi: float) -> bool:
+    """May any value in the closed interval ``[lo, hi]`` satisfy ``pred``?
+
+    Conservative: anything not provably empty (``Not``, predicates on
+    other columns, unknown node types) keeps the shard.
+    """
+    if isinstance(pred, Compare) and pred.column == key:
+        try:
+            v = float(pred.value)
+        except (TypeError, ValueError):
+            return True
+        if pred.op == "<":
+            return lo < v
+        if pred.op == "<=":
+            return lo <= v
+        if pred.op == ">":
+            return hi > v
+        if pred.op == ">=":
+            return hi >= v
+        if pred.op == "==":
+            return lo <= v <= hi
+        if pred.op == "!=":
+            return not (lo == hi == v)
+        return True
+    if isinstance(pred, And):
+        return (_interval_may_match(pred.left, key, lo, hi)
+                and _interval_may_match(pred.right, key, lo, hi))
+    if isinstance(pred, Or):
+        return (_interval_may_match(pred.left, key, lo, hi)
+                or _interval_may_match(pred.right, key, lo, hi))
+    return True
+
+
+def prune_scatter_shards(sharded, query: Query) -> tuple[int, ...]:
+    """Node indices of shards statically excluded by the predicate.
+
+    Range-partitioned tables record each shard's observed ``[min, max]``
+    key span at create time; a shard whose span cannot satisfy a range
+    predicate on the partition key contributes no rows and is skipped at
+    plan time.  At least one shard is always kept so the scatter has a
+    result stream to gather (an all-pruned query returns zero rows
+    through the ordinary merge).
+    """
+    part = getattr(sharded, "partition", None)
+    spans = getattr(sharded, "shard_ranges", None)
+    if (part is None or part.scheme != "range" or not spans
+            or query.predicate is None):
+        return ()
+    pruned = []
+    for shard in sharded.shards:
+        span = spans.get(shard.node_index)
+        if span is None:
+            continue
+        if not _interval_may_match(query.predicate, part.key,
+                                   span[0], span[1]):
+            pruned.append(shard.node_index)
+    if len(pruned) == len(sharded.shards):
+        pruned = pruned[1:]  # keep one stream for the gather
+    return tuple(pruned)
+
+
 # -- scatter planning ----------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -185,39 +324,59 @@ class ScatterPlan:
     selection, projection, regex — just concatenate), ``distinct``
     (first-wins dedup on the key columns), ``group`` (re-merge partial
     groups), ``aggregate`` (merge one partial row per shard).
+
+    ``join_strategy`` records the resolved scatter strategy for a join
+    query (one of :data:`JOIN_STRATEGIES`, or ``None`` for join-less
+    queries); ``pruned_nodes`` are shards statically excluded by a range
+    predicate on the partition key (:func:`prune_scatter_shards`).
     """
 
     shard_query: Query
     mode: str
     shard_specs: tuple[AggregateSpec, ...] = ()
     partial_plans: tuple[PartialPlan, ...] = ()
+    join_strategy: Optional[str] = None
+    pruned_nodes: tuple[int, ...] = ()
 
 
-def plan_scatter(query: Query) -> ScatterPlan:
+def plan_scatter(query: Query, sharded=None,
+                 join_strategy: Optional[str] = None) -> ScatterPlan:
     """Rewrite ``query`` into its shard fragment + merge mode.
 
-    Small-table joins scatter unchanged: the router broadcasts the
+    ``broadcast`` joins scatter unchanged: the router broadcasts the
     build side to every node first
     (:meth:`~repro.core.api.ClusterClient._ensure_join_replicas_proc`)
     and swaps the node-local replica into each shard's fragment, so
     every shard probes its fact rows against the full dimension table.
-    The merge mode is decided by the operators *after* the join —
+    ``colocated`` / ``shuffle`` joins instead swap in the node-local
+    build *partition* (a pre-placed shard, or a repartitioned fragment),
+    so each shard probes only the keys that can match its rows.  The
+    merge mode is decided by the operators *after* the join —
     probe-order concatenation under chunk partitioning is exactly the
     single-node probe order, which keeps joined results byte-identical.
+
+    ``sharded`` (optional — the fact-side :class:`ShardedTable`) enables
+    plan-time range pruning; ``join_strategy`` is recorded verbatim (the
+    router resolves it via
+    :meth:`~repro.core.api.ClusterClient._resolve_join_strategy`).
     """
+    pruned = (prune_scatter_shards(sharded, query)
+              if sharded is not None else ())
     if query.group_by:
         shard_specs, plans = decompose_partials(query.aggregates)
         shard_query = replace(query, aggregates=tuple(shard_specs))
         return ScatterPlan(shard_query, "group", tuple(shard_specs),
-                           tuple(plans))
+                           tuple(plans), join_strategy, pruned)
     if query.aggregates:
         shard_specs, plans = decompose_partials(query.aggregates)
         shard_query = replace(query, aggregates=tuple(shard_specs))
         return ScatterPlan(shard_query, "aggregate", tuple(shard_specs),
-                           tuple(plans))
+                           tuple(plans), join_strategy, pruned)
     if query.distinct:
-        return ScatterPlan(query, "distinct")
-    return ScatterPlan(query, "concat")
+        return ScatterPlan(query, "distinct",
+                           join_strategy=join_strategy, pruned_nodes=pruned)
+    return ScatterPlan(query, "concat",
+                       join_strategy=join_strategy, pruned_nodes=pruned)
 
 
 # -- merge kernels -------------------------------------------------------------

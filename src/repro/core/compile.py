@@ -59,7 +59,8 @@ from ..common.errors import QueryError
 from ..common.records import Column, Schema
 from ..operators.aggregate import SUPPORTED_FUNCS, AggregateSpec
 from ..operators.selection import And, Compare, Not, Or, Predicate
-from .cluster import aggregate_output_schema, group_output_schema
+from .cluster import (aggregate_output_schema, colocated_compatible,
+                      group_output_schema)
 from .ir import (AggCall, Aggregate, Arith, BoolAnd, BoolNot, BoolOr, Cmp,
                  Col, Distinct, Expr, Filter, Join, Limit, Lit, Project, Rel,
                  Scan, Sort, TextMatch, conjoin, conjuncts, expr_columns,
@@ -1285,12 +1286,40 @@ def bind_select(parsed: ParsedQuery, catalog) -> BoundSelect:
     # offloadable JoinSpec) when its build table carries no pushed-down
     # predicate; any filtered build — and every later join — becomes a
     # client arm whose build read is its own independently placed Query.
+    # A later unfiltered join whose build is hash-co-located with the
+    # base (both sides partitioned on the join key, matching shard
+    # counts) is promoted to stage 0 instead, so the scatter layer can
+    # run it shard-local with zero build movement.  Promotion is skipped
+    # under SELECT * — reordering joins permutes the star column order.
+    def _stage0_ok(idx: int, info: dict) -> bool:
+        table = info["table"]
+        if bool(conj_by_table[table]) or regex_table == table:
+            return False
+        probe_tbl, probe_nm = canonical(*info["probe_ref"])
+        if probe_tbl != base_name:
+            return False
+        if idx == 0:
+            return True
+        return (not parts.project.star
+                and colocated_compatible(handles[base_name], handles[table],
+                                         probe_nm, info["build_key"]))
+
+    def _colocated(info: dict) -> bool:
+        return colocated_compatible(handles[base_name],
+                                    handles[info["table"]],
+                                    canonical(*info["probe_ref"])[1],
+                                    info["build_key"])
+
+    stage0_idx: int | None = None
+    for idx, info in enumerate(join_info):
+        if _stage0_ok(idx, info):
+            stage0_idx = idx
+            if _colocated(info):
+                break  # co-located beats the legacy (broadcast) pick
     stage0_join: dict | None = None
     arm_infos: list[dict] = []
     for idx, info in enumerate(join_info):
-        table = info["table"]
-        filtered = bool(conj_by_table[table]) or regex_table == table
-        if idx == 0 and not filtered:
+        if idx == stage0_idx:
             stage0_join = info
         else:
             arm_infos.append(info)

@@ -224,6 +224,41 @@ class PlacementCostModel:
         return (wait_ns + self.region_setup_ns(cold) + self._request_ns()
                 + fill_cycles * stack.cycle_ns + build_fill + stream + flush)
 
+    # -- distributed join build movement -----------------------------------
+    def join_movement_ns(self, strategy: str, build_bytes: float,
+                         num_nodes: int, copies: int = 1) -> float:
+        """One-time cost of placing a join's build side for ``strategy``.
+
+        ``colocated`` moves nothing — the build shards already sit where
+        the matching fact shards are.  ``broadcast`` gathers the build
+        once and writes one *full* copy onto every node over independent
+        links in parallel (the per-node write bounds the phase).
+        ``shuffle`` gathers the build once, re-keys it with the same
+        splitmix64 hash the fact placement used, and writes one
+        ``build/num_nodes`` fragment per node — but each node receives
+        ``copies`` fragment writes (its own partition plus the failover
+        copies ring-placed onto it) *serialized on its link*, so with
+        k-replication the fixed per-write cost is paid ``copies`` times.
+        That is the honest crossover: broadcast wins small builds (one
+        fixed cost), shuffle wins large ones (``copies/num_nodes`` of
+        the bytes per link instead of all of them).
+
+        Both broadcast and shuffle placements are cached per build (and
+        per fact pairing) by the router, so the caller charges this only
+        when the placement is cold.
+        """
+        if strategy == "colocated":
+            return 0.0
+        read = self.ship_bytes_ns(build_bytes)
+        if strategy == "broadcast":
+            return read + self._request_ns() + build_bytes / self._wire_rate
+        if strategy == "shuffle":
+            fragment = build_bytes / max(1, num_nodes)
+            per_node = copies * (self._request_ns()
+                                 + fragment / self._wire_rate)
+            return read + per_node
+        raise QueryError(f"unknown join strategy {strategy!r}")
+
     # -- ship side ---------------------------------------------------------
     def ship_bytes_ns(self, nbytes: float, shards: int = 1) -> float:
         """Raw RDMA READ of ``nbytes`` into the client buffer.

@@ -22,7 +22,10 @@ information alone:
 
 ``range``
     Equal-width value ranges over a numeric key column's [min, max] span,
-    computed at write time.  Keeps key locality for range predicates.
+    computed at write time — or explicit, validated ``bounds`` supplied by
+    the caller.  Keeps key locality for range predicates, which lets the
+    scatter planner prune whole shards for range predicates on the
+    partition key (:func:`~repro.core.cluster.prune_scatter_shards`).
 
 :func:`shard_assignment` maps every row to a shard id;
 :func:`partition_indices` turns that into per-shard row-index arrays that
@@ -55,11 +58,18 @@ class PartitionSpec:
     (:func:`replica_nodes`), so a single node crash leaves every shard a
     live replica whenever ``k >= 2``.  Replication is capped at the node
     count when a table is created.
+
+    ``bounds`` (``range`` scheme only) are explicit half-open per-shard
+    intervals ``[lo, hi)`` over the key column, one per shard in shard
+    order.  They are validated here — each ``lo < hi``, sorted ascending
+    and non-overlapping — so a malformed spec is a typed error at
+    ``create_table`` time instead of silently mis-routing rows.
     """
 
     scheme: str = "chunk"
     key: Optional[str] = None
     replicas: int = 1
+    bounds: Optional[tuple[tuple[float, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -74,6 +84,29 @@ class PartitionSpec:
         if self.replicas < 1:
             raise QueryError(
                 f"replicas must be >= 1, got {self.replicas}")
+        if self.bounds is not None:
+            if self.scheme != "range":
+                raise QueryError(
+                    f"explicit bounds only apply to range partitioning, "
+                    f"not {self.scheme!r}")
+            # Canonicalize (lists arrive from user code) so the frozen
+            # spec hashes and compares by value.
+            bounds = tuple((float(lo), float(hi)) for lo, hi in self.bounds)
+            object.__setattr__(self, "bounds", bounds)
+            if not bounds:
+                raise QueryError("range bounds must name at least one shard")
+            for i, (lo, hi) in enumerate(bounds):
+                if not lo < hi:
+                    raise QueryError(
+                        f"range bound {i} is empty or inverted: "
+                        f"[{lo}, {hi})")
+            for i in range(1, len(bounds)):
+                prev_hi, (lo, _hi) = bounds[i - 1][1], bounds[i]
+                if lo < prev_hi:
+                    raise QueryError(
+                        f"range bounds must be sorted and non-overlapping: "
+                        f"bound {i} starts at {lo} before bound {i - 1} "
+                        f"ends at {prev_hi}")
 
     @property
     def order_preserving(self) -> bool:
@@ -119,13 +152,30 @@ def shard_assignment(rows: np.ndarray, schema: Schema, spec: PartitionSpec,
         keys[spec.key] = rows[spec.key]
         hashes = hash_key_batch(key_schema.to_bytes(keys), column.width)
         return (hashes % np.uint64(num_shards)).astype(np.int64)
-    # range: equal-width bins over the observed [min, max] value span.
+    # range: explicit validated bounds, or equal-width bins over the
+    # observed [min, max] value span.
     if column.kind == "char":
         raise QueryError(
             f"range partitioning needs a numeric key; {spec.key!r} is char")
     if n == 0:
         return np.zeros(0, dtype=np.int64)
     values = rows[spec.key].astype(np.float64)
+    if spec.bounds is not None:
+        if len(spec.bounds) != num_shards:
+            raise QueryError(
+                f"range bounds name {len(spec.bounds)} shards but the "
+                f"cluster has {num_shards}")
+        assignment = np.full(n, -1, dtype=np.int64)
+        for s, (lo, hi) in enumerate(spec.bounds):
+            mask = (values >= lo) & (values < hi)
+            assignment[mask] = s
+        stray = np.flatnonzero(assignment < 0)
+        if len(stray):
+            raise QueryError(
+                f"{len(stray)} rows fall outside every range bound of "
+                f"{spec.key!r} (first stray value: "
+                f"{values[stray[0]].item()})")
+        return assignment
     lo, hi = float(values.min()), float(values.max())
     if hi <= lo:
         return np.zeros(n, dtype=np.int64)

@@ -47,6 +47,7 @@ time are exposed as an :class:`ExplainPlan` for observability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 from typing import Optional
 
 import numpy as np
@@ -160,6 +161,11 @@ class ExplainPlan:
     est_ship_ns: float
     stats: PlanStats
     actual_ns: Optional[float] = None
+    #: Distributed-join build strategy for cluster queries: one of
+    #: ``broadcast`` / ``colocated`` / ``shuffle`` when the chosen
+    #: fragment offloads the join, ``ship`` when the join runs in client
+    #: software, ``None`` for join-less or single-node queries.
+    join_strategy: Optional[str] = None
 
     @property
     def placements(self) -> list[tuple[str, str]]:
@@ -170,6 +176,8 @@ class ExplainPlan:
     def render(self) -> str:
         lines = [f"Placement plan (requested={self.requested}): "
                  f"{self.chosen}"]
+        if self.join_strategy is not None:
+            lines.append(f"  join strategy: {self.join_strategy}")
         for op, where in self.placements:
             lines.append(f"  {op:<10} -> {where}")
         if not self.chain:
@@ -223,7 +231,10 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                    buffer_capacity: int | None = None,
                    scan_bytes: float | None = None,
                    delta_rows: float = 0.0,
-                   refuse_join_offload: bool = False) -> PlacementPlan:
+                   refuse_join_offload: bool = False,
+                   join_strategy: Optional[str] = None,
+                   join_transfer_ns: float = 0.0,
+                   join_build_shards: int = 1) -> PlacementPlan:
     """Choose where each operator of ``query`` runs.
 
     ``table`` provides the schema and (for fragments) the compile
@@ -253,6 +264,15 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
     on-chip build *load* overflowed at execution time (cuckoo kick
     chains can exhaust below the compiler's nominal-capacity pre-check,
     which is data-dependent and only detectable by actually building).
+
+    The cluster router passes the resolved distributed-join strategy:
+    ``join_strategy`` annotates the explain, ``join_transfer_ns`` adds a
+    one-time build-movement charge (a cold shuffle) to every candidate
+    whose fragment offloads the join, and ``join_build_shards`` divides
+    the build-ingest fill for partitioned strategies — a colocated or
+    shuffled build loads only its ``1/N`` fragment into the on-chip
+    hash, which is also why oversized builds that overflow broadcast can
+    still offload partitioned.
     """
     if placement not in PLACEMENTS:
         raise QueryError(
@@ -306,8 +326,21 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
             cold = False
             inter_schema, inter_bytes = schema, scan_total
         else:
+            compile_fragment = fragment
+            if fragment.join is not None and join_build_shards > 1:
+                # Partitioned strategies load only this shard's build
+                # fragment into the on-chip hash; compile (and price)
+                # against a 1/N-sized proxy so a build that overflows
+                # broadcast can still offload colocated/shuffled.
+                build = fragment.join.build_table
+                frag_rows = max(1, -(-int(build.num_rows)
+                                     // join_build_shards))
+                proxy = FTable(build.name, build.schema, frag_rows)
+                compile_fragment = _dc_replace(
+                    fragment, join=_dc_replace(fragment.join,
+                                               build_table=proxy))
             try:
-                compiled = compile_query(fragment, table, config)
+                compiled = compile_query(compile_fragment, table, config)
             except JoinBuildOverflowError:
                 if placement == "offload":
                     raise
@@ -327,7 +360,8 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                             if k > 0 and chain[k - 1] == "groupby" else 0.0)
             build_bytes = 0.0
             if fragment.join is not None:
-                _brows, bbytes, _bschema = join_build_profile(fragment)
+                _brows, bbytes, _bschema = join_build_profile(
+                    compile_fragment)
                 build_bytes = float(bbytes)
             cold = compiled.signature != loaded_signature
             node_ns = cost_model.offload_ns(
@@ -336,6 +370,8 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
                 fill_cycles=compiled.pipeline.fill_latency_cycles,
                 flush_groups=flush_groups, cold=cold, shards=shards,
                 build_bytes=build_bytes)
+            if fragment.join is not None:
+                node_ns += join_transfer_ns
             node_ns += cost_model.lease_wait_ns(lease_manager, node_ns)
         client_ns = (cost_model.client_ops_ns(steps[k:], inter_schema,
                                               inter_bytes, query)
@@ -379,6 +415,9 @@ def plan_placement(query: Query, table: FTable, config: FarviewConfig, *,
         candidates=candidates, est_chosen_ns=best.total_ns,
         est_offload_ns=by_label.get("offload", float("nan")),
         est_ship_ns=by_label.get("ship", float("nan")), stats=stats)
+    if query.join is not None and join_strategy is not None:
+        offloaded = best_fragment is not None and best_fragment.join is not None
+        explain.join_strategy = join_strategy if offloaded else "ship"
     return PlacementPlan(
         query=query, chain=chain, split=best.split, fragment=best_fragment,
         client_steps=chain[best.split:], steps=steps, explain=explain)

@@ -80,6 +80,19 @@ class ChaosMachine(RuleBasedStateMachine):
                                         PartitionSpec(replicas=2))
         self.join_query = Query(join=JoinSpec(self.dim, "id", "a", ("rate",)),
                                 label="chaos-join")
+        # Hash-partitioned twin of the fact table (k=2) for the
+        # partitioned join strategies: co-located against a build
+        # hash-partitioned on the join key, repartition shuffle against
+        # the chunk-partitioned dimension.
+        self.hfact = self.cc.create_table(
+            "hfact", wl.schema, wl.rows,
+            PartitionSpec("hash", key="a", replicas=2))
+        self.hdim = self.cc.create_table(
+            "hdim", dim_schema, dim_rows,
+            PartitionSpec("hash", key="id", replicas=2))
+        self.colo_query = Query(join=JoinSpec(self.hdim, "id", "a",
+                                              ("rate",)),
+                                label="chaos-colo")
         # Versioned table (k=1 chunk shards) for writes + pinned scans.
         self.schema = default_schema()
         rows = make_rows(self.schema, 48, seed=32 + CHAOS_SEED)
@@ -96,6 +109,12 @@ class ChaosMachine(RuleBasedStateMachine):
         self.join_sha = sha(self.cc.far_view(self.fact,
                                              self.join_query)[0].data)
         self.image_sha = sha(self.cc.table_read(self.fact)[0])
+        colo_ref = self.cc.far_view(self.hfact, self.colo_query)[0]
+        assert colo_ref.join_strategy == "colocated"
+        self.colo_sha = sha(colo_ref.data)
+        shuffle_ref = self.cc.far_view(self.hfact, self.join_query,
+                                       join_strategy="shuffle")[0]
+        self.shuffle_sha = sha(shuffle_ref.data)
 
     # -- availability oracle ----------------------------------------------
     def _copy_usable(self, node: int) -> bool:
@@ -174,6 +193,37 @@ class ChaosMachine(RuleBasedStateMachine):
         else:
             assert sha(result.data) == self.join_sha, \
                 "chaos join returned wrong bytes"
+
+    @rule()
+    def colocated_join(self):
+        """Both sides hash-partitioned on the join key: the planner runs
+        shard-local with k=2 ring failover; success must be byte-exact
+        and a failure typed."""
+        try:
+            result, _ = self.cc.far_view(self.hfact, self.colo_query)
+        except FaultError:
+            assert self.down or self.crashed_ever, \
+                "co-located join failed with no fault in the system"
+        else:
+            assert result.join_strategy == "colocated"
+            assert sha(result.data) == self.colo_sha, \
+                "chaos co-located join returned wrong bytes"
+
+    @rule()
+    def shuffle_join(self):
+        """The repartition shuffle under chaos: fragments lost to a
+        crash are re-shuffled onto the survivors; success must be
+        byte-exact (k=2 fragment ring) and a failure typed."""
+        try:
+            result, _ = self.cc.far_view(self.hfact, self.join_query,
+                                         join_strategy="shuffle")
+        except FaultError:
+            assert self.down or self.crashed_ever, \
+                "shuffle join failed with no fault in the system"
+        else:
+            assert result.join_strategy == "shuffle"
+            assert sha(result.data) == self.shuffle_sha, \
+                "chaos shuffle join returned wrong bytes"
 
     @rule(cut=st.integers(min_value=0, max_value=60),
           value=st.integers(min_value=-99, max_value=99))

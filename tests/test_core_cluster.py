@@ -73,6 +73,41 @@ def test_partition_spec_validation():
     assert not PartitionSpec("hash", key="a").order_preserving
 
 
+def test_range_bounds_validation_is_typed_at_spec_time():
+    """Satellite regression: overlapping, unsorted, empty, or inverted
+    explicit range bounds are a typed error when the spec is built —
+    never a silent mis-route at create_table time."""
+    ok = PartitionSpec("range", key="a", bounds=((0, 10), (10, 20)))
+    assert ok.bounds == ((0.0, 10.0), (10.0, 20.0))
+    with pytest.raises(QueryError, match="only apply to range"):
+        PartitionSpec("hash", key="a", bounds=((0, 10),))
+    with pytest.raises(QueryError, match="at least one"):
+        PartitionSpec("range", key="a", bounds=())
+    with pytest.raises(QueryError, match="empty or inverted"):
+        PartitionSpec("range", key="a", bounds=((10, 10),))
+    with pytest.raises(QueryError, match="empty or inverted"):
+        PartitionSpec("range", key="a", bounds=((20, 10),))
+    with pytest.raises(QueryError, match="sorted and non-overlapping"):
+        PartitionSpec("range", key="a", bounds=((0, 10), (5, 20)))
+    with pytest.raises(QueryError, match="sorted and non-overlapping"):
+        PartitionSpec("range", key="a", bounds=((10, 20), (0, 10)))
+
+
+def test_range_bounds_route_rows_and_reject_strays():
+    schema, rows = distinct_workload(256, 64)
+    lo, hi = float(rows["a"].min()), float(rows["a"].max()) + 1.0
+    mid = (lo + hi) / 2
+    spec = PartitionSpec("range", key="a", bounds=((lo, mid), (mid, hi)))
+    ids = shard_assignment(rows, schema, spec, 2)
+    assert np.array_equal(ids == 1, rows["a"] >= mid)
+    with pytest.raises(QueryError, match="shards"):
+        shard_assignment(rows, schema, spec, 3)  # bounds/shard mismatch
+    narrow = PartitionSpec("range", key="a", bounds=((lo, mid), (mid, mid + 1)))
+    if (rows["a"] >= mid + 1).any():
+        with pytest.raises(QueryError, match="outside every range bound"):
+            shard_assignment(rows, schema, narrow, 2)
+
+
 def test_chunk_assignment_is_balanced_and_contiguous():
     schema, rows = distinct_workload(1000, 10)
     ids = shard_assignment(rows, schema, PartitionSpec(), 4)

@@ -403,6 +403,118 @@ class TestClusterRecovery:
         assert fresh.incarnation == cluster.node(1).incarnation
         assert fresh.incarnation > stale_incarnation
 
+    def test_crash_mid_shuffle_is_typed_never_hangs(self):
+        """A node crash while the repartition shuffle is writing its
+        fragments surfaces a typed :class:`FaultError` — no hang, no
+        wrong bytes (k=1: the dead node's fact shard has no copy)."""
+        import numpy as np
+
+        from repro.common.records import Column, Schema
+        from repro.core.query import JoinSpec, Query
+
+        sim = Simulator()
+        cluster = FarviewCluster(sim, 4, TEST_CONFIG)
+        cc = ClusterClient(cluster)
+        cc.open_connection()
+        wl = selection_workload(512, 0.5, seed=11)
+        fact = cc.create_table("fact", wl.schema, wl.rows,
+                               PartitionSpec("hash", key="a", replicas=1))
+        dim_schema = Schema([Column("id", "int64"),
+                             Column("rate", "float64")])
+        dim_rows = dim_schema.empty(256)
+        dim_rows["id"] = np.arange(256)
+        dim_rows["rate"] = np.arange(256) * 0.5
+        dim = cc.create_table("dim", dim_schema, dim_rows,
+                              PartitionSpec(replicas=1))
+        query = Query(join=JoinSpec(dim, "id", "a", ("rate",)),
+                      label="join")
+        outcomes = []
+
+        def worker():
+            try:
+                yield from cc.far_view_proc(fact, query,
+                                            join_strategy="shuffle")
+            except FaultError as exc:
+                outcomes.append(type(exc))
+            else:
+                outcomes.append("ok")
+
+        proc = sim.process(worker())
+        injector = FaultInjector(cluster)
+        sim.schedule(50_000.0, injector.crash, 2)  # mid-shuffle
+        sim.run()
+        assert proc.triggered, "crashed shuffle join hung"
+        assert outcomes and outcomes[0] is not None
+        assert outcomes[0] != "ok", \
+            "k=1 join succeeded with a node (and its fact shard) dead"
+        assert issubclass(outcomes[0], FaultError), \
+            f"crash surfaced untyped: {outcomes[0]}"
+        # No half-shuffle is left behind: the in-flight job handle is
+        # cleared so the next attempt (after recovery) starts clean.
+        assert not cc._shuffle_jobs
+
+    def test_shuffle_failover_with_replicas_is_sha_identical(self):
+        """k=2 fragment ring: a node crash after (or during) the shuffle
+        fails the probe over to the ring copy of both the fact shard and
+        its build fragment — merged bytes identical to no-fault."""
+        import numpy as np
+
+        from repro.common.records import Column, Schema
+        from repro.core.query import JoinSpec, Query
+
+        def build_bench():
+            sim = Simulator()
+            cluster = FarviewCluster(sim, 4, TEST_CONFIG)
+            cc = ClusterClient(cluster)
+            cc.open_connection()
+            wl = selection_workload(512, 0.5, seed=12)
+            fact = cc.create_table(
+                "fact", wl.schema, wl.rows,
+                PartitionSpec("hash", key="a", replicas=2))
+            dim_schema = Schema([Column("id", "int64"),
+                                 Column("rate", "float64")])
+            dim_rows = dim_schema.empty(256)
+            dim_rows["id"] = np.arange(256)
+            dim_rows["rate"] = np.arange(256) * 0.5
+            dim = cc.create_table("dim", dim_schema, dim_rows,
+                                  PartitionSpec(replicas=2))
+            query = Query(join=JoinSpec(dim, "id", "a", ("rate",)),
+                          label="join")
+            return sim, cluster, cc, fact, query
+
+        _sim, _cluster, cc0, fact0, query0 = build_bench()
+        reference, _ = cc0.far_view(fact0, query0,
+                                    join_strategy="shuffle")
+        ref_sha = sha(reference.data)
+
+        # Crash after the shuffle is cached: stale fragments on the dead
+        # node are pruned (incarnation mismatch) and the probe fails
+        # over to the ring copies.
+        sim, cluster, cc, fact, query = build_bench()
+        cc.far_view(fact, query, join_strategy="shuffle")  # warm + cache
+        FaultInjector(cluster).crash(1)
+        after, _ = cc.far_view(fact, query, join_strategy="shuffle")
+        assert sha(after.data) == ref_sha, \
+            "post-crash shuffle failover changed the merged bytes"
+
+        # Crash mid-shuffle: the ensure loop retries onto the survivors
+        # and the k=2 ring still covers every fact shard.
+        sim, cluster, cc, fact, query = build_bench()
+        captured = {}
+
+        def worker():
+            result = yield from cc.far_view_proc(fact, query,
+                                                 join_strategy="shuffle")
+            captured["result"] = result
+
+        proc = sim.process(worker())
+        injector = FaultInjector(cluster)
+        sim.schedule(50_000.0, injector.crash, 3)
+        sim.run()
+        assert proc.triggered, "mid-shuffle crash hung the join"
+        assert sha(captured["result"].data) == ref_sha, \
+            "mid-shuffle crash changed the merged bytes"
+
     def test_two_phase_abort_keeps_epochs_aligned(self):
         """A node crash between prepare and commit aborts the batch:
         every surviving shard stays at the old epoch (no split brain)."""

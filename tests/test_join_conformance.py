@@ -445,3 +445,161 @@ def test_duplicate_build_key_rejected_end_to_end():
     fact_table = upload(client, "fact", FACT_SCHEMA, fact)
     with pytest.raises(OperatorError, match="unique"):
         client.far_view(fact_table, make_query(dim_table))
+
+
+# ---------------------------------------------------------------------------
+# Strategy-equivalence matrix: broadcast / colocated / shuffle / ship /
+# auto x pool size x partitioning scheme, every cell == the serial model
+# ---------------------------------------------------------------------------
+
+from repro.common.errors import QueryError  # noqa: E402
+from repro.core.api import ClusterQueryResult  # noqa: E402
+from repro.core.cluster import (colocated_compatible,  # noqa: E402
+                                join_strategies)
+from repro.core.partition import (PartitionSpec,  # noqa: E402
+                                  partition_indices)
+
+MATRIX_STRATEGIES = ("broadcast", "colocated", "shuffle", "ship", "auto")
+MATRIX_NODES = (1, 2, 4)
+MATRIX_SCHEMES = ("chunk", "hash", "range")
+
+
+def _matrix_specs(scheme: str) -> tuple[PartitionSpec, PartitionSpec]:
+    """Fact + build partition specs for one scheme row of the matrix.
+
+    The build side is hash-partitioned on its key in the ``hash`` row so
+    the co-located strategy becomes feasible there — and only there.
+    """
+    if scheme == "chunk":
+        return PartitionSpec(), PartitionSpec()
+    if scheme == "hash":
+        return (PartitionSpec("hash", key="a"),
+                PartitionSpec("hash", key="id"))
+    return PartitionSpec("range", key="a"), PartitionSpec()
+
+
+def _matrix_expected(fact, dim, fact_spec, num_nodes, cut=None) -> bytes:
+    """The serial model over the fact rows in shard-concatenation order
+    (the cluster merge's row order under any partitioning scheme)."""
+    order = np.concatenate(
+        partition_indices(fact, FACT_SCHEMA, fact_spec, num_nodes))
+    return serial_join_model(fact[order], dim, cut)
+
+
+def _matrix_cluster(num_nodes, fact, dim, fact_spec, dim_spec):
+    cc = ClusterClient(FarviewCluster(Simulator(), num_nodes, TEST_CONFIG))
+    cc.open_connection()
+    dim_sharded = cc.create_table("dim", DIM_SCHEMA, dim,
+                                  partition=dim_spec)
+    fact_sharded = cc.create_table("fact", FACT_SCHEMA, fact,
+                                   partition=fact_spec)
+    return cc, fact_sharded, dim_sharded
+
+
+def test_strategy_equivalence_matrix():
+    """Every (strategy x pool size x scheme) cell produces sha256 bytes
+    identical to the serial model; infeasible explicit strategies raise
+    the typed :class:`QueryError` instead of silently running."""
+    fact = make_fact(list(range(60)) * 2, seed=40)
+    dim = make_dim(list(range(48)), seed=41)
+    cut = 50
+    for num_nodes in MATRIX_NODES:
+        for scheme in MATRIX_SCHEMES:
+            fact_spec, dim_spec = _matrix_specs(scheme)
+            expected = sha(_matrix_expected(fact, dim, fact_spec,
+                                            num_nodes, cut))
+            for strategy in MATRIX_STRATEGIES:
+                cc, fs, ds = _matrix_cluster(num_nodes, fact, dim,
+                                             fact_spec, dim_spec)
+                query = make_query(ds, cut)
+                cell = f"{strategy} x N={num_nodes} x {scheme}"
+                if strategy == "ship":
+                    result, _ = cc.far_view_planned(
+                        fs, query, placement="ship",
+                        stats=PlanStats(selectivity=0.9,
+                                        join_match_ratio=0.8))
+                    assert sha(canonical_result_bytes(result)) == expected, \
+                        f"{cell} diverged"
+                    continue
+                requested = None if strategy == "auto" else strategy
+                if (requested is not None
+                        and requested not in join_strategies(fs, query)):
+                    with pytest.raises(QueryError, match="infeasible"):
+                        cc.far_view(fs, query, join_strategy=requested)
+                    continue
+                result, _ = cc.far_view(fs, query, join_strategy=requested)
+                assert sha(result.data) == expected, f"{cell} diverged"
+                assert result.join_strategy in ("broadcast", "colocated",
+                                                "shuffle")
+                if result.join_strategy == "colocated":
+                    assert cc.replica_bytes_moved == 0, \
+                        f"{cell} moved replica bytes while co-located"
+
+
+def test_matrix_versioned_probe_cells():
+    """The versioned-probe column of the matrix: a delta chain on the
+    fact side still merges sha-identical (broadcast-only by design)."""
+    fact = make_fact(list(range(40)) * 2, seed=42)
+    dim = make_dim(list(range(32)), seed=43)
+    expected = sha(serial_join_model(fact, dim))
+    for num_nodes in MATRIX_NODES:
+        cc = ClusterClient(FarviewCluster(Simulator(), num_nodes,
+                                          TEST_CONFIG))
+        cc.open_connection()
+        ds = cc.create_table("dim", DIM_SCHEMA, dim)
+        head = len(fact) // 2
+        vfact = cc.create_versioned_table("vfact", FACT_SCHEMA, fact[:head])
+        cc.insert(vfact, fact[head:])
+        result, _ = cc.far_view(vfact, make_query(ds))
+        assert sha(result.data) == expected, \
+            f"versioned probe x N={num_nodes} diverged"
+        # Partitioned strategies are typed-refused on versioned scans.
+        with pytest.raises(QueryError, match="broadcast"):
+            cc.far_view(vfact, make_query(ds), join_strategy="shuffle")
+
+
+@given(fact_hash=st.booleans(), dim_hash=st.booleans(),
+       fact_key=st.sampled_from(["a", "c"]),
+       dim_key=st.sampled_from(["id", "zone"]),
+       num_nodes=st.sampled_from([1, 2, 4]))
+@settings(max_examples=20, deadline=None)
+def test_planner_picks_colocated_iff_cocompatible(fact_hash, dim_hash,
+                                                  fact_key, dim_key,
+                                                  num_nodes):
+    """The planner chooses ``colocated`` **iff** both sides are
+    hash-partitioned on the join key with identical shard counts."""
+    fact = make_fact(list(range(24)), seed=44)
+    dim = make_dim(list(range(24)), seed=45)
+    fact_spec = (PartitionSpec("hash", key=fact_key) if fact_hash
+                 else PartitionSpec())
+    dim_spec = (PartitionSpec("hash", key=dim_key) if dim_hash
+                else PartitionSpec())
+    cc, fs, ds = _matrix_cluster(num_nodes, fact, dim, fact_spec, dim_spec)
+    query = make_query(ds)
+    should_colocate = (fact_hash and dim_hash
+                      and fact_key == "a" and dim_key == "id")
+    assert colocated_compatible(fs, ds, "a", "id") == should_colocate
+    result, _ = cc.far_view(fs, query)
+    assert isinstance(result, ClusterQueryResult)
+    if should_colocate:
+        assert result.join_strategy == "colocated"
+        assert cc.replica_bytes_moved == 0
+    else:
+        assert result.join_strategy != "colocated"
+    expected = _matrix_expected(fact, dim, fact_spec, num_nodes)
+    assert sha(result.data) == sha(expected)
+
+
+def test_colocated_requires_identical_shard_counts():
+    """Shard-count mismatch (tables from differently sized pools) breaks
+    co-location even when both sides hash on the join key."""
+    fact = make_fact(list(range(16)), seed=46)
+    dim = make_dim(list(range(16)), seed=47)
+    _cc2, fs2, _ds2 = _matrix_cluster(
+        2, fact, dim, PartitionSpec("hash", key="a"),
+        PartitionSpec("hash", key="id"))
+    _cc4, _fs4, ds4 = _matrix_cluster(
+        4, fact, dim, PartitionSpec("hash", key="a"),
+        PartitionSpec("hash", key="id"))
+    assert fs2.num_partitions != ds4.num_partitions
+    assert not colocated_compatible(fs2, ds4, "a", "id")

@@ -24,6 +24,7 @@ from repro.core.api import (ClusterClient, FarviewClient,
                             canonical_result_bytes)
 from repro.core.cluster import FarviewCluster
 from repro.core.node import FarviewNode
+from repro.core.partition import PartitionSpec
 from repro.core.table import FTable
 from repro.experiments.fig18_minitpch import QUERIES, make_tables
 from repro.operators.selection import Compare
@@ -82,6 +83,57 @@ def test_placements_and_pools_match_model(tables, label, statement):
     mismatches = {k: v for k, v in got.items() if v != expected}
     assert not mismatches, (
         f"{label} diverged from the serial model {expected}: {mismatches}")
+
+
+#: Partitioned-catalog cells: lineitem and orders hash-partitioned on
+#: the Q3 join key (so the compiled multi-join goes co-located at the
+#: scatter layer), customer chunk-partitioned (its filtered build stays
+#: a client arm).  Every query's ORDER BY / single-row aggregate output
+#: is placement- and partitioning-invariant by construction.
+PARTITION_SPECS = {
+    "lineitem": PartitionSpec("hash", key="orderkey"),
+    "orders": PartitionSpec("hash", key="orderkey"),
+    "customer": PartitionSpec(),
+}
+
+
+def partitioned_cluster(tables: dict, num_nodes: int) -> ClusterClient:
+    client = ClusterClient(FarviewCluster(Simulator(), num_nodes))
+    client.open_connection()
+    for name, (schema, rows) in tables.items():
+        client.create_table(name, schema, rows,
+                            partition=PARTITION_SPECS[name])
+    return client
+
+
+@pytest.mark.parametrize("label,statement", QUERIES,
+                         ids=[label for label, _ in QUERIES])
+def test_partitioned_pools_match_model(tables, label, statement):
+    """query x {cluster2, cluster4 hash-partitioned} x placements: the
+    compiled SQL path must exercise the partitioned join strategies and
+    still match the serial model byte for byte."""
+    expected = model_sha256(statement, tables)
+    for num_nodes in (2, 4):
+        cc = partitioned_cluster(tables, num_nodes)
+        for placement in PLACEMENTS:
+            result, _ = cc.sql(statement, placement=placement)
+            assert sha(result) == expected, (
+                f"{label} under {placement} on {num_nodes} hash-"
+                f"partitioned nodes diverged from the serial model")
+        # Both join sides are hash-partitioned on the join key: the
+        # offloaded join runs co-located, so nothing was broadcast or
+        # shuffled across the pool.
+        assert cc.replica_bytes_moved == 0, (
+            f"{label} moved build bytes despite co-located partitioning")
+
+
+def test_q3_stage0_join_reports_colocated(tables):
+    """The compiled Q3 head stage must record the co-located strategy
+    in its DAG explain when lineitem and orders share the hash map."""
+    cc = partitioned_cluster(tables, 4)
+    result, _ = cc.sql(tpch.q3_sql(), placement="offload")
+    notes = [s.note for s in result.explain.stages]
+    assert any("join=colocated" in note for note in notes), notes
 
 
 @pytest.mark.parametrize("label,statement", QUERIES,
