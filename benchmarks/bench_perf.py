@@ -71,6 +71,9 @@ BASELINE_WALL_S: dict[str, float] = {
     # fig19 first appeared with partition-aware joins (PR 8); same
     # first-measurement convention.
     "fig19_shuffle": 1.1323,
+    # fig20 first appeared with incremental materialized views (PR 9);
+    # same first-measurement convention.
+    "fig20_views": 0.2950,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -88,6 +91,7 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig16_joins": 594298.7022225005,
     "fig18_minitpch": 21283121.9340407,
     "fig19_shuffle": 12098753.244444625,
+    "fig20_views": 1026246.4424691297,
 }
 
 #: Pinned expectations for the ``--check`` gate: the SMOKE-size runs are
@@ -107,6 +111,7 @@ SMOKE_BASELINE_SIM_NS: dict[str, float] = {
     "fig16_joins": 367966.41580253653,
     "fig18_minitpch": 20622244.33744394,
     "fig19_shuffle": 12034620.086913591,
+    "fig20_views": 262656.87012345716,
 }
 
 SMOKE_BASELINE_SHA256: dict[str, str] = {
@@ -130,6 +135,8 @@ SMOKE_BASELINE_SHA256: dict[str, str] = {
         "b8da4d18be479d97c94cff4477226501bbabc64aec141a004513f5a3355b961e",
     "fig19_shuffle":
         "9471431a2046a1fe0a0dd8bb5cb4965fe6e29ea574e1727e4cd1e089d7c7e282",
+    "fig20_views":
+        "1d166d1e75ac45349a9e2fb1e40739f955b6339a21a41b07cc4bee5842756a48",
 }
 
 
@@ -672,6 +679,68 @@ def run_fig19_shuffle(table_kb: int, num_nodes: int = 4):
     }
 
 
+def run_fig20_views(table_kb: int, rounds: int = 4):
+    """Incremental materialized views under a mixed commit stream (fig 20).
+
+    A versioned table carries an auto-subscribed GROUP BY view; the
+    measured phase commits ``rounds`` mixed rounds (insert batch,
+    predicate update, predicate delete) with a compaction mid-stream.
+    Every commit propagates through the Z-set circuit and pushes an
+    incremental update to the subscriber.  The digest covers the view's
+    canonical materialization after every round, and the final image is
+    asserted sha256-identical to the serial sql_model rescan at the same
+    epoch (subscriber included, plus its O(1) digest).
+    """
+    from repro.experiments.fig20_views import (BASE_SCHEMA, VIEW_SQL,
+                                               make_base, model_sha)
+    from repro.operators.selection import Compare
+
+    sim = Simulator()
+    node = FarviewNode(sim, _bench_config())
+    client = FarviewClient(node)
+    client.open_connection()
+    nrows = table_kb * KB // BASE_SCHEMA.row_width
+    vt = client.create_versioned_table("t", BASE_SCHEMA, make_base(nrows))
+    view, _ = client.create_view(VIEW_SQL, name="bench20")
+    sub = client.subscribe(view)          # auto: every commit pushes
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    next_key = nrows
+    batch_rows = max(8, nrows // 8)
+    chunks = []
+    for r in range(rounds):
+        batch = make_base(batch_rows, seed=200 + r)
+        batch["k"] += next_key
+        next_key += batch_rows
+        client.insert(vt, batch)
+        client.update_where(vt, Compare("k", "<", (r + 1) * batch_rows // 2),
+                            {"val": 2.5 + r})
+        if r == rounds // 2:
+            client.compact(vt)
+        client.delete_where(vt,
+                            Compare("k", ">=", next_key - batch_rows // 4))
+        chunks.append(view.contents.canonical_bytes())
+    wall = time.perf_counter() - t0
+    sim_ns, events = sim.now - s0, _events(sim) - ev0
+    # Exactness oracle (outside the measured phase): the maintained view,
+    # the subscriber's folded copy, and the serial model rescan at the
+    # same epoch must agree byte for byte.
+    image, _ = client.read_version(vt)
+    expected = model_sha(BASE_SCHEMA.from_bytes(image, copy=True))
+    assert view.sha256() == expected, \
+        "maintained view diverged from the serial model rescan"
+    assert sub.sha256() == expected, \
+        "subscriber's folded copy diverged from the view"
+    assert sub.digest() == view.digest(), "subscriber digest mismatch"
+    return {
+        "wall_s": wall,
+        "sim_ns": sim_ns,
+        "events": events,
+        "sha256": _digest(*chunks),
+        "table_bytes": next_key * BASE_SCHEMA.row_width,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -685,6 +754,7 @@ FULL = {
     "fig16_joins": lambda: run_fig16_joins(256),
     "fig18_minitpch": lambda: run_fig18_minitpch(4096, num_nodes=4),
     "fig19_shuffle": lambda: run_fig19_shuffle(512, num_nodes=4),
+    "fig20_views": lambda: run_fig20_views(256),
 }
 
 SMOKE = {
@@ -698,6 +768,7 @@ SMOKE = {
     "fig16_joins": lambda: run_fig16_joins(64),
     "fig18_minitpch": lambda: run_fig18_minitpch(1024, num_nodes=2),
     "fig19_shuffle": lambda: run_fig19_shuffle(64, num_nodes=4),
+    "fig20_views": lambda: run_fig20_views(16),
 }
 
 

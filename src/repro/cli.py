@@ -36,6 +36,7 @@ from .experiments import (
     fig17_availability,
     fig18_minitpch,
     fig19_shuffle,
+    fig20_views,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -87,6 +88,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
               "repartition shuffle vs broadcast, co-located zero-copy "
               "cells by partitioning scheme",
               lambda: _as_list(fig19_shuffle.run())),
+    "fig20": ("Figure 20 (extension): incremental materialized views — "
+              "refresh-vs-rescan crossover and an epoch-consistent "
+              "subscription stream",
+              lambda: _as_list(fig20_views.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.
@@ -100,6 +105,7 @@ _PANELS = {
     "fig16a": "fig16", "fig16b": "fig16",
     "fig17a": "fig17", "fig17b": "fig17", "fig17c": "fig17",
     "fig19a": "fig19", "fig19b": "fig19",
+    "fig20a": "fig20", "fig20b": "fig20", "fig20c": "fig20",
 }
 
 

@@ -108,8 +108,9 @@ from ..operators.aggregate import AggregateSpec
 from ..operators.crypto import AesCtr
 from ..operators.selection import Predicate
 from .catalog import Catalog
+from .compile import ParsedWrite, bind_select, parse_sql
 from .cost_model import (PlacementCostModel, PlanStats, delta_merge_cost_ns,
-                         estimate_chain)
+                         estimate_chain, view_circuit_cost_ns)
 from .planner import (ExplainPlan, PlacementPlan, operator_chain,
                       plan_placement, run_client_steps)
 from .cluster import (JOIN_STRATEGIES, FarviewCluster, ScatterPlan,
@@ -126,6 +127,9 @@ from .table import FTable
 from .versioning import (ROWID_COLUMN, VersionedShard, VersionedShardedTable,
                          VersionedTable, VersionView, delta_schema,
                          require_versionable, rows_from_literals)
+from .views import (ChainTracker, MaterializedView, Subscription, ViewCatalog,
+                    compile_circuit)
+from .zset import ZSet
 
 
 @dataclass
@@ -529,7 +533,218 @@ def _execute_compiled(client, parsed, placement: str, stats):
     return compiled, elapsed
 
 
-class FarviewClient:
+class _ViewEngineMixin:
+    """Shared view-maintenance verbs of both clients (docs/VIEWS.md).
+
+    The mixin owns the sim-facing half of the view subsystem: it reads
+    the committed delta segments over the wire, charges the circuit's
+    client-side cost, and only then hands the fetched bytes to the
+    yield-free :meth:`~repro.core.views.ViewCatalog.apply_refresh` fold.
+    Because every read happens before any state mutation, a typed
+    :class:`FaultError` mid-refresh surfaces with *no* partial push: the
+    segments stay pending, the pins stay put, and the next refresh (or a
+    :meth:`rebootstrap_view`) picks up from the last consistent epoch.
+
+    Concrete clients provide four hooks: :meth:`_view_chains` (the
+    per-node version chains behind a catalog handle, paired with the
+    client that reads them), :meth:`_view_static_read_proc` (raw bytes
+    of a static join build side), :meth:`_view_cpu` and
+    :meth:`_view_run`.
+    """
+
+    views: ViewCatalog
+
+    # -- hooks supplied by the concrete client -----------------------------
+    def _view_chains(self, handle):
+        raise NotImplementedError
+
+    def _view_static_read_proc(self, handle):
+        raise NotImplementedError
+
+    def _view_cpu(self) -> CpuCostModel:
+        raise NotImplementedError
+
+    def _view_run(self, proc, name: str):
+        raise NotImplementedError
+
+    # -- registration -------------------------------------------------------
+    def create_view_proc(self, sql: str, name: str | None = None):
+        """Process: compile ``sql`` into a circuit and bootstrap it from
+        an epoch-consistent MVCC snapshot of every versioned input.
+
+        The chain trackers pin their chains *before* any simulated time
+        passes, so writes committing mid-bootstrap queue as pending
+        deltas on top of the snapshot instead of being half-read.
+        Returns the registered :class:`MaterializedView`.
+        """
+        parsed = parse_sql(sql)
+        if isinstance(parsed, ParsedWrite):
+            raise QueryError("a view is defined by a SELECT statement")
+        bound = bind_select(parsed, self.catalog)
+        circuit = compile_circuit(bound)
+        engine = self.views
+        view_name = engine.fresh_name() if name is None else name
+        if view_name in engine.views:
+            raise QueryError(f"view {view_name!r} already exists")
+        # Fold unconsumed segments first: a tracker shared with an
+        # existing view must sit at the chain head before its mirror can
+        # double as this view's bootstrap snapshot.
+        if engine.has_pending():
+            yield from self.refresh_views_proc()
+        new_trackers: list[ChainTracker] = []
+        for table, handle in circuit.dynamic_tables.items():
+            if table in engine.trackers:
+                continue
+            trackers = []
+            for owner, chain in self._view_chains(handle):
+                tracker = ChainTracker(table, chain)  # pins + listens now
+                tracker.owner = owner
+                trackers.append(tracker)
+            engine.trackers[table] = trackers
+            new_trackers.extend(trackers)
+        view = MaterializedView(view_name, sql, bound, circuit)
+        try:
+            for tracker in new_trackers:
+                rows, ids, shipped = yield from tracker.owner \
+                    .read_version_proc(tracker.chain, tracker.processed_epoch)
+                tracker.load(rows, ids)
+                view.bootstrap_bytes += shipped
+            for stage, handle in circuit.static_loads:
+                build_rows, nbytes = yield from \
+                    self._view_static_read_proc(handle)
+                stage.load_static(ZSet.from_rows(stage.build_in_schema,
+                                                 build_rows))
+                view.bootstrap_bytes += nbytes
+        except BaseException:
+            self._view_abandon_bootstrap(circuit, new_trackers)
+            raise
+        boot: dict[str, ZSet] = {}
+        boot_rows = 0
+        for table, handle in circuit.dynamic_tables.items():
+            zset = ZSet(handle.schema)
+            for tracker in engine.trackers[table]:
+                tracker.bootstrap_into(zset)
+            boot[table] = zset
+            boot_rows += zset.entry_count
+        yield from _client_compute(
+            self.sim,
+            view_circuit_cost_ns(self._view_cpu(), boot_rows, circuit.depth))
+        view.contents = circuit.step(boot)
+        view.epochs = {table: engine.trackers[table][0].processed_epoch
+                       for table in circuit.dynamic_tables}
+        engine.register(view)
+        return view
+
+    def _view_abandon_bootstrap(self, circuit, new_trackers) -> None:
+        """Detach the trackers a failed bootstrap created (only those —
+        trackers shared with registered views keep running)."""
+        fresh = {id(t) for t in new_trackers}
+        engine = self.views
+        for table in circuit.dynamic_tables:
+            trackers = engine.trackers.get(table)
+            if not trackers or not all(id(t) in fresh for t in trackers):
+                continue
+            del engine.trackers[table]
+            for tracker in trackers:
+                self._view_free_segments(tracker, tracker.detach())
+
+    def _view_free_segments(self, tracker, segments) -> None:
+        owner = tracker.owner
+        for segment in segments:
+            try:
+                owner.node.free_table_mem(owner.connection, segment)
+            except FarviewError:
+                pass  # a crashed node has nothing left to free
+
+    # -- refresh ------------------------------------------------------------
+    def refresh_views_proc(self):
+        """Process: fold every unconsumed committed segment into every
+        registered view and push the deltas to subscribers.
+
+        Target epochs are captured synchronously up front, all segment
+        reads complete before any state changes, and the fold itself is
+        yield-free — so refreshes are atomic under both concurrent
+        writers and node crashes.  Returns :class:`RefreshStats`.
+        """
+        engine = self.views
+        work, targets = engine.pending_work()
+        reads = []
+        delta_rows = 0
+        for tracker, segment in work:
+            data = yield from tracker.owner.table_read_proc(segment.table)
+            reads.append((tracker, segment, data))
+            delta_rows += segment.num_rows
+        if delta_rows:
+            depth = max((view.circuit.depth
+                         for view in engine.views.values()), default=1)
+            yield from _client_compute(
+                self.sim,
+                view_circuit_cost_ns(self._view_cpu(), delta_rows, depth))
+        stats = engine.apply_refresh(reads, targets)
+        for trackers in engine.trackers.values():
+            for tracker in trackers:
+                self._view_free_segments(tracker, tracker.repin())
+        return stats
+
+    def _views_after_commit_proc(self):
+        """Process: auto-propagation hook run after every versioned
+        commit.  Returns before creating any simulation event when no
+        auto-subscribed view has unconsumed input, keeping view-less
+        workloads (fig6–fig19) event-for-event identical."""
+        if not self.views.needs_auto_refresh():
+            return
+        yield from self.refresh_views_proc()
+
+    # -- subscriptions ------------------------------------------------------
+    def subscribe(self, view: MaterializedView,
+                  auto: bool = True) -> Subscription:
+        """Attach a subscriber fed by pushed deltas from ``view``'s
+        current epoch on (``auto=False``: only on explicit refreshes)."""
+        sub = Subscription(view, auto)
+        view.subscriptions.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        sub.view.subscriptions.remove(sub)
+
+    def drop_view(self, view) -> None:
+        """Unregister a view (by handle or name); detaches the chain
+        trackers no remaining view needs and frees what their pins
+        held."""
+        name = view.name if isinstance(view, MaterializedView) else view
+        for tracker in self.views.drop(name):
+            self._view_free_segments(tracker, tracker.detach())
+
+    def rebootstrap_view_proc(self, view: MaterializedView):
+        """Process: rebuild ``view`` from the latest epoch, migrating
+        its subscribers — the recovery path after a failed refresh."""
+        subs = list(view.subscriptions)
+        self.drop_view(view)
+        fresh = yield from self.create_view_proc(view.sql, name=view.name)
+        for sub in subs:
+            sub.rebind(fresh)
+            fresh.subscriptions.append(sub)
+        return fresh
+
+    # -- blocking conveniences ----------------------------------------------
+    def create_view(self, sql: str, name: str | None = None):
+        """Register + bootstrap a view; returns
+        (:class:`MaterializedView`, elapsed_ns)."""
+        return self._view_run(self.create_view_proc(sql, name), "create_view")
+
+    def refresh_views(self):
+        """Propagate committed segments; returns
+        (:class:`RefreshStats`, elapsed_ns)."""
+        return self._view_run(self.refresh_views_proc(), "refresh_views")
+
+    def rebootstrap_view(self, view: MaterializedView):
+        """Rebuild a view at the latest epoch; returns
+        (:class:`MaterializedView`, elapsed_ns)."""
+        return self._view_run(self.rebootstrap_view_proc(view),
+                              "rebootstrap_view")
+
+
+class FarviewClient(_ViewEngineMixin):
     """A query thread on a compute node, connected to a Farview node."""
 
     def __init__(self, node: FarviewNode,
@@ -548,6 +763,9 @@ class FarviewClient:
         #: deadline + capped exponential backoff on every verb.  ``None``
         #: (default) is the exact pre-fault-layer request path.
         self.retry_policy: RetryPolicy | None = None
+        #: Registered materialized views + their chain trackers
+        #: (verbs in :class:`_ViewEngineMixin`).
+        self.views = ViewCatalog()
 
     # -- connection -----------------------------------------------------------
     def open_connection(self) -> Connection:
@@ -846,7 +1064,9 @@ class FarviewClient:
         """Process: append ``rows`` as an insert delta; returns the new
         epoch."""
         prepared = yield from self._prepare_insert_proc(vt, rows)
-        return self._commit_prepared(vt, prepared)
+        epoch = self._commit_prepared(vt, prepared)
+        yield from self._views_after_commit_proc()
+        return epoch
 
     def update_where_proc(self, vt: VersionedTable,
                           predicate: Predicate | None, assignments: dict):
@@ -856,13 +1076,17 @@ class FarviewClient:
         bytes cross the wire.  Returns the new epoch."""
         prepared = yield from self._prepare_update_proc(vt, predicate,
                                                         assignments)
-        return self._commit_prepared(vt, prepared)
+        epoch = self._commit_prepared(vt, prepared)
+        yield from self._views_after_commit_proc()
+        return epoch
 
     def delete_where_proc(self, vt: VersionedTable,
                           predicate: Predicate | None):
         """Process: offloaded predicate delete; returns the new epoch."""
         prepared = yield from self._prepare_delete_proc(vt, predicate)
-        return self._commit_prepared(vt, prepared)
+        epoch = self._commit_prepared(vt, prepared)
+        yield from self._views_after_commit_proc()
+        return epoch
 
     def compact_proc(self, vt: VersionedTable):
         """Process: fold the delta chain into a fresh base segment.
@@ -953,6 +1177,24 @@ class FarviewClient:
             return rows, ids, shipped
         finally:
             self._release_pin(vt, token)
+
+    # -- incremental view hooks (verbs in _ViewEngineMixin) -----------------------------------
+    def _view_chains(self, handle):
+        if not isinstance(handle, VersionedTable):
+            raise QueryError(
+                f"{getattr(handle, 'name', handle)!r} is not a versioned "
+                f"table on this client")
+        return [(self, handle)]
+
+    def _view_static_read_proc(self, handle):
+        data = yield from self.table_read_proc(handle)
+        return handle.schema.from_bytes(data, copy=True), len(data)
+
+    def _view_cpu(self) -> CpuCostModel:
+        return self._cpu
+
+    def _view_run(self, proc, name: str):
+        return self._run(proc, name)
 
     # -- versioned blocking conveniences ------------------------------------------------------
     def insert(self, vt: VersionedTable, rows: np.ndarray):
@@ -1377,7 +1619,7 @@ class _ConnLock:
             self.locked = False
 
 
-class ClusterClient:
+class ClusterClient(_ViewEngineMixin):
     """Scatter-gather router: one query thread over a sharded pool.
 
     Owns one :class:`FarviewClient` (QP + dynamic region) per node of a
@@ -1438,6 +1680,9 @@ class ClusterClient:
         #: requests of one scatter on the same node, and its landing
         #: buffer serves one request at a time.
         self._conn_locks = [_ConnLock(self.sim) for _ in cluster.nodes]
+        #: Registered materialized views + their chain trackers — one
+        #: tracker per shard chain (verbs in :class:`_ViewEngineMixin`).
+        self.views = ViewCatalog()
 
     @property
     def num_nodes(self) -> int:
@@ -2040,7 +2285,9 @@ class ClusterClient:
             ._prepare_insert_proc(last.table, rows)
         by_shard = [prepared if shard is last else ("insert", None, 0, 0)
                     for shard in sharded.shards]
-        return self._commit_all(sharded, by_shard)
+        epoch = self._commit_all(sharded, by_shard)
+        yield from self._views_after_commit_proc()
+        return epoch
 
     @staticmethod
     def _guarded_proc(gen):
@@ -2099,7 +2346,9 @@ class ClusterClient:
                 name=f"cluster.update[{s.table.name}]")
             for s in sharded.shards]
         outcomes = yield self.sim.all_of(procs)
-        return self._commit_or_abort(sharded, list(outcomes))
+        epoch = self._commit_or_abort(sharded, list(outcomes))
+        yield from self._views_after_commit_proc()
+        return epoch
 
     def delete_where_proc(self, sharded: VersionedShardedTable,
                           predicate: Predicate | None):
@@ -2112,7 +2361,9 @@ class ClusterClient:
                 name=f"cluster.delete[{s.table.name}]")
             for s in sharded.shards]
         outcomes = yield self.sim.all_of(procs)
-        return self._commit_or_abort(sharded, list(outcomes))
+        epoch = self._commit_or_abort(sharded, list(outcomes))
+        yield from self._views_after_commit_proc()
+        return epoch
 
     def compact_proc(self, sharded: VersionedShardedTable):
         """Process: fold every shard's delta chain (epoch unchanged)."""
@@ -2169,6 +2420,25 @@ class ClusterClient:
         parts = yield self.sim.all_of(procs)
         merged = np.concatenate([rows for rows, _ids, _n in parts])
         return merged
+
+    # -- incremental view hooks (verbs in _ViewEngineMixin) --------------------
+    def _view_chains(self, handle):
+        if not isinstance(handle, VersionedShardedTable):
+            raise QueryError(
+                f"{getattr(handle, 'name', handle)!r} is not a versioned "
+                f"table on this cluster")
+        return [(self._clients[s.node_index], s.table)
+                for s in handle.shards]
+
+    def _view_static_read_proc(self, handle):
+        data = yield from self.table_read_proc(handle)
+        return handle.schema.from_bytes(data, copy=True), len(data)
+
+    def _view_cpu(self) -> CpuCostModel:
+        return self._clients[0]._cpu
+
+    def _view_run(self, proc, name: str):
+        return self._run_timed(proc, f"cluster.{name}")
 
     # -- versioned blocking conveniences --------------------------------------
     def insert(self, sharded: VersionedShardedTable, rows: np.ndarray):

@@ -165,6 +165,28 @@ def delta_merge_cost_ns(cpu: CpuCostModel, base_rows: float,
             + cpu.select_ns(int(base_rows)))
 
 
+def view_circuit_cost_ns(cpu: CpuCostModel, delta_rows: float,
+                         depth: int) -> float:
+    """Client-side software cost of one circuit step over a delta batch.
+
+    Each of the circuit's ``depth`` stages touches every delta row once:
+    a hash-map update against the stage's keyed state (Z-set weights,
+    distinct multiplicities, group members, join indexes) plus the
+    per-tuple accumulator arithmetic.  Priced with the same LCPU terms
+    as the other software kernels so the incremental-vs-rescan crossover
+    in fig20 compares like against like.  Charged identically by the
+    estimate (:meth:`PlacementCostModel.view_refresh_ns`) and by the
+    refresh execution path in :mod:`repro.core.api`.
+    """
+    if delta_rows <= 0:
+        return 0.0
+    rows = int(delta_rows)
+    growing = rows > HASHMAP_GROWTH_THRESHOLD
+    per_stage = (cpu.hash_ns(rows, growing=growing)
+                 + cpu.aggregate_update_ns(rows))
+    return cpu.setup_ns() + max(1, int(depth)) * per_stage
+
+
 class PlacementCostModel:
     """Prices offloaded fragments and client-side remainders, ns."""
 
@@ -269,6 +291,31 @@ class PlacementCostModel:
         """
         rate = min(self._wire_rate, self.config.memory.aggregate_bandwidth)
         return self._request_ns() + (nbytes / max(1, shards)) / rate
+
+    # -- incremental view maintenance ---------------------------------------
+    def view_refresh_ns(self, delta_bytes: float, delta_rows: float,
+                        depth: int = 1, chains: int = 1) -> float:
+        """Price one incremental view refresh: read the committed delta
+        segments over the wire (one request per chain, serialized — the
+        client folds them in commit order), then run the circuit step in
+        client software."""
+        total = 0.0
+        for _ in range(max(1, int(chains))):
+            total += self.ship_bytes_ns(delta_bytes / max(1, int(chains)))
+        return total + view_circuit_cost_ns(self.cpu, delta_rows, depth)
+
+    def view_rescan_ns(self, chain_bytes: float, base_rows: float,
+                       delta_rows: float, depth: int = 1) -> float:
+        """Price recomputing the same view from scratch: ship the whole
+        visible chain (base + deltas), software-merge the versions, and
+        run every row through the circuit once.  A ship-side-style bound,
+        deliberately comparable term by term with
+        :meth:`view_refresh_ns` — the two cross where delta bytes
+        approach chain bytes, the fig20 crossover."""
+        merge = delta_merge_cost_ns(self.cpu, base_rows, delta_rows)
+        return (self.ship_bytes_ns(chain_bytes) + merge
+                + view_circuit_cost_ns(self.cpu, base_rows + delta_rows,
+                                       depth))
 
     def client_ops_ns(self, steps: Sequence[CardinalityStep],
                       schema_in: Schema, bytes_in: float,

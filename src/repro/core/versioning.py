@@ -227,6 +227,30 @@ class _RetiredBatch:
     blocking_tokens: set[int]
 
 
+class ChainListener:
+    """Observer of one version chain's commit and compaction events.
+
+    Callbacks fire synchronously inside the mutation (no simulator
+    yields), so a listener sees every epoch exactly once and in order —
+    including the no-op bumps of the cluster's two-phase epoch
+    broadcast, whose ``_commit_all`` phase must stay yield-free.
+    Listeners must not mutate the chain from a callback.
+
+    The incremental view engine (:mod:`repro.core.views`) is the first
+    client: its per-chain trackers queue committed segments for the next
+    refresh and count compactions, closing the gap where
+    :meth:`VersionedTable.retire_for_compaction` used to retire
+    segments with no notification at all.
+    """
+
+    def on_commit(self, table: "VersionedTable",
+                  segment: Optional[DeltaSegment]) -> None:
+        """One epoch committed; ``segment`` is ``None`` for a no-op bump."""
+
+    def on_compaction(self, table: "VersionedTable") -> None:
+        """The chain's base was swapped and its delta prefix folded away."""
+
+
 class VersionedTable:
     """Client-side handle to one table's version chain.
 
@@ -262,6 +286,7 @@ class VersionedTable:
         self._pin_tokens = itertools.count(1)
         self._pins: dict[int, int] = {}       # token -> pinned epoch
         self._retired: list[_RetiredBatch] = []
+        self._listeners: list[ChainListener] = []
 
     # -- introspection -----------------------------------------------------
     @property
@@ -355,6 +380,20 @@ class VersionedTable:
     def retired_segments(self) -> int:
         return sum(len(b.tables) for b in self._retired)
 
+    # -- change notification ----------------------------------------------
+    def add_listener(self, listener: ChainListener) -> None:
+        """Subscribe ``listener`` to this chain's commits/compactions."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChainListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    @property
+    def num_listeners(self) -> int:
+        return len(self._listeners)
+
     # -- write-path bookkeeping -------------------------------------------
     def allocate_rowids(self, count: int) -> np.ndarray:
         """Reserve ``count`` fresh row ids (monotone, never reused)."""
@@ -371,11 +410,14 @@ class VersionedTable:
         the cluster-wide epoch (the second phase of the epoch broadcast).
         """
         self.epoch += 1
+        segment: Optional[DeltaSegment] = None
         if table is not None:
-            self.deltas.append(
-                DeltaSegment(self.epoch, kind, table, num_rows))
+            segment = DeltaSegment(self.epoch, kind, table, num_rows)
+            self.deltas.append(segment)
         self._visible_by_epoch[self.epoch] = (
             self._visible_by_epoch[self.epoch - 1] + visible_change)
+        for listener in self._listeners:
+            listener.on_commit(self, segment)
         return self.epoch
 
     def retire_for_compaction(self, new_base: FTable,
@@ -395,6 +437,8 @@ class VersionedTable:
         self.oldest_epoch = self.epoch
         self._visible_by_epoch = {self.epoch: new_base.num_rows}
         self.compactions += 1
+        for listener in self._listeners:
+            listener.on_compaction(self)
         if self._pins:
             self._retired.append(
                 _RetiredBatch(old, set(self._pins)))

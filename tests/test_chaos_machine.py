@@ -26,6 +26,7 @@ from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
+from repro.baselines.sql_model import execute_model
 from repro.common.config import FarviewConfig, MemoryConfig
 from repro.common.errors import FaultError
 from repro.common.records import Column, Schema, default_schema
@@ -50,6 +51,20 @@ TEST_CONFIG = FarviewConfig(memory=MemoryConfig(
 
 def sha(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+VIEW_SQL = "SELECT c, COUNT(*) AS n FROM v GROUP BY c"
+
+
+def view_model_sha(schema, image: bytes) -> str:
+    """Serial model over the epoch's byte image, canonicalized the way
+    :meth:`ZSet.sha256` hashes (sorted row byte-images)."""
+    rows = schema.from_bytes(image, copy=True)
+    out_schema, out_rows = execute_model(VIEW_SQL, {"v": (schema, rows)})
+    data = out_schema.to_bytes(out_rows)
+    width = out_schema.row_width
+    images = sorted(data[i:i + width] for i in range(0, len(data), width))
+    return sha(b"".join(images))
 
 
 class ChaosMachine(RuleBasedStateMachine):
@@ -102,6 +117,11 @@ class ChaosMachine(RuleBasedStateMachine):
         self.history = {0: self.schema.to_bytes(rows)}
         self.scan_query = Query(projection=tuple(self.schema.names),
                                 label="chaos-scan")
+        # Materialized view over the versioned table, refreshed
+        # *explicitly* (auto=False) so the view rule — not every
+        # versioned_update — decides when deltas propagate.
+        self.view, _ = self.cc.create_view(VIEW_SQL, name="chaos_view")
+        self.view_sub = self.cc.subscribe(self.view, auto=False)
 
         # No-fault references (also warms pipelines + broadcast cache).
         self.fact_sha = sha(self.cc.far_view(self.fact,
@@ -259,6 +279,34 @@ class ChaosMachine(RuleBasedStateMachine):
         else:
             assert sha(result.data) == sha(self.history[epoch]), \
                 f"chaos snapshot at epoch {epoch} diverged from replay"
+
+    @rule()
+    def view_refresh(self):
+        """Explicit view refresh under chaos: either the whole pending
+        batch folds — the view, its subscriber, and the serial model at
+        the processed epoch byte-identical — or a typed
+        :class:`FaultError` leaves the view state, the subscriber, and
+        the tracker pins untouched (no partial push)."""
+        before_sha = self.view.sha256()
+        before_steps = self.view.refresh_count
+        before_pushed = self.view_sub.rows_pushed
+        try:
+            self.cc.refresh_views()
+        except FaultError:
+            assert self.down, "view refresh failed with all nodes up"
+            assert self.view.sha256() == before_sha, \
+                "failed refresh left partial view state"
+            assert self.view.refresh_count == before_steps
+            assert self.view_sub.rows_pushed == before_pushed, \
+                "failed refresh pushed a partial update"
+        else:
+            expected = view_model_sha(self.schema,
+                                      self.history[self.vst.epoch])
+            assert self.view.sha256() == expected, \
+                "chaos view refresh diverged from the serial model"
+            assert self.view_sub.sha256() == expected, \
+                "chaos subscriber diverged from the view"
+            assert self.view_sub.digest() == self.view.digest()
 
     # -- invariants ---------------------------------------------------------
     @invariant()

@@ -588,3 +588,114 @@ class TestClusterRecovery:
             for tag, detail in outcomes:
                 if tag == "ok":
                     assert detail == ref_sha, "chaos produced wrong bytes"
+
+
+# ---------------------------------------------------------------------------
+# Materialized views under faults: typed refusal, no partial push,
+# re-bootstrap convergence
+# ---------------------------------------------------------------------------
+
+VIEW_SQL = "SELECT c, COUNT(*) AS n FROM v GROUP BY c"
+
+
+class TestViewFaults:
+    """A view refresh is transactional against faults: it either folds
+    the whole pending batch into every view and subscriber, or a typed
+    :class:`FaultError` leaves view state, subscribers, and the pending
+    segments untouched — never a hang, never a partial push."""
+
+    @staticmethod
+    def _view_bench():
+        import numpy as np
+
+        from repro.common.records import default_schema
+        from repro.workloads.generator import make_rows
+
+        sim = Simulator()
+        cluster = FarviewCluster(sim, 4, TEST_CONFIG)
+        cc = ClusterClient(cluster)
+        cc.open_connection()
+        schema = default_schema()
+        rows = make_rows(schema, 512, seed=13 + CHAOS_SEED)
+        rows["a"] = np.arange(512)
+        vst = cc.create_versioned_table("v", schema, rows)
+        view, _ = cc.create_view(VIEW_SQL, name="faultview")
+        sub = cc.subscribe(view, auto=False)   # refresh on demand
+        return sim, cluster, cc, schema, vst, view, sub
+
+    def test_crash_mid_refresh_typed_no_partial_push(self):
+        from repro.operators.selection import Compare
+
+        sim, cluster, cc, _schema, vst, view, sub = self._view_bench()
+        cc.update_where(vst, Compare("a", "<", 512), {"c": 7})
+        cc.update_where(vst, Compare("a", "<", 256), {"d": 9})
+        before_sha = view.sha256()
+        before_steps = view.refresh_count
+        before_pushed = sub.rows_pushed
+        outcomes = []
+
+        def refresher():
+            try:
+                yield from cc.refresh_views_proc()
+            except FaultError as exc:
+                outcomes.append(exc)
+            else:
+                outcomes.append(None)
+
+        proc = sim.process(refresher())
+        injector = FaultInjector(cluster)
+        sim.schedule(1_000.0, injector.crash, 2)  # mid-read
+        sim.run()
+        assert proc.triggered, "crashed refresh hung"
+        assert len(outcomes) == 1 and isinstance(outcomes[0], FaultError), \
+            "mid-refresh crash did not surface a typed FaultError"
+        assert view.sha256() == before_sha, \
+            "failed refresh left partial view state"
+        assert view.refresh_count == before_steps
+        assert sub.rows_pushed == before_pushed, \
+            "failed refresh pushed a partial update"
+        # The whole batch stayed pending: recovery + one refresh folds
+        # every committed delta row exactly once.
+        injector.recover(2)
+        stats, _ = cc.refresh_views()
+        assert stats.delta_rows == 512 + 256, \
+            "recovered refresh dropped or double-counted delta rows"
+        rescan, _ = cc.create_view(VIEW_SQL, name="rescan")
+        assert view.sha256() == rescan.sha256() == sub.sha256(), \
+            "recovered refresh diverged from a fresh rescan"
+
+    def test_bootstrap_crash_leaves_no_half_registered_view(self):
+        """A typed failure while a new view bootstraps unwinds
+        completely: no catalog entry, no leaked listener, no pin."""
+        from repro.workloads.generator import make_rows
+
+        sim, cluster, cc, schema, _vst, _view, _sub = self._view_bench()
+        vst2 = cc.create_versioned_table(
+            "w", schema, make_rows(schema, 128, seed=14 + CHAOS_SEED))
+        assert all(s.table.num_listeners == 0 for s in vst2.shards)
+        FaultInjector(cluster).crash(1)
+        with pytest.raises(FaultError):
+            cc.create_view("SELECT c, COUNT(*) AS n FROM w GROUP BY c",
+                           name="doomed")
+        assert "doomed" not in cc.views.views
+        assert "w" not in cc.views.trackers, "abandoned tracker leaked"
+        assert all(s.table.num_listeners == 0 for s in vst2.shards), \
+            "abandoned bootstrap leaked a chain listener"
+        assert all(s.table.active_pins == 0 for s in vst2.shards), \
+            "abandoned bootstrap leaked an epoch pin"
+
+    def test_rebootstrap_after_fault_converges_to_rescan(self):
+        from repro.operators.selection import Compare
+
+        sim, cluster, cc, _schema, vst, view, sub = self._view_bench()
+        cc.update_where(vst, Compare("a", "<", 300), {"c": 3})
+        injector = FaultInjector(cluster)
+        injector.crash(0)
+        with pytest.raises(FaultError):
+            cc.refresh_views()
+        injector.recover(0)
+        fresh, _ = cc.rebootstrap_view(view)
+        assert sub.view is fresh, "subscription did not rebind"
+        rescan, _ = cc.create_view(VIEW_SQL, name="rescan")
+        assert fresh.sha256() == rescan.sha256() == sub.sha256(), \
+            "re-bootstrapped subscriber diverged from the rescan"
