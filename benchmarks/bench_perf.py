@@ -74,6 +74,9 @@ BASELINE_WALL_S: dict[str, float] = {
     # fig20 first appeared with incremental materialized views (PR 9);
     # same first-measurement convention.
     "fig20_views": 0.2950,
+    # fig21 first appeared with the tenant serving layer (PR 10); same
+    # first-measurement convention.
+    "fig21_serving": 0.0746,
 }
 
 #: Simulated nanoseconds at the seed commit for the same workloads.  These
@@ -92,6 +95,7 @@ BASELINE_SIM_NS: dict[str, float] = {
     "fig18_minitpch": 21283121.9340407,
     "fig19_shuffle": 12098753.244444625,
     "fig20_views": 1026246.4424691297,
+    "fig21_serving": 4014954.909664512,
 }
 
 #: Pinned expectations for the ``--check`` gate: the SMOKE-size runs are
@@ -112,6 +116,7 @@ SMOKE_BASELINE_SIM_NS: dict[str, float] = {
     "fig18_minitpch": 20622244.33744394,
     "fig19_shuffle": 12034620.086913591,
     "fig20_views": 262656.87012345716,
+    "fig21_serving": 4023463.3341900907,
 }
 
 SMOKE_BASELINE_SHA256: dict[str, str] = {
@@ -137,6 +142,8 @@ SMOKE_BASELINE_SHA256: dict[str, str] = {
         "9471431a2046a1fe0a0dd8bb5cb4965fe6e29ea574e1727e4cd1e089d7c7e282",
     "fig20_views":
         "1d166d1e75ac45349a9e2fb1e40739f955b6339a21a41b07cc4bee5842756a48",
+    "fig21_serving":
+        "0e4c079e03c790b5d65cae0b39d0a10999558f4d47a29a3e2a1f6608d3ee0165",
 }
 
 
@@ -741,6 +748,59 @@ def run_fig20_views(table_kb: int, rounds: int = 4):
     }
 
 
+def run_fig21_serving(num_tenants: int, mean_gap_ns: float = 200_000.0,
+                      horizon_ns: float = 400_000.0):
+    """Tenant serving layer: open-loop storm through the front door (fig 21).
+
+    ``num_tenants`` sessions submit seeded Poisson arrivals over the
+    horizon against a 2-node pool under the fair admission policy with
+    request coalescing on; the measured phase is the full drain.  The
+    digest folds every served record's result sha256 in completion
+    order — grant order, coalescing-group membership, and result bytes
+    are all deterministic, so the digest pins the serving layer's
+    admission *and* execution semantics in one value.  ``table_bytes``
+    counts only the table images the pool actually uploaded and
+    scanned (one per execution, not per request) — coalescing is the
+    point, so ``mb_per_s`` reflects it.
+    """
+    from repro.core.elasticity import RegionLeaseManager
+    from repro.core.serving import FrontDoor
+    from repro.experiments.fig21_serving import make_shapes
+    from repro.workloads.generator import open_loop_arrivals
+
+    sim = Simulator()
+    nodes = [FarviewNode(sim, _bench_config()) for _ in range(2)]
+    door = FrontDoor(RegionLeaseManager(nodes, policy="fair"))
+    shapes = make_shapes()
+    schedules = open_loop_arrivals(num_tenants, mean_gap_ns, horizon_ns,
+                                   seed=21)
+    procs = []
+    for tenant, times in enumerate(schedules):
+        session = door.session(tenant)
+        for i, at_ns in enumerate(times):
+            procs.append(
+                session.submit_at(at_ns, shapes[(tenant + i) % len(shapes)]))
+
+    ev0, t0, s0 = _events(sim), time.perf_counter(), sim.now
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert all(p.triggered and p.ok for p in procs)
+    assert all(s.failed == 0 and s.completed == s.submitted
+               for s in door.sessions), "a tenant starved in the bench storm"
+    shape_bytes = {s.name: len(s.rows) * s.schema.row_width for s in shapes}
+    return {
+        "wall_s": wall,
+        "sim_ns": sim.now - s0,
+        "events": _events(sim) - ev0,
+        "sha256": _digest(*(bytes.fromhex(rec.sha256)
+                            for rec in door.records)),
+        "table_bytes": sum(shape_bytes[rec.shape]
+                           for rec in door.records if rec.led),
+        "requests": door.requests,
+        "executions": door.executions,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 FULL = {
@@ -755,6 +815,7 @@ FULL = {
     "fig18_minitpch": lambda: run_fig18_minitpch(4096, num_nodes=4),
     "fig19_shuffle": lambda: run_fig19_shuffle(512, num_nodes=4),
     "fig20_views": lambda: run_fig20_views(256),
+    "fig21_serving": lambda: run_fig21_serving(1000),
 }
 
 SMOKE = {
@@ -769,6 +830,7 @@ SMOKE = {
     "fig18_minitpch": lambda: run_fig18_minitpch(1024, num_nodes=2),
     "fig19_shuffle": lambda: run_fig19_shuffle(64, num_nodes=4),
     "fig20_views": lambda: run_fig20_views(16),
+    "fig21_serving": lambda: run_fig21_serving(100),
 }
 
 

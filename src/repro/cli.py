@@ -37,6 +37,7 @@ from .experiments import (
     fig18_minitpch,
     fig19_shuffle,
     fig20_views,
+    fig21_serving,
     table1_resources,
 )
 from .experiments.common import ExperimentResult
@@ -92,6 +93,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list]]] = {
               "refresh-vs-rescan crossover and an epoch-consistent "
               "subscription stream",
               lambda: _as_list(fig20_views.run())),
+    "fig21": ("Figure 21 (extension): tenant serving layer — open-loop "
+              "load up to 10,000 tenants, coalescing, weighted fair "
+              "admission",
+              lambda: _as_list(fig21_serving.run())),
 }
 
 #: Sub-panel ids resolve to their parent experiment.
@@ -106,6 +111,7 @@ _PANELS = {
     "fig17a": "fig17", "fig17b": "fig17", "fig17c": "fig17",
     "fig19a": "fig19", "fig19b": "fig19",
     "fig20a": "fig20", "fig20b": "fig20", "fig20c": "fig20",
+    "fig21a": "fig21", "fig21b": "fig21", "fig21c": "fig21",
 }
 
 

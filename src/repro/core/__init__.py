@@ -26,6 +26,7 @@ from .cluster import (
 )
 from .node import Connection, ExecutionReport, FarviewNode
 from .elasticity import RegionLeaseManager
+from .serving import FrontDoor, ScanShape, ServingRecord, TenantSession
 from .partition import PartitionSpec, partition_indices, shard_assignment
 from .pipeline_compiler import (
     CompiledQuery,
@@ -82,6 +83,10 @@ __all__ = [
     "ExecutionReport",
     "FarviewNode",
     "RegionLeaseManager",
+    "FrontDoor",
+    "ScanShape",
+    "ServingRecord",
+    "TenantSession",
     "CompiledQuery",
     "choose_smart_addressing",
     "compile_query",

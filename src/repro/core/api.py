@@ -779,6 +779,23 @@ class FarviewClient(_ViewEngineMixin):
         self.node.close_connection(conn)
         self._conn = None
 
+    def abandon_connection(self) -> None:
+        """Drop the connection handle without a node round trip.
+
+        For a lease holder whose node died mid-lease (fail-stop with
+        amnesia): the close RPC cannot reach the node, and the node-side
+        state is gone with the crashed incarnation anyway.  Clears the
+        client-side handle — and the node's stale connection entry, so a
+        recovered node does not resurrect it — keeping lease-manager
+        accounting exact even when :meth:`close_connection` raises a
+        :class:`~repro.common.errors.FaultError`.
+        """
+        conn = self._require_conn()
+        conn.qp.connected = False
+        conn.closed = True
+        self.node.connections.pop(conn.qp.qp_id, None)
+        self._conn = None
+
     def _require_conn(self) -> Connection:
         if self._conn is None:
             raise ConnectionError_("no open connection; call open_connection")

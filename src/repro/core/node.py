@@ -114,6 +114,10 @@ class FarviewNode:
         #: clients can tell pre-crash contents (lost) from fresh writes.
         self.failed = False
         self.incarnation = 0
+        #: Callbacks fired synchronously on :meth:`recover` — the lease
+        #: manager hooks these to wake waiters that nothing else would
+        #: ever wake (liveness).  Empty by default: zero cost when unused.
+        self._recover_listeners: list = []
 
     # -- fault injection (fail-stop with amnesia) --------------------------------
     def fail(self) -> None:
@@ -127,6 +131,15 @@ class FarviewNode:
         assigned at crash time.  Clients must re-create state; stale
         handles are rejected by their recorded incarnation."""
         self.failed = False
+        for listener in self._recover_listeners:
+            listener(self)
+
+    def add_recover_listener(self, listener) -> None:
+        """Register ``listener(node)`` to run whenever this node recovers
+        (both direct :meth:`recover` calls and scheduled
+        :class:`~repro.core.faults.FaultInjector` recover events land
+        here — recovery is recovery, whoever triggers it)."""
+        self._recover_listeners.append(listener)
 
     def _check_alive(self) -> None:
         if self.failed:

@@ -116,6 +116,39 @@ def projection_workload(num_rows: int, tuple_bytes: int,
     return schema, make_rows(schema, num_rows, seed)
 
 
+def open_loop_arrivals(num_streams: int, mean_gap_ns: float,
+                       horizon_ns: float,
+                       seed: int = DEFAULT_SEED) -> list[list[float]]:
+    """Seeded open-loop arrival schedules: one Poisson stream per tenant.
+
+    Each stream's first arrival is uniform in ``[0, horizon_ns)`` (so
+    every tenant submits at least once and the fleet does not stampede at
+    t=0) and subsequent gaps are exponential with mean ``mean_gap_ns``,
+    truncated at the horizon.  Open loop: arrival times are fixed up
+    front — load keeps arriving at the offered rate regardless of how
+    fast earlier requests complete, which is what makes saturation
+    measurable.  Same arguments → the same schedule, arrival for arrival.
+    """
+    if num_streams < 0:
+        raise QueryError(f"negative stream count: {num_streams}")
+    if mean_gap_ns <= 0 or horizon_ns <= 0:
+        raise QueryError(
+            f"mean gap and horizon must be positive: "
+            f"{mean_gap_ns}, {horizon_ns}")
+    rng = np.random.default_rng(seed)
+    schedules: list[list[float]] = []
+    for _ in range(num_streams):
+        at = float(rng.uniform(0.0, horizon_ns))
+        times = [at]
+        while True:
+            at += float(rng.exponential(mean_gap_ns))
+            if at >= horizon_ns:
+                break
+            times.append(at)
+        schedules.append(times)
+    return schedules
+
+
 #: Substring embedded in matching strings of the regex workload.
 REGEX_NEEDLE = "farview"
 #: Pattern used by the Figure 10 experiment (matches the needle).

@@ -32,6 +32,7 @@ from repro.common.errors import FaultError
 from repro.common.records import Column, Schema, default_schema
 from repro.core.api import ClusterClient
 from repro.core.cluster import FarviewCluster
+from repro.core.elasticity import RegionLeaseManager
 from repro.core.faults import FaultInjector
 from repro.core.partition import PartitionSpec
 from repro.core.query import JoinSpec, Query, select_star
@@ -122,6 +123,11 @@ class ChaosMachine(RuleBasedStateMachine):
         # versioned_update — decides when deltas propagate.
         self.view, _ = self.cc.create_view(VIEW_SQL, name="chaos_view")
         self.view_sub = self.cc.subscribe(self.view, auto=False)
+
+        # Lease admission over node 0 only: a deliberately narrow pool
+        # (the ClusterClient's standing connection already holds one of
+        # its regions) so a small storm genuinely queues.
+        self.lease_mgr = RegionLeaseManager([self.cluster.node(0)])
 
         # No-fault references (also warms pipelines + broadcast cache).
         self.fact_sha = sha(self.cc.far_view(self.fact,
@@ -308,12 +314,66 @@ class ChaosMachine(RuleBasedStateMachine):
                 "chaos subscriber diverged from the view"
             assert self.view_sub.digest() == self.view.digest()
 
+    @rule(extra=st.integers(min_value=1, max_value=3), mid_crash=st.booleans())
+    def lease_admission(self, extra, mid_crash):
+        """Acquire/release/crash/recover interleavings vs the serial
+        queue oracle: under FIFO, grant order *is* arrival order — even
+        when the pool's only node crashes mid-storm and the parked
+        waiters must survive until its recovery wakes them — and the
+        books balance exactly once the storm drains."""
+        mgr = self.lease_mgr
+        if 0 in self.down:
+            # The storm must eventually drain; bring the pool node up
+            # (legitimate machine transition, mirrored in the fault sets).
+            self.injector.recover(0)
+            self.down.discard(0)
+        tenants = self.cluster.node(0).free_regions + extra  # forces queueing
+        depth_before = mgr.max_queue_depth
+        grant_order: list[int] = []
+
+        def tenant(tag):
+            client = yield from mgr.acquire(tenant=tag)
+            grant_order.append(tag)
+            yield self.sim.timeout(20.0)
+            mgr.release(client)
+
+        def main():
+            procs = [self.sim.process(tenant(i)) for i in range(tenants)]
+            if mid_crash:
+                # Crash while leases are held and waiters are parked;
+                # recover after every holder has released into a dead
+                # pool — only the recovery hook can wake the queue.
+                yield self.sim.timeout(5.0)
+                self.injector.crash(0)
+                yield self.sim.timeout(30.0)
+                self.injector.recover(0)
+            yield self.sim.all_of(procs)
+
+        self.sim.run_process(main())
+        if mid_crash:
+            self.crashed_ever.add(0)
+        assert grant_order == list(range(tenants)), \
+            "lease grants diverged from the serial FIFO oracle"
+        assert mgr.queued == 0 and mgr.live_leases == 0
+        assert mgr.max_queue_depth >= max(depth_before, extra), \
+            "max_queue_depth must be monotone and count the parked storm"
+
     # -- invariants ---------------------------------------------------------
     @invariant()
     def epochs_never_split(self):
         assert all(s.table.epoch == self.vst.epoch
                    for s in self.vst.shards), \
             "cluster epochs split under chaos"
+
+    @invariant()
+    def lease_books_balance(self):
+        """PR-10 accounting invariant: between rules the lease pool is
+        quiesced, so live leases and the per-node balance agree exactly
+        (crash-while-leased releases and raising bodies included)."""
+        assert self.lease_mgr.live_leases == \
+            sum(self.lease_mgr.leases_per_node)
+        assert self.lease_mgr.queued == 0
+        assert self.lease_mgr.max_queue_depth >= 0
 
     @invariant()
     def fault_state_is_consistent(self):

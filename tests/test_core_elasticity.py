@@ -342,6 +342,195 @@ def test_failing_tenant_wakes_fifo_waiters():
     assert manager.leases_per_node == [0]
 
 
+# -- liveness / fairness / accounting regressions (PR 10) --------------------
+
+def test_waiter_parked_with_pool_down_wakes_on_recovery():
+    """Liveness regression: a waiter that queues while every node is
+    failed and no leases are outstanding has no release to wake it.  The
+    recover hook must wake it — on the old code this schedule deadlocks
+    (``run_process`` raises ``SimulationError``)."""
+    from repro.core.faults import FaultEvent, FaultInjector, FaultPlan
+
+    sim, node = make_node(regions=1)
+    manager = RegionLeaseManager(node)
+    injector = FaultInjector(node, FaultPlan([
+        FaultEvent(at_ns=5.0, kind="node_crash"),
+        FaultEvent(at_ns=50.0, kind="node_recover"),
+    ])).install()
+
+    def holder():
+        client = yield from manager.acquire()
+        yield sim.timeout(10.0)
+        # The node is down by now; release still frees the books but
+        # leaves the waiter with no live capacity — and no later release.
+        manager.release(client)
+
+    def waiter():
+        yield sim.timeout(20.0)
+        client = yield from manager.acquire()
+        granted_at = sim.now
+        manager.release(client)
+        return granted_at
+
+    def main():
+        sim.process(holder())
+        w = sim.process(waiter())
+        granted_at = yield w
+        return granted_at
+
+    granted_at = sim.run_process(main())
+    assert granted_at == 50.0  # exactly the recovery instant
+    assert [ev[1] for ev in injector.applied] == ["node_crash",
+                                                  "node_recover"]
+    assert manager.live_leases == sum(manager.leases_per_node) == 0
+
+
+def test_acquire_retries_other_nodes_when_open_fails():
+    """Liveness regression: when the picked node's open fails
+    transiently, acquire must immediately try the remaining nodes.  On
+    the old code the tenant parks forever (no release ever comes)."""
+    from repro.common.errors import NodeFailedError
+
+    sim, cluster = make_cluster(num_nodes=2, regions=2)
+    manager = RegionLeaseManager(cluster)
+
+    # Node 0 (more free regions -> picked first) refuses every open
+    # without being marked failed — a transient connect-time fault.
+    def refuse(*_a, **_k):
+        raise NodeFailedError("connect refused (transient)")
+    cluster.node(0).open_connection = refuse
+
+    def main():
+        client = yield from manager.acquire()
+        return client
+
+    client = sim.run_process(main())
+    assert client.node is cluster.node(1)
+    assert sim.now == 0.0  # granted immediately, not parked
+    assert manager.leases_per_node == [0, 1]
+
+
+def test_woken_waiter_keeps_queue_position_on_transient_failure():
+    """Fairness regression: a waiter woken by a release whose grant then
+    fails must keep its place at the head of the queue.  On the old code
+    it re-appends at the back and the younger waiter is served first."""
+    from repro.core.faults import FaultInjector
+
+    sim, cluster = make_cluster(num_nodes=2, regions=1)
+    manager = RegionLeaseManager(cluster)
+    grants = []
+
+    def holder(tag, hold_ns):
+        client = yield from manager.acquire()
+        yield sim.timeout(hold_ns)
+        manager.release(client)
+
+    def waiter(tag, delay):
+        yield sim.timeout(delay)
+        client = yield from manager.acquire()
+        grants.append((tag, sim.now))
+        yield sim.timeout(1.0)
+        manager.release(client)
+
+    def main():
+        h0 = yield from manager.acquire()   # node 0
+        h1 = yield from manager.acquire()   # node 1
+        w1 = sim.process(waiter("first", 1.0))
+        w2 = sim.process(waiter("second", 2.0))
+        yield sim.timeout(10.0)
+        # Node 0 dies; releasing its lease wakes "first", whose grant
+        # attempt then finds no live capacity (node 1 still leased) and
+        # must re-park *at the head*.
+        FaultInjector(cluster).crash(0)
+        manager.release(h0)
+        yield sim.timeout(10.0)
+        # Node 1's release is the real capacity: "first" must win it.
+        manager.release(h1)
+        yield sim.all_of([w1, w2])
+
+    sim.run_process(main())
+    assert [tag for tag, _ in grants] == ["first", "second"]
+
+
+def test_accounting_invariant_under_crash_and_raising_body():
+    """Accounting regression: crash-while-leased releases and bodies that
+    raise mid-process must leave ``sum(leases_per_node) == live_leases``
+    and a monotone ``max_queue_depth``."""
+    from repro.core.faults import FaultInjector
+
+    sim, cluster = make_cluster(num_nodes=2, regions=1)
+    manager = RegionLeaseManager(cluster)
+    injector = FaultInjector(cluster)
+
+    def exploding(client):
+        yield sim.timeout(1.0)
+        raise RuntimeError("tenant exploded")
+
+    def main():
+        depth_seen = 0
+        victim = yield from manager.acquire()
+        victim_index = cluster.nodes.index(victim.node)
+        assert manager.live_leases == sum(manager.leases_per_node) == 1
+        injector.crash(victim_index)
+        manager.release(victim)  # release on a dead node
+        assert manager.live_leases == sum(manager.leases_per_node) == 0
+        try:
+            yield from manager.with_lease(exploding)
+        except RuntimeError:
+            pass
+        assert manager.live_leases == sum(manager.leases_per_node) == 0
+        assert manager.max_queue_depth >= depth_seen  # monotone
+        depth_seen = manager.max_queue_depth
+        injector.recover(victim_index)
+        survivor = yield from manager.acquire()
+        assert manager.live_leases == sum(manager.leases_per_node) == 1
+        manager.release(survivor)
+        assert manager.max_queue_depth >= depth_seen
+        return True
+
+    assert sim.run_process(main()) is True
+    assert manager.live_leases == sum(manager.leases_per_node) == 0
+
+
+# -- weighted fair-share policy (PR 10) --------------------------------------
+
+def test_fair_policy_orders_grants_by_virtual_finish_tags():
+    """Start-time fair queueing: under contention a weight-2 tenant gets
+    two grants per grant of a weight-1 tenant, by finish-tag order."""
+    sim, node = make_node(regions=1)
+    manager = RegionLeaseManager(node, policy="fair")
+    grants = []
+
+    def tenant(tag, weight):
+        client = yield from manager.acquire(tenant=tag, weight=weight)
+        grants.append(tag)
+        yield sim.timeout(1.0)
+        manager.release(client)
+
+    def main():
+        holder = yield from manager.acquire()
+        # Queue 3 tickets per tenant while the region is held.  Tags:
+        # A (w=1): 1, 2, 3;  B (w=2): 0.5, 1.0, 1.5 — ties to A by seq.
+        procs = [sim.process(tenant("A", 1.0)) for _ in range(3)]
+        procs += [sim.process(tenant("B", 2.0)) for _ in range(3)]
+        yield sim.timeout(5.0)
+        manager.release(holder)
+        yield sim.all_of(procs)
+
+    sim.run_process(main())
+    assert grants == ["B", "A", "B", "B", "A", "A"]
+    assert manager.max_queue_depth == 6
+
+
+def test_fifo_remains_default_policy():
+    sim, node = make_node(regions=1)
+    assert RegionLeaseManager(node).policy == "fifo"
+    with pytest.raises(QueryError, match="policy"):
+        RegionLeaseManager(node, policy="wrr")
+    with pytest.raises(QueryError, match="weight"):
+        sim.run_process(RegionLeaseManager(node).acquire(weight=0.0))
+
+
 def test_node_crash_mid_lease_releases_and_fails_over():
     """Crashing the leased node must not poison release(): the close is
     best-effort, the accounting is corrected, waiters are woken, and the

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig14_pushdown,
     fig15_updates,
     fig17_availability,
+    fig21_serving,
     table1_resources,
 )
 
@@ -198,6 +199,35 @@ def test_fig17_replication_buys_availability():
     k1c, k2c = (fig17c.series_named(n) for n in ("k=1", "k=2"))
     assert k2c.y_at(2) == 100.0                    # headline: zero loss
     assert k1c.y_at(2) < 100.0                     # unreplicated loses
+
+
+def test_fig21_serving_sweep_scaled_down():
+    # The runner asserts drain, zero starvation, and sha-vs-serial-replay
+    # inline; here: a scaled-down sweep keeps the headline shape.
+    fig21a, fig21b = fig21_serving.run_load_sweep(tenant_counts=(20, 80))
+    assert {s.name for s in fig21a.series} == {"p50", "p99"}
+    p50, p99 = (fig21a.series_named(n) for n in ("p50", "p99"))
+    for count in (20, 80):
+        assert 0 < p50.y_at(count) <= p99.y_at(count)
+    offered = fig21b.series_named("offered")
+    executed = fig21b.series_named("executed")
+    assert offered.y_at(80) > offered.y_at(20)     # load actually grew
+    # Coalescing: executions grow far slower than offered load.
+    assert executed.y_at(80) < offered.y_at(80) / 4
+
+
+def test_fig21_fairness_panel_scaled_down():
+    fig21c = fig21_serving.run_fairness(weights=(4.0,))
+    heavy = fig21c.series_named("fair heavy")
+    light = fig21c.series_named("fair light")
+    assert heavy.y_at(4.0) < light.y_at(4.0)       # weight buys latency
+    fifo_h = fig21c.series_named("fifo heavy")
+    fifo_l = fig21c.series_named("fifo light")
+    # FIFO is weight-blind: its class gap is a rounding error next to
+    # the fair policy's.
+    fifo_gap = abs(fifo_h.y_at(4.0) - fifo_l.y_at(4.0))
+    fair_gap = light.y_at(4.0) - heavy.y_at(4.0)
+    assert fair_gap > 10 * fifo_gap
 
 
 def test_experiment_result_rendering():

@@ -30,7 +30,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 DOCS = ("README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
         "docs/OPERATORS.md", "docs/FAULTS.md", "docs/SQL.md",
-        "docs/VIEWS.md")
+        "docs/VIEWS.md", "docs/SERVING.md")
 
 #: Roots a doc reference may be relative to (ARCHITECTURE.md abbreviates
 #: module paths as "under src/repro/", per its own preamble).
